@@ -1,0 +1,29 @@
+//! SHA accelerator simulator.
+//!
+//! The paper models its accelerator "in Python based on the
+//! power-throughput-voltage relationships from the design by Suresh et al."
+//! (a 230 mV–950 mV, 2.8 Tbps/W SHA-256 engine, ESSCIRC'18), digitized into
+//! lookup tables: "the points from the relevant figures in the paper were
+//! put into lookup tables and, based on the provided voltage, throughput and
+//! power for a given time period were calculated" (§4.4). This crate is the
+//! same model in Rust:
+//!
+//! * [`lut`] — a monotone, linearly interpolated lookup table.
+//! * [`config`] — the digitized Suresh-shaped voltage→throughput and
+//!   voltage→power curves, scaled to a multi-lane array so the accelerator
+//!   is a package-relevant (~10 W) component (see DESIGN.md substitutions).
+//! * [`sha`] — the accelerator itself: drains a [`ShaWorkload`] backlog at
+//!   the LUT throughput, draws LUT power while busy and leakage while idle.
+//!
+//! [`ShaWorkload`]: hcapp_workloads::sha::ShaWorkload
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod config;
+pub mod lut;
+pub mod sha;
+
+pub use config::ShaConfig;
+pub use lut::LookupTable;
+pub use sha::ShaAccelerator;

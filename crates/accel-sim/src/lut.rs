@@ -1,0 +1,149 @@
+//! Monotone interpolated lookup tables.
+//!
+//! The accelerator model is driven by digitized curves (voltage →
+//! throughput, voltage → power). [`LookupTable`] stores the sample points
+//! and evaluates by linear interpolation, clamping outside the sampled
+//! domain (the paper's model does the same: below the minimum operating
+//! voltage the engine is off; above the maximum it cannot be driven
+//! further).
+
+/// A piecewise-linear function defined by sample points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LookupTable {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl LookupTable {
+    /// Build from `(x, y)` sample points.
+    ///
+    /// # Panics
+    /// Panics if fewer than two points are given or the x values are not
+    /// strictly increasing.
+    pub fn new(points: &[(f64, f64)]) -> Self {
+        assert!(points.len() >= 2, "need at least two LUT points");
+        let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+        for w in xs.windows(2) {
+            assert!(w[0] < w[1], "LUT x values must be strictly increasing");
+        }
+        LookupTable { xs, ys }
+    }
+
+    /// Evaluate at `x` with linear interpolation, clamping outside the
+    /// sampled domain.
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= self.xs[n - 1] {
+            return self.ys[n - 1];
+        }
+        // Binary search for the bracketing segment.
+        let mut lo = 0;
+        let mut hi = n - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.xs[mid] <= x {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let t = (x - self.xs[lo]) / (self.xs[hi] - self.xs[lo]);
+        self.ys[lo] + t * (self.ys[hi] - self.ys[lo])
+    }
+
+    /// Domain of the sampled points.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.xs[0], *self.xs.last().expect("non-empty"))
+    }
+
+    /// Number of sample points.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Tables always have ≥ 2 points; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True if the sampled y values are monotone non-decreasing.
+    pub fn is_monotone(&self) -> bool {
+        self.ys.windows(2).all(|w| w[0] <= w[1])
+    }
+
+    /// Map both tables over the same `x`: `self.eval(x) / other.eval(x)`
+    /// (used to derive efficiency = throughput/power curves in tests).
+    pub fn ratio_at(&self, other: &LookupTable, x: f64) -> f64 {
+        self.eval(x) / other.eval(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcapp_sim_core::assert_close;
+
+    fn lut() -> LookupTable {
+        LookupTable::new(&[(0.0, 0.0), (1.0, 10.0), (2.0, 40.0)])
+    }
+
+    #[test]
+    fn interpolates_linearly() {
+        let l = lut();
+        assert_close!(l.eval(0.5), 5.0, 1e-12);
+        assert_close!(l.eval(1.5), 25.0, 1e-12);
+        assert_close!(l.eval(1.0), 10.0, 1e-12);
+    }
+
+    #[test]
+    fn clamps_outside_domain() {
+        let l = lut();
+        assert_close!(l.eval(-1.0), 0.0, 1e-12);
+        assert_close!(l.eval(5.0), 40.0, 1e-12);
+    }
+
+    #[test]
+    fn exact_at_sample_points() {
+        let points = [(0.23, 0.1), (0.5, 7.0), (0.95, 37.0)];
+        let l = LookupTable::new(&points);
+        for (x, y) in points {
+            assert_close!(l.eval(x), y, 1e-12);
+        }
+    }
+
+    #[test]
+    fn monotonicity_check() {
+        assert!(lut().is_monotone());
+        let dips = LookupTable::new(&[(0.0, 1.0), (1.0, 0.5)]);
+        assert!(!dips.is_monotone());
+    }
+
+    #[test]
+    fn domain_reported() {
+        assert_eq!(lut().domain(), (0.0, 2.0));
+        assert_eq!(lut().len(), 3);
+    }
+
+    #[test]
+    fn ratio() {
+        let a = LookupTable::new(&[(0.0, 0.0), (1.0, 10.0)]);
+        let b = LookupTable::new(&[(0.0, 1.0), (1.0, 5.0)]);
+        assert_close!(a.ratio_at(&b, 1.0), 2.0, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_panics() {
+        let _ = LookupTable::new(&[(1.0, 0.0), (0.5, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_point_panics() {
+        let _ = LookupTable::new(&[(1.0, 0.0)]);
+    }
+}

@@ -1,0 +1,169 @@
+//! The SHA accelerator chiplet.
+//!
+//! Implements §4.4's model: each control interval the accelerator hashes
+//! `throughput(V) · dt` bits off its backlog and draws `power(V)`; when a
+//! one-shot backlog drains it idles at a leakage floor. The evaluation runs
+//! use a looping backlog so the accelerator stays busy for the whole test
+//! (the paper loops short workloads, §4).
+
+use hcapp_sim_core::time::SimDuration;
+use hcapp_sim_core::units::{Volt, Watt};
+use hcapp_workloads::sha::ShaWorkload;
+
+use crate::config::ShaConfig;
+use crate::lut::LookupTable;
+
+/// The SHA accelerator simulator.
+#[derive(Debug, Clone)]
+pub struct ShaAccelerator {
+    cfg: ShaConfig,
+    lane_tp: LookupTable,
+    lane_pw: LookupTable,
+    workload: ShaWorkload,
+    last_power: Watt,
+}
+
+impl ShaAccelerator {
+    /// Build an accelerator with a looping backlog (the evaluation setup).
+    pub fn new(cfg: ShaConfig) -> Self {
+        cfg.validate();
+        let workload = ShaWorkload::looping(cfg.backlog_gbits);
+        Self::with_workload(cfg, workload)
+    }
+
+    /// Build with an explicit workload (one-shot backlogs hit the idle
+    /// state of §4.4).
+    pub fn with_workload(cfg: ShaConfig, workload: ShaWorkload) -> Self {
+        cfg.validate();
+        ShaAccelerator {
+            lane_tp: cfg.lane_throughput_gbps(),
+            lane_pw: cfg.lane_power_mw(),
+            cfg,
+            workload,
+            last_power: Watt::ZERO,
+        }
+    }
+
+    /// The accelerator configuration.
+    pub fn config(&self) -> &ShaConfig {
+        &self.cfg
+    }
+
+    /// Advance one tick at lane voltage `v` (already domain-normalized).
+    /// Returns the accelerator power this tick.
+    pub fn step(&mut self, v: Volt, dt: SimDuration) -> Watt {
+        let v = v.clamp(self.cfg.v_min, self.cfg.v_max);
+        let busy_power = self.lane_pw.eval(v.value()) * 1e-3 * self.cfg.lanes as f64;
+        if self.workload.is_idle() {
+            self.last_power = Watt::new(busy_power * self.cfg.idle_fraction);
+            return self.last_power;
+        }
+        let tp_gbps = self.lane_tp.eval(v.value()) * self.cfg.lanes as f64;
+        let gbits = tp_gbps * dt.as_secs_f64();
+        let drained = self.workload.drain(gbits);
+        // If the backlog ran out mid-tick, pro-rate the power.
+        let busy_frac = if gbits > 0.0 { drained / gbits } else { 0.0 };
+        self.last_power = Watt::new(
+            busy_power * busy_frac + busy_power * self.cfg.idle_fraction * (1.0 - busy_frac),
+        );
+        self.last_power
+    }
+
+    /// Power drawn last tick.
+    pub fn power(&self) -> Watt {
+        self.last_power
+    }
+
+    /// Total hashing work completed in gigabits — the accelerator's
+    /// performance metric.
+    pub fn work_done(&self) -> f64 {
+        self.workload.completed_gbits()
+    }
+
+    /// True when a one-shot backlog has drained (§4.4 idle state).
+    pub fn is_idle(&self) -> bool {
+        self.workload.is_idle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcapp_sim_core::assert_close;
+
+    fn accel() -> ShaAccelerator {
+        ShaAccelerator::new(ShaConfig::default())
+    }
+
+    #[test]
+    fn busy_power_matches_lut() {
+        let mut a = accel();
+        let p = a.step(Volt::new(0.95), SimDuration::from_micros(1));
+        assert_close!(p.value(), a.config().busy_power_w(Volt::new(0.95)), 1e-9);
+    }
+
+    #[test]
+    fn work_rate_matches_throughput() {
+        let mut a = accel();
+        let v = Volt::new(0.70);
+        let dt = SimDuration::from_micros(1);
+        for _ in 0..1000 {
+            a.step(v, dt);
+        }
+        // 1 ms at 1800 Gbps = 1.8 gbit.
+        let expected = a.config().throughput_gbps(v) * 1e-3;
+        assert_close!(a.work_done(), expected, 1e-6);
+    }
+
+    #[test]
+    fn higher_voltage_hashes_faster_for_more_power() {
+        let mut slow = accel();
+        let mut fast = accel();
+        let dt = SimDuration::from_micros(1);
+        let mut e_slow = 0.0;
+        let mut e_fast = 0.0;
+        for _ in 0..1000 {
+            e_slow += slow.step(Volt::new(0.5), dt).value();
+            e_fast += fast.step(Volt::new(0.9), dt).value();
+        }
+        assert!(fast.work_done() > slow.work_done() * 2.0);
+        assert!(e_fast > e_slow * 2.0);
+    }
+
+    #[test]
+    fn one_shot_backlog_reaches_idle_state() {
+        let cfg = ShaConfig::default();
+        // A tiny backlog: drains in well under a millisecond at 0.9 V.
+        let wl = ShaWorkload::fixed(0.5);
+        let mut a = ShaAccelerator::with_workload(cfg, wl);
+        let dt = SimDuration::from_micros(1);
+        let busy = a.step(Volt::new(0.9), dt).value();
+        for _ in 0..1000 {
+            a.step(Volt::new(0.9), dt);
+        }
+        assert!(a.is_idle());
+        let idle = a.power().value();
+        assert!(idle < busy * 0.1, "idle {idle} vs busy {busy}");
+        assert_close!(a.work_done(), 0.5, 1e-9);
+    }
+
+    #[test]
+    fn undervoltage_clamps_to_minimum_operating_point() {
+        let mut a = accel();
+        let p = a.step(Volt::new(0.05), SimDuration::from_micros(1)).value();
+        let p_min = a.config().busy_power_w(Volt::new(0.23));
+        assert_close!(p, p_min, 1e-9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = accel();
+        let mut b = accel();
+        let dt = SimDuration::from_micros(1);
+        for i in 0..1000 {
+            let v = Volt::new(0.5 + 0.4 * ((i % 10) as f64 / 10.0));
+            assert_eq!(a.step(v, dt), b.step(v, dt));
+        }
+        assert_eq!(a.work_done(), b.work_done());
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests for the accelerator model.
+
+use hcapp_accel_sim::{LookupTable, ShaAccelerator, ShaConfig};
+use hcapp_sim_core::time::SimDuration;
+use hcapp_sim_core::units::Volt;
+use proptest::prelude::*;
+
+fn arb_lut() -> impl Strategy<Value = LookupTable> {
+    prop::collection::vec(0.0f64..100.0, 2..10).prop_map(|ys| {
+        let points: Vec<(f64, f64)> = ys
+            .iter()
+            .enumerate()
+            .map(|(i, &y)| (i as f64 * 0.1 + 0.2, y))
+            .collect();
+        LookupTable::new(&points)
+    })
+}
+
+proptest! {
+    /// Interpolation never leaves the envelope of the sample values.
+    #[test]
+    fn lut_interpolation_bounded(lut in arb_lut(), x in -1.0f64..3.0) {
+        let lo = (0..lut.len()).map(|_| 0.0).fold(f64::INFINITY, f64::min);
+        let _ = lo;
+        let (dmin, dmax) = lut.domain();
+        let y = lut.eval(x);
+        // Evaluate all sample points to get the envelope.
+        let mut env_min = f64::INFINITY;
+        let mut env_max = f64::NEG_INFINITY;
+        let steps = 64;
+        for i in 0..=steps {
+            let xs = dmin + (dmax - dmin) * i as f64 / steps as f64;
+            let v = lut.eval(xs);
+            env_min = env_min.min(v);
+            env_max = env_max.max(v);
+        }
+        prop_assert!(y >= env_min - 1e-9 && y <= env_max + 1e-9,
+            "eval({x}) = {y} outside [{env_min}, {env_max}]");
+    }
+
+    /// The accelerator's power and throughput are monotone in voltage
+    /// across its whole operating range.
+    #[test]
+    fn accel_monotone_in_voltage(v1 in 0.2f64..1.0, v2 in 0.2f64..1.0) {
+        let cfg = ShaConfig::default();
+        let (lo, hi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+        prop_assert!(cfg.throughput_gbps(Volt::new(lo)) <= cfg.throughput_gbps(Volt::new(hi)) + 1e-9);
+        prop_assert!(cfg.busy_power_w(Volt::new(lo)) <= cfg.busy_power_w(Volt::new(hi)) + 1e-9);
+    }
+
+    /// Work accounting is exact: stepping for any tick sequence accumulates
+    /// exactly throughput × time (looping backlog never idles).
+    #[test]
+    fn accel_work_accounting(volts in prop::collection::vec(0.3f64..0.95, 1..100)) {
+        let cfg = ShaConfig::default();
+        let mut accel = ShaAccelerator::new(cfg.clone());
+        let dt = SimDuration::from_micros(1);
+        let mut expect = 0.0;
+        for v in volts {
+            let v = Volt::new(v);
+            accel.step(v, dt);
+            expect += cfg.throughput_gbps(v) * dt.as_secs_f64();
+        }
+        prop_assert!((accel.work_done() - expect).abs() < 1e-9 * expect.max(1.0),
+            "work {} vs expected {}", accel.work_done(), expect);
+    }
+}

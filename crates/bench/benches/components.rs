@@ -1,0 +1,107 @@
+//! Per-tick cost of the chiplet simulators and hot kernel structures.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use hcapp_accel_sim::{ShaAccelerator, ShaConfig};
+use hcapp_cpu_sim::{CpuChiplet, CpuConfig};
+use hcapp_gpu_sim::{GpuChiplet, GpuConfig};
+use hcapp_sim_core::time::SimDuration;
+use hcapp_sim_core::units::Volt;
+use hcapp_pdn::{RippleInjector, RippleSpec};
+use hcapp_power_model::{MemoryStack, ThermalModel};
+use hcapp_sim_core::time::SimTime;
+use hcapp_sim_core::units::Watt;
+use hcapp_sim_core::window::WindowedMaxTracker;
+use hcapp_workloads::benchmarks::Benchmark;
+use hcapp_workloads::cursor::PhaseCursor;
+
+fn bench_cpu_chiplet(c: &mut Criterion) {
+    let mut chiplet = CpuChiplet::new(CpuConfig::default(), Benchmark::Ferret.spec(), 7, 0);
+    let volts = vec![Volt::new(0.95); chiplet.units()];
+    let dt = SimDuration::from_nanos(100);
+    let mut g = c.benchmark_group("chiplet_step");
+    g.throughput(Throughput::Elements(8));
+    g.bench_function("cpu_8core_tick", |b| {
+        b.iter(|| black_box(chiplet.step(black_box(&volts), dt)))
+    });
+    g.finish();
+}
+
+fn bench_gpu_chiplet(c: &mut Criterion) {
+    let mut chiplet = GpuChiplet::new(GpuConfig::default(), Benchmark::Bfs.spec(), 7, 0);
+    let volts = vec![Volt::new(0.72); chiplet.units()];
+    let dt = SimDuration::from_nanos(100);
+    let mut g = c.benchmark_group("chiplet_step");
+    g.throughput(Throughput::Elements(15));
+    g.bench_function("gpu_15sm_tick", |b| {
+        b.iter(|| black_box(chiplet.step(black_box(&volts), dt)))
+    });
+    g.finish();
+}
+
+fn bench_accel(c: &mut Criterion) {
+    let mut accel = ShaAccelerator::new(ShaConfig::default());
+    let dt = SimDuration::from_nanos(100);
+    c.bench_function("sha_accelerator_tick", |b| {
+        b.iter(|| black_box(accel.step(black_box(Volt::new(0.7)), dt)))
+    });
+}
+
+fn bench_cursor(c: &mut Criterion) {
+    let mut cursor = PhaseCursor::new(Benchmark::Bfs.spec(), 7, 0);
+    c.bench_function("phase_cursor_advance", |b| {
+        b.iter(|| cursor.advance(black_box(100.0)))
+    });
+}
+
+fn bench_window(c: &mut Criterion) {
+    let mut tracker = WindowedMaxTracker::new(200);
+    let mut x = 50.0f64;
+    c.bench_function("windowed_max_push", |b| {
+        b.iter(|| {
+            x = if x > 90.0 { 50.0 } else { x + 0.37 };
+            tracker.push(black_box(x))
+        })
+    });
+}
+
+fn bench_memory(c: &mut Criterion) {
+    let mut m = MemoryStack::hbm_default();
+    m.set_traffic(0.5);
+    let dt = SimDuration::from_nanos(100);
+    c.bench_function("memory_stack_tick", |b| b.iter(|| black_box(m.step(dt))));
+}
+
+fn bench_ripple(c: &mut Criterion) {
+    let mut inj = RippleInjector::new(RippleSpec::moderate(), 7, 0);
+    let mut t = 0u64;
+    c.bench_function("ripple_perturb", |b| {
+        b.iter(|| {
+            t += 100;
+            black_box(inj.perturb(
+                black_box(hcapp_sim_core::units::Volt::new(0.95)),
+                SimTime::from_nanos(t),
+            ))
+        })
+    });
+}
+
+fn bench_thermal(c: &mut Criterion) {
+    let mut node = ThermalModel::new(1.2, 5e-3, 320.0);
+    let dt = SimDuration::from_micros(1);
+    c.bench_function("thermal_node_step", |b| {
+        b.iter(|| node.step(black_box(Watt::new(30.0)), dt))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cpu_chiplet,
+    bench_gpu_chiplet,
+    bench_accel,
+    bench_cursor,
+    bench_window,
+    bench_memory,
+    bench_ripple,
+    bench_thermal
+);
+criterion_main!(benches);

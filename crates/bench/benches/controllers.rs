@@ -1,0 +1,57 @@
+//! Per-control-action cost of the controller hierarchy.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hcapp::controller::domain::DomainController;
+use hcapp::controller::global::GlobalController;
+use hcapp::controller::local::{CpuIpcStaticController, GpuIpcDynamicController, LocalController};
+use hcapp::pid::{PidController, PidGains};
+use hcapp_sim_core::time::SimDuration;
+use hcapp_sim_core::units::{Volt, Watt};
+
+fn bench_pid(c: &mut Criterion) {
+    let mut pid = PidController::new(PidGains::paper_default());
+    let dt = SimDuration::from_micros(1);
+    let mut err = 0.5f64;
+    c.bench_function("pid_update", |b| {
+        b.iter(|| {
+            err = -err;
+            black_box(pid.update(black_box(err), dt))
+        })
+    });
+}
+
+fn bench_global(c: &mut Criterion) {
+    let mut ctl = GlobalController::new(PidGains::paper_default(), Watt::new(86.0));
+    let dt = SimDuration::from_micros(1);
+    let mut p = 70.0f64;
+    c.bench_function("global_controller_update", |b| {
+        b.iter(|| {
+            p = if p > 90.0 { 70.0 } else { p + 0.5 };
+            black_box(ctl.update(Watt::new(black_box(p)), dt))
+        })
+    });
+}
+
+fn bench_locals(c: &mut Criterion) {
+    let mut cpu = CpuIpcStaticController::new(8);
+    let ipc8 = [0.7, 0.2, 0.5, 0.9, 0.1, 0.4, 0.65, 0.25];
+    c.bench_function("cpu_local_update_8cores", |b| {
+        b.iter(|| cpu.update(black_box(&ipc8), Volt::new(1.0)))
+    });
+
+    let mut gpu = GpuIpcDynamicController::new(15, Volt::new(0.72));
+    let ipc15: Vec<f64> = (0..15).map(|i| (i as f64 * 0.07) % 1.0).collect();
+    c.bench_function("gpu_local_update_15sms", |b| {
+        b.iter(|| gpu.update(black_box(&ipc15), Volt::new(0.70)))
+    });
+}
+
+fn bench_domain(c: &mut Criterion) {
+    let d = DomainController::scaled(0.75, Volt::new(0.45), Volt::new(0.98));
+    c.bench_function("domain_voltage", |b| {
+        b.iter(|| black_box(d.domain_voltage(black_box(Volt::new(1.05)))))
+    });
+}
+
+criterion_group!(benches, bench_pid, bench_global, bench_locals, bench_domain);
+criterion_main!(benches);

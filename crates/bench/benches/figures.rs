@@ -1,0 +1,53 @@
+//! Abbreviated end-to-end runs of every table/figure harness.
+//!
+//! Each bench regenerates one reproduction target at a 2 ms duration (the
+//! same code path as the full binaries, which default to the paper's
+//! 200 ms). This keeps every experiment covered by `cargo bench`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hcapp_experiments::{ablations, figures, scaling, summary, tables, ExperimentConfig};
+
+fn cfg() -> ExperimentConfig {
+    let mut c = ExperimentConfig::quick(2);
+    c.workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    c
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table1", |b| b.iter(|| black_box(tables::table1(&cfg()))));
+    g.bench_function("table2", |b| b.iter(|| black_box(tables::table2(&cfg()))));
+    g.bench_function("table3", |b| b.iter(|| black_box(tables::table3(&cfg()))));
+    g.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_2ms");
+    g.sample_size(10);
+    g.bench_function("fig01", |b| b.iter(|| black_box(figures::fig01::run(&cfg()))));
+    g.bench_function("fig02", |b| b.iter(|| black_box(figures::fig02::run(&cfg()))));
+    g.bench_function("fig03", |b| b.iter(|| black_box(figures::fig03::run(&cfg()))));
+    g.bench_function("fig04", |b| b.iter(|| black_box(figures::fig04::run(&cfg()))));
+    g.bench_function("fig05", |b| b.iter(|| black_box(figures::fig05::run(&cfg()))));
+    g.bench_function("fig06", |b| b.iter(|| black_box(figures::fig06::run(&cfg()))));
+    g.bench_function("fig07", |b| b.iter(|| black_box(figures::fig07::run(&cfg()))));
+    g.bench_function("fig08", |b| b.iter(|| black_box(figures::fig08::run(&cfg()))));
+    g.bench_function("fig09", |b| b.iter(|| black_box(figures::fig09::run(&cfg()))));
+    g.bench_function("fig10", |b| b.iter(|| black_box(figures::fig10::run(&cfg()))));
+    g.finish();
+}
+
+fn bench_derived(c: &mut Criterion) {
+    let mut g = c.benchmark_group("derived_2ms");
+    g.sample_size(10);
+    g.bench_function("summary", |b| b.iter(|| black_box(summary::run(&cfg()))));
+    g.bench_function("scaling", |b| b.iter(|| black_box(scaling::run(&cfg()))));
+    g.bench_function("ablation_adversarial", |b| {
+        b.iter(|| black_box(ablations::adversarial_accel(&cfg())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures, bench_derived);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Serial vs chiplet-parallel executor across package sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hcapp_bench::scaled_simulation;
+
+fn bench_executors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor_scaling_1ms");
+    g.sample_size(10);
+    for n_each in [1usize, 2, 4] {
+        let domains = n_each * 3;
+        g.bench_function(format!("serial_{domains}domains"), |b| {
+            b.iter(|| black_box(scaled_simulation(n_each, 1).run()))
+        });
+        g.bench_function(format!("parallel_{domains}domains"), |b| {
+            b.iter(|| black_box(scaled_simulation(n_each, 1).run_parallel(4)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_executors);
+criterion_main!(benches);

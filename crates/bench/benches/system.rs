@@ -1,0 +1,27 @@
+//! Whole-package simulation throughput per control scheme.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use hcapp::scheme::ControlScheme;
+use hcapp_bench::bench_simulation;
+use hcapp_sim_core::time::SimDuration;
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_1ms");
+    g.sample_size(10);
+    // 1 ms of simulated time = 10,000 ticks of the whole package.
+    g.throughput(Throughput::Elements(10_000));
+    for scheme in [
+        ControlScheme::fixed_baseline(),
+        ControlScheme::Hcapp,
+        ControlScheme::RaplLike,
+        ControlScheme::CustomPeriod(SimDuration::from_micros(10)),
+    ] {
+        g.bench_function(scheme.name().replace(' ', "_"), |b| {
+            b.iter(|| black_box(bench_simulation(scheme, 1).run()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

@@ -1,0 +1,230 @@
+//! Minimal `--flag value` argument parsing.
+//!
+//! Only what the CLI needs: long flags with a value (`--ms 50`), boolean
+//! long flags (`--memory`), strict rejection of anything unrecognized at
+//! *read* time (each command declares what it reads; leftovers are reported
+//! by [`Args::finish`]). No external dependencies.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed arguments: flag → optional value, in input order for diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, Option<String>>,
+    read: std::cell::RefCell<Vec<String>>,
+}
+
+/// Argument errors with user-facing messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A token that isn't a `--flag`.
+    Unexpected(String),
+    /// A flag that needs a value didn't get one.
+    MissingValue(String),
+    /// A value failed to parse.
+    BadValue {
+        /// The flag name.
+        flag: String,
+        /// The offending value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// Flags nothing consumed.
+    Unknown(Vec<String>),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::Unexpected(t) => write!(f, "unexpected argument '{t}' (flags are --name)"),
+            ArgError::MissingValue(flag) => write!(f, "--{flag} needs a value"),
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "--{flag} {value}: expected {expected}"),
+            ArgError::Unknown(flags) => {
+                write!(f, "unknown flag(s): ")?;
+                for (i, fl) in flags.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "--{fl}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse `--flag [value]` tokens.
+    pub fn parse(tokens: &[String]) -> Result<Args, ArgError> {
+        let mut values = BTreeMap::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            let Some(flag) = t.strip_prefix("--") else {
+                return Err(ArgError::Unexpected(t.clone()));
+            };
+            let value = match tokens.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    i += 1;
+                    Some(v.clone())
+                }
+                _ => None,
+            };
+            values.insert(flag.to_string(), value);
+            i += 1;
+        }
+        Ok(Args {
+            values,
+            read: std::cell::RefCell::new(Vec::new()),
+        })
+    }
+
+    fn note(&self, flag: &str) {
+        self.read.borrow_mut().push(flag.to_string());
+    }
+
+    /// A string flag, or `default` if absent.
+    pub fn string(&self, flag: &str, default: &str) -> Result<String, ArgError> {
+        self.note(flag);
+        match self.values.get(flag) {
+            None => Ok(default.to_string()),
+            Some(Some(v)) => Ok(v.clone()),
+            Some(None) => Err(ArgError::MissingValue(flag.to_string())),
+        }
+    }
+
+    /// An optional string flag.
+    pub fn opt_string(&self, flag: &str) -> Result<Option<String>, ArgError> {
+        self.note(flag);
+        match self.values.get(flag) {
+            None => Ok(None),
+            Some(Some(v)) => Ok(Some(v.clone())),
+            Some(None) => Err(ArgError::MissingValue(flag.to_string())),
+        }
+    }
+
+    /// A `u64` flag with a default.
+    pub fn u64(&self, flag: &str, default: u64) -> Result<u64, ArgError> {
+        match self.opt_string(flag)? {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: v,
+                expected: "an unsigned integer",
+            }),
+        }
+    }
+
+    /// An `f64` flag with a default.
+    pub fn f64(&self, flag: &str, default: f64) -> Result<f64, ArgError> {
+        match self.opt_string(flag)? {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: v,
+                expected: "a number",
+            }),
+        }
+    }
+
+    /// A boolean switch (present = true; an explicit value must be
+    /// true/false).
+    pub fn switch(&self, flag: &str) -> Result<bool, ArgError> {
+        self.note(flag);
+        match self.values.get(flag) {
+            None => Ok(false),
+            Some(None) => Ok(true),
+            Some(Some(v)) => match v.as_str() {
+                "true" | "yes" | "on" => Ok(true),
+                "false" | "no" | "off" => Ok(false),
+                _ => Err(ArgError::BadValue {
+                    flag: flag.to_string(),
+                    value: v.clone(),
+                    expected: "true or false",
+                }),
+            },
+        }
+    }
+
+    /// After a command has read everything it understands, reject leftovers.
+    pub fn finish(&self) -> Result<(), ArgError> {
+        let read = self.read.borrow();
+        let unknown: Vec<String> = self
+            .values
+            .keys()
+            .filter(|k| !read.contains(k))
+            .cloned()
+            .collect();
+        if unknown.is_empty() {
+            Ok(())
+        } else {
+            Err(ArgError::Unknown(unknown))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_values() {
+        let a = Args::parse(&toks("--combo Hi-Hi --ms 50 --memory")).unwrap();
+        assert_eq!(a.string("combo", "x").unwrap(), "Hi-Hi");
+        assert_eq!(a.u64("ms", 200).unwrap(), 50);
+        assert!(a.switch("memory").unwrap());
+        assert!(!a.switch("adversarial").unwrap());
+        assert_eq!(a.string("scheme", "hcapp").unwrap(), "hcapp");
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn rejects_positional_tokens() {
+        let e = Args::parse(&toks("run fast")).unwrap_err();
+        assert!(matches!(e, ArgError::Unexpected(_)));
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let a = Args::parse(&toks("--ms fifty")).unwrap();
+        let e = a.u64("ms", 200).unwrap_err();
+        assert!(matches!(e, ArgError::BadValue { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_flags_at_finish() {
+        let a = Args::parse(&toks("--combo Hi-Hi --bogus 3")).unwrap();
+        let _ = a.string("combo", "x");
+        let e = a.finish().unwrap_err();
+        assert_eq!(e, ArgError::Unknown(vec!["bogus".to_string()]));
+        assert!(e.to_string().contains("--bogus"));
+    }
+
+    #[test]
+    fn missing_value_for_string_flag() {
+        let a = Args::parse(&toks("--combo --ms 5")).unwrap();
+        assert!(matches!(
+            a.string("combo", "x").unwrap_err(),
+            ArgError::MissingValue(_)
+        ));
+    }
+
+    #[test]
+    fn boolean_with_explicit_value() {
+        let a = Args::parse(&toks("--memory on --quiet false")).unwrap();
+        assert!(a.switch("memory").unwrap());
+        assert!(!a.switch("quiet").unwrap());
+    }
+}

@@ -1,0 +1,61 @@
+//! `hcapp hist` — power histogram of one run.
+//!
+//! Shows *why* a scheme has its PPE: the fixed baseline's distribution has
+//! a long right tail the pins are provisioned for; HCAPP's is pinned near
+//! the target.
+
+use hcapp::coordinator::Simulation;
+use hcapp_metrics::histogram::{percentiles, PowerHistogram};
+
+use crate::args::{ArgError, Args};
+use crate::commands::shared;
+
+/// Execute `hcapp hist`.
+pub fn execute(args: &Args) -> Result<String, ArgError> {
+    let (sys, run, limit) = shared::build(args)?;
+    let bins = args.u64("bins", 12)? as usize;
+    args.finish()?;
+
+    let run = run.with_trace();
+    let scheme = run.scheme;
+    let out = Simulation::new(sys, run).run();
+    let trace = out.trace.expect("trace recorded");
+
+    let hi = limit.budget.value() * 1.2;
+    let h = PowerHistogram::from_series(&trace, 0.0, hi, bins.max(2));
+    let mut rendered = h
+        .to_table(&format!(
+            "package power distribution — {} (1 us samples)",
+            scheme
+        ))
+        .render();
+
+    let ps = percentiles(trace.values(), &[0.50, 0.95, 0.99, 1.0]);
+    rendered.push_str(&format!(
+        "\np50 {:.1} W   p95 {:.1} W   p99 {:.1} W   max {:.1} W\n",
+        ps[0], ps[1], ps[2], ps[3]
+    ));
+    rendered.push_str(&format!(
+        "time at/above the {:.0} budget: {:.2}%\n",
+        limit.budget,
+        h.fraction_at_or_above(limit.budget.value()) * 100.0
+    ));
+    Ok(rendered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_renders_with_percentiles() {
+        let toks: Vec<String> = "--combo Hi-Hi --scheme fixed --ms 2 --bins 8"
+            .split_whitespace()
+            .map(|t| t.to_string())
+            .collect();
+        let out = execute(&Args::parse(&toks).unwrap()).unwrap();
+        assert!(out.contains("p95"));
+        assert!(out.contains("power distribution"));
+        assert!(out.contains('#'), "expected histogram bars: {out}");
+    }
+}

@@ -1,0 +1,102 @@
+//! CLI subcommands.
+
+pub mod compare;
+pub mod hist;
+pub mod record;
+pub mod run;
+pub mod shared;
+pub mod sweep;
+pub mod tune;
+
+use hcapp::scheme::ControlScheme;
+use hcapp_workloads::benchmarks::Benchmark;
+use hcapp_workloads::combos::combo_suite;
+
+/// `hcapp help`.
+pub fn help() -> String {
+    "\
+hcapp — heterogeneous 2.5D power-capping simulator (HCAPP, ICPP'20)
+
+USAGE:
+    hcapp <command> [--flag value]...
+
+COMMANDS:
+    run     simulate one run
+            --combo NAME | --cpu BENCH --gpu BENCH   workload selection
+            --scheme hcapp|rapl|sw|fixed|custom:<us> control scheme
+            --ms N (50)      --seed N (11)           duration / seed
+            --budget W (100) --window-us N (20)      power limit
+            --priority cpu|gpu|sha                   §5.3 static priority
+            --cpu-trace PATH --gpu-trace PATH        replay recorded traces
+            --memory                                 add a fixed-voltage HBM stack
+            --adversarial-accel                      §3.3.3 adversarial accelerator
+            --ripple moderate|severe                 dirty-rail injection
+            --thermal                                §3.3 thermal guards
+            --parallel N                             chiplet-parallel executor
+            --trace PATH --voltage-trace PATH        CSV traces
+    sweep   run the Table 3 suite
+            --scheme LIST (hcapp,rapl,sw)  --ms N (50)  --budget/--window-us
+    compare two schemes side by side (run flags + --a SCHEME --b SCHEME)
+    hist    power histogram of one run (run flags + --bins N)
+    tune    §3.1 PID tuning recipe (--ms N (20) --seed N)
+    record  record a benchmark's phase trace to CSV
+            --bench NAME --work-ms N (50) --seed N --out PATH
+    list    available combos, benchmarks and schemes
+    help    this text
+"
+    .to_string()
+}
+
+/// `hcapp list`.
+pub fn list() -> String {
+    let mut out = String::from("combos (Table 3):\n");
+    for c in combo_suite() {
+        out.push_str(&format!(
+            "  {:12} cpu={} gpu={}\n",
+            c.name,
+            c.cpu.name(),
+            c.gpu.name()
+        ));
+    }
+    out.push_str("\nbenchmarks (paper subset + extended):\n");
+    for b in Benchmark::all() {
+        out.push_str(&format!(
+            "  {:14} {} ({:?})\n",
+            b.name(),
+            if b.is_cpu() { "CPU" } else { "GPU" },
+            b.class()
+        ));
+    }
+    out.push_str("\nschemes:\n");
+    for s in ControlScheme::all() {
+        let period = s
+            .control_period()
+            .map(|p| format!("{p}"))
+            .unwrap_or_else(|| "static".to_string());
+        out.push_str(&format!("  {:18} period {}\n", s.name(), period));
+    }
+    out.push_str("  custom:<us>        HCAPP stack at an arbitrary period\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_mentions_commands() {
+        let h = help();
+        for needle in ["run", "sweep", "hist", "tune", "list"] {
+            assert!(h.contains(needle));
+        }
+    }
+
+    #[test]
+    fn list_mentions_everything() {
+        let l = list();
+        assert!(l.contains("Hi-Hi"));
+        assert!(l.contains("hotspot"));
+        assert!(l.contains("RAPL-like"));
+        assert!(l.contains("custom:<us>"));
+    }
+}

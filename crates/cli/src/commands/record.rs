@@ -1,0 +1,66 @@
+//! `hcapp record` — materialize a benchmark's phase trace as CSV.
+//!
+//! The recorded file replays bit-exactly through `hcapp run --cpu-trace` /
+//! `--gpu-trace`, and is the interchange format for user-measured traces.
+
+use hcapp_sim_core::time::SimDuration;
+use hcapp_workloads::benchmarks::Benchmark;
+use hcapp_workloads::trace::PhaseTrace;
+
+use crate::args::{ArgError, Args};
+
+/// Execute `hcapp record`.
+pub fn execute(args: &Args) -> Result<String, ArgError> {
+    let bench_name = args.string("bench", "ferret")?;
+    let work_ms = args.u64("work-ms", 50)?.max(1);
+    let seed = args.u64("seed", 11)?;
+    let out = args.string("out", &format!("{bench_name}.trace.csv"))?;
+    args.finish()?;
+
+    let bench = Benchmark::by_name(&bench_name).ok_or_else(|| ArgError::BadValue {
+        flag: "bench".into(),
+        value: bench_name.clone(),
+        expected: "a benchmark name (see `hcapp list`)",
+    })?;
+    let total_ns = SimDuration::from_millis(work_ms).as_nanos() as f64;
+    let trace = PhaseTrace::record(bench.spec(), seed, 0, total_ns);
+    std::fs::write(&out, trace.to_csv()).map_err(|e| ArgError::BadValue {
+        flag: "out".into(),
+        value: format!("{out}: {e}"),
+        expected: "a writable path",
+    })?;
+    Ok(format!(
+        "recorded {} phases ({:.1} ms of nominal work) from {} to {}\n",
+        trace.phases().len(),
+        trace.total_work_ns() * 1e-6,
+        bench.name(),
+        out
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_a_replayable_csv() {
+        let path = std::env::temp_dir().join("hcapp_record_test.csv");
+        let _ = std::fs::remove_file(&path);
+        let toks: Vec<String> = format!("--bench bfs --work-ms 5 --out {}", path.display())
+            .split_whitespace()
+            .map(|t| t.to_string())
+            .collect();
+        let msg = execute(&Args::parse(&toks).unwrap()).unwrap();
+        assert!(msg.contains("bfs"));
+        let csv = std::fs::read_to_string(&path).unwrap();
+        let trace = PhaseTrace::from_csv("bfs", &csv).unwrap();
+        assert!(trace.total_work_ns() >= 5_000_000.0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unknown_benchmark_rejected() {
+        let toks: Vec<String> = "--bench nope".split_whitespace().map(|t| t.to_string()).collect();
+        assert!(execute(&Args::parse(&toks).unwrap()).is_err());
+    }
+}

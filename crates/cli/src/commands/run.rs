@@ -1,0 +1,121 @@
+//! `hcapp run` — simulate one configuration and report the §5 metrics.
+
+use hcapp::coordinator::Simulation;
+use hcapp_metrics::violation::classify;
+use hcapp_sim_core::report::{write_series_csv, Table};
+
+use crate::args::{ArgError, Args};
+use crate::commands::shared;
+
+/// Execute `hcapp run`.
+pub fn execute(args: &Args) -> Result<String, ArgError> {
+    let (sys, mut run, limit) = shared::build(args)?;
+    let trace_path = args.opt_string("trace")?;
+    let vtrace_path = args.opt_string("voltage-trace")?;
+    if trace_path.is_some() {
+        run.record_trace = true;
+    }
+    if vtrace_path.is_some() {
+        run.record_voltage_trace = true;
+    }
+    let workers = args.u64("parallel", 0)? as usize;
+    args.finish()?;
+
+    let scheme = run.scheme;
+    let duration = run.duration;
+    let sim = Simulation::new(sys, run);
+    let out = if workers > 1 {
+        sim.run_parallel(workers)
+    } else {
+        sim.run()
+    };
+
+    if let (Some(path), Some(trace)) = (trace_path, out.trace.as_ref()) {
+        let thin = trace.thin_to(10_000);
+        let (t, v): (Vec<f64>, Vec<f64>) = thin.iter_us().unzip();
+        write_series_csv(&path, "time_us", &t, &[("power_w", v.as_slice())])
+            .map_err(|e| ArgError::BadValue {
+                flag: "trace".into(),
+                value: format!("{path}: {e}"),
+                expected: "a writable path",
+            })?;
+    }
+    if let (Some(path), Some(trace)) = (vtrace_path, out.voltage_trace.as_ref()) {
+        let thin = trace.thin_to(10_000);
+        let (t, v): (Vec<f64>, Vec<f64>) = thin.iter_us().unzip();
+        write_series_csv(&path, "time_us", &t, &[("global_volts", v.as_slice())])
+            .map_err(|e| ArgError::BadValue {
+                flag: "voltage-trace".into(),
+                value: format!("{path}: {e}"),
+                expected: "a writable path",
+            })?;
+    }
+
+    let mut t = Table::new(
+        format!("{} for {} (limit {:.0} over {})", scheme, duration, limit.budget, limit.window),
+        &["metric", "value"],
+    );
+    t.add_row(vec!["avg power".into(), format!("{:.2}", out.avg_power)]);
+    t.add_row(vec![
+        "PPE (Eq. 4)".into(),
+        format!("{:.1}%", out.ppe(limit.budget) * 100.0),
+    ]);
+    let ratio = out.max_ratio(&limit).unwrap_or(0.0);
+    t.add_row(vec![
+        format!("max power / limit ({})", limit.window),
+        format!("{ratio:.3} [{}]", classify(ratio).marker()),
+    ]);
+    t.add_row(vec![
+        "mean global voltage".into(),
+        format!("{:.3} V", out.mean_global_voltage),
+    ]);
+    for (kind, work) in &out.work {
+        t.add_row(vec![
+            format!("{} work", kind.name()),
+            format!("{work:.4e}"),
+        ]);
+    }
+    t.add_row(vec!["energy".into(), format!("{:.3} J", out.energy_j)]);
+    Ok(t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cli(s: &str) -> Result<String, ArgError> {
+        let toks: Vec<String> = s.split_whitespace().map(|t| t.to_string()).collect();
+        execute(&Args::parse(&toks).unwrap())
+    }
+
+    #[test]
+    fn basic_run_reports_metrics() {
+        let out = run_cli("--combo Low-Low --ms 2").unwrap();
+        assert!(out.contains("avg power"));
+        assert!(out.contains("PPE"));
+        assert!(out.contains("CPU work"));
+        assert!(out.contains("SHA work"));
+    }
+
+    #[test]
+    fn parallel_executor_via_flag() {
+        let out = run_cli("--combo Mid-Mid --ms 2 --parallel 3").unwrap();
+        assert!(out.contains("avg power"));
+    }
+
+    #[test]
+    fn unknown_flag_is_reported() {
+        let e = run_cli("--combo Hi-Hi --turbo").unwrap_err();
+        assert!(e.to_string().contains("--turbo"));
+    }
+
+    #[test]
+    fn trace_written_to_disk() {
+        let path = std::env::temp_dir().join("hcapp_cli_trace_test.csv");
+        let _ = std::fs::remove_file(&path);
+        run_cli(&format!("--combo Hi-Hi --ms 2 --trace {}", path.display())).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("time_us,power_w"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

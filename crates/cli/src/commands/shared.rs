@@ -1,0 +1,235 @@
+//! Flag decoding shared by the run-like commands.
+
+use hcapp::controller::thermal_guard::ThermalConfig;
+use hcapp::coordinator::{RunConfig, SoftwareConfig};
+use hcapp::limits::PowerLimit;
+use hcapp::scheme::ControlScheme;
+use hcapp::software::ComponentKind;
+use hcapp::system::SystemConfig;
+use hcapp_pdn::RippleSpec;
+use hcapp_sim_core::time::SimDuration;
+use hcapp_sim_core::units::Watt;
+use hcapp_workloads::benchmarks::Benchmark;
+use hcapp_workloads::combos::{combo_by_name, Combo};
+use hcapp_workloads::trace::PhaseTrace;
+
+use crate::args::{ArgError, Args};
+
+fn bad(flag: &str, value: String, expected: &'static str) -> ArgError {
+    ArgError::BadValue {
+        flag: flag.to_string(),
+        value,
+        expected,
+    }
+}
+
+/// Decode `--scheme` (`hcapp | rapl | sw | fixed[:volts] | custom:<us>`).
+pub fn scheme(args: &Args) -> Result<ControlScheme, ArgError> {
+    let s = args.string("scheme", "hcapp")?;
+    let lower = s.to_ascii_lowercase();
+    match lower.as_str() {
+        "hcapp" => Ok(ControlScheme::Hcapp),
+        "rapl" | "rapl-like" => Ok(ControlScheme::RaplLike),
+        "sw" | "sw-like" | "software" => Ok(ControlScheme::SoftwareLike),
+        "fixed" => Ok(ControlScheme::fixed_baseline()),
+        other => {
+            if let Some(v) = other.strip_prefix("fixed:") {
+                let volts: f64 = v
+                    .parse()
+                    .map_err(|_| bad("scheme", s.clone(), "fixed:<volts>"))?;
+                return Ok(ControlScheme::FixedVoltage(
+                    hcapp_sim_core::units::Volt::new(volts),
+                ));
+            }
+            if let Some(us) = other.strip_prefix("custom:") {
+                let us: u64 = us
+                    .parse()
+                    .map_err(|_| bad("scheme", s.clone(), "custom:<microseconds>"))?;
+                return Ok(ControlScheme::CustomPeriod(SimDuration::from_micros(
+                    us.max(1),
+                )));
+            }
+            Err(bad(
+                "scheme",
+                s,
+                "hcapp, rapl, sw, fixed[:volts] or custom:<us>",
+            ))
+        }
+    }
+}
+
+/// Decode `--combo` or the `--cpu`/`--gpu` pair.
+pub fn combo(args: &Args) -> Result<Combo, ArgError> {
+    let named = args.opt_string("combo")?;
+    let cpu = args.opt_string("cpu")?;
+    let gpu = args.opt_string("gpu")?;
+    match (named, cpu, gpu) {
+        (Some(name), None, None) => {
+            combo_by_name(&name).ok_or_else(|| bad("combo", name, "a Table 3 combo name"))
+        }
+        (None, Some(c), Some(g)) => {
+            let cpu = Benchmark::by_name(&c)
+                .filter(|b| b.is_cpu())
+                .ok_or_else(|| bad("cpu", c, "a CPU benchmark name"))?;
+            let gpu = Benchmark::by_name(&g)
+                .filter(|b| !b.is_cpu())
+                .ok_or_else(|| bad("gpu", g, "a GPU benchmark name"))?;
+            Ok(Combo::new("custom", cpu, gpu))
+        }
+        (None, None, None) => Ok(combo_by_name("Hi-Hi").expect("default combo")),
+        _ => Err(bad(
+            "combo",
+            "(mixed)".to_string(),
+            "either --combo NAME or both --cpu and --gpu",
+        )),
+    }
+}
+
+/// Decode the power limit flags.
+pub fn limit(args: &Args) -> Result<PowerLimit, ArgError> {
+    let budget = args.f64("budget", 100.0)?;
+    let window_us = args.u64("window-us", 20)?;
+    if budget <= 0.0 {
+        return Err(bad("budget", budget.to_string(), "a positive wattage"));
+    }
+    Ok(PowerLimit::new(
+        Watt::new(budget),
+        SimDuration::from_micros(window_us.max(1)),
+    ))
+}
+
+/// Build the system + run configs from the shared flags.
+pub fn build(args: &Args) -> Result<(SystemConfig, RunConfig, PowerLimit), ArgError> {
+    let combo = combo(args)?;
+    let scheme = scheme(args)?;
+    let limit = limit(args)?;
+    let ms = args.u64("ms", 50)?.max(1);
+    let seed = args.u64("seed", 11)?;
+
+    let mut sys = if args.switch("memory")? {
+        SystemConfig::paper_system_with_memory(combo, seed)
+    } else {
+        SystemConfig::paper_system(combo, seed)
+    };
+    // Recorded-trace overrides for the compute sides.
+    let load_trace = |flag: &str, path: &str| -> Result<std::sync::Arc<PhaseTrace>, ArgError> {
+        let csv = std::fs::read_to_string(path).map_err(|e| bad(
+            flag,
+            format!("{path}: {e}"),
+            "a readable trace CSV",
+        ))?;
+        PhaseTrace::from_csv(path.to_string(), &csv)
+            .map(std::sync::Arc::new)
+            .map_err(|e| bad(flag, format!("{path}: {e}"), "activity,mem_intensity,work_ns rows"))
+    };
+    if let Some(path) = args.opt_string("cpu-trace")? {
+        let trace = load_trace("cpu-trace", &path)?;
+        for d in &mut sys.domains {
+            if let hcapp::system::DomainSpec::Cpu { workload, .. } = d {
+                *workload = trace.clone().into();
+            }
+        }
+    }
+    if let Some(path) = args.opt_string("gpu-trace")? {
+        let trace = load_trace("gpu-trace", &path)?;
+        for d in &mut sys.domains {
+            if let hcapp::system::DomainSpec::Gpu { workload, .. } = d {
+                *workload = trace.clone().into();
+            }
+        }
+    }
+    if args.switch("adversarial-accel")? {
+        sys = sys.with_adversarial_accel();
+    }
+    match args.opt_string("ripple")?.as_deref() {
+        None => {}
+        Some("moderate") => sys.ripple = Some(RippleSpec::moderate()),
+        Some("severe") => sys.ripple = Some(RippleSpec::severe()),
+        Some(other) => {
+            return Err(bad("ripple", other.to_string(), "moderate or severe"));
+        }
+    }
+    if args.switch("thermal")? {
+        sys.thermal = Some(ThermalConfig::default_package());
+    }
+
+    let mut run = RunConfig::new(
+        SimDuration::from_millis(ms),
+        scheme,
+        limit.guardbanded_target(),
+    );
+    run.track_windows = vec![
+        limit.window,
+        SimDuration::from_micros(20),
+        SimDuration::from_millis(1),
+    ];
+    run.track_windows.dedup();
+    match args.opt_string("priority")?.as_deref() {
+        None => {}
+        Some("cpu") => run.software = SoftwareConfig::StaticPriority(ComponentKind::Cpu),
+        Some("gpu") => run.software = SoftwareConfig::StaticPriority(ComponentKind::Gpu),
+        Some("sha") => run.software = SoftwareConfig::StaticPriority(ComponentKind::Sha),
+        Some("dynamic") => run.software = SoftwareConfig::DynamicBacklog,
+        Some(other) => {
+            return Err(bad("priority", other.to_string(), "cpu, gpu, sha or dynamic"));
+        }
+    }
+    Ok((sys, run, limit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(&s.split_whitespace().map(|t| t.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn scheme_decoding() {
+        assert_eq!(scheme(&parse("--scheme hcapp")).unwrap(), ControlScheme::Hcapp);
+        assert_eq!(scheme(&parse("--scheme rapl")).unwrap(), ControlScheme::RaplLike);
+        assert_eq!(scheme(&parse("")).unwrap(), ControlScheme::Hcapp);
+        assert_eq!(
+            scheme(&parse("--scheme custom:10")).unwrap(),
+            ControlScheme::CustomPeriod(SimDuration::from_micros(10))
+        );
+        assert!(scheme(&parse("--scheme warp")).is_err());
+    }
+
+    #[test]
+    fn combo_decoding() {
+        assert_eq!(combo(&parse("--combo hi-hi")).unwrap().name, "Hi-Hi");
+        let custom = combo(&parse("--cpu ferret --gpu hotspot")).unwrap();
+        assert_eq!(custom.cpu.name(), "ferret");
+        assert_eq!(custom.gpu.name(), "hotspot");
+        // Wrong side rejected.
+        assert!(combo(&parse("--cpu bfs --gpu hotspot")).is_err());
+        // Mixing forms rejected.
+        assert!(combo(&parse("--combo Hi-Hi --cpu ferret --gpu bfs")).is_err());
+    }
+
+    #[test]
+    fn limit_decoding() {
+        let l = limit(&parse("--budget 120 --window-us 1000")).unwrap();
+        assert_eq!(l.budget.value(), 120.0);
+        assert_eq!(l.window, SimDuration::from_millis(1));
+        assert!(limit(&parse("--budget -5")).is_err());
+    }
+
+    #[test]
+    fn build_applies_toggles() {
+        let (sys, run, _) = build(&parse(
+            "--combo Low-Low --scheme rapl --ms 3 --memory --adversarial-accel --ripple severe --thermal --priority gpu",
+        ))
+        .unwrap();
+        assert_eq!(sys.domains.len(), 4, "memory domain added");
+        assert!(sys.ripple.is_some());
+        assert!(sys.thermal.is_some());
+        assert_eq!(run.scheme, ControlScheme::RaplLike);
+        assert_eq!(
+            run.software,
+            SoftwareConfig::StaticPriority(ComponentKind::Gpu)
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! `hcapp sweep` — run the Table 3 suite for one or more schemes.
+
+use hcapp::coordinator::RunConfig;
+use hcapp::parallel::run_all;
+use hcapp::scheme::ControlScheme;
+use hcapp::system::SystemConfig;
+use hcapp_metrics::suite::{ComboRow, SuiteSummary};
+use hcapp_sim_core::time::SimDuration;
+use hcapp_workloads::combos::combo_suite;
+
+use crate::args::{ArgError, Args};
+use crate::commands::shared;
+
+fn parse_schemes(list: &str) -> Result<Vec<ControlScheme>, ArgError> {
+    list.split(',')
+        .map(|tok| {
+            let args = crate::args::Args::parse(&[
+                "--scheme".to_string(),
+                tok.trim().to_string(),
+            ])
+            .expect("literal flags");
+            shared::scheme(&args)
+        })
+        .collect()
+}
+
+/// Execute `hcapp sweep`.
+pub fn execute(args: &Args) -> Result<String, ArgError> {
+    let limit = shared::limit(args)?;
+    let ms = args.u64("ms", 50)?.max(1);
+    let seed = args.u64("seed", 11)?;
+    let scheme_list = args.string("scheme", "hcapp,rapl,sw")?;
+    args.finish()?;
+    let schemes = parse_schemes(&scheme_list)?;
+
+    let combos = combo_suite();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    // Baseline first, then each requested scheme; one job pool.
+    let mut jobs = Vec::new();
+    for scheme in std::iter::once(ControlScheme::fixed_baseline()).chain(schemes.iter().copied()) {
+        for &combo in &combos {
+            jobs.push((
+                SystemConfig::paper_system(combo, seed),
+                RunConfig::new(
+                    SimDuration::from_millis(ms),
+                    scheme,
+                    limit.guardbanded_target(),
+                ),
+            ));
+        }
+    }
+    let mut outcomes = run_all(jobs, workers).into_iter();
+    let baseline: Vec<_> = combos.iter().map(|_| outcomes.next().unwrap()).collect();
+
+    let mut out = String::new();
+    for &scheme in &schemes {
+        let mut summary = SuiteSummary::new(scheme.name());
+        for (i, &combo) in combos.iter().enumerate() {
+            let o = outcomes.next().expect("one outcome per job");
+            summary.push(ComboRow {
+                combo: combo.name.to_string(),
+                max_ratio: o.max_ratio(&limit).unwrap_or(0.0),
+                ppe: o.ppe(limit.budget),
+                speedup: o.speedup_vs(&baseline[i]),
+            });
+        }
+        out.push_str(&summary.to_table().render());
+        out.push_str(&format!(
+            "viable under the limit: {}\n\n",
+            if summary.viable() { "yes" } else { "NO" }
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_renders_summaries() {
+        let toks: Vec<String> = "--scheme hcapp --ms 1"
+            .split_whitespace()
+            .map(|t| t.to_string())
+            .collect();
+        let out = execute(&Args::parse(&toks).unwrap()).unwrap();
+        assert!(out.contains("HCAPP across the Table 3 suite"));
+        assert!(out.contains("Ave."));
+        assert!(out.contains("viable under the limit"));
+    }
+
+    #[test]
+    fn scheme_list_parsing() {
+        let s = parse_schemes("hcapp, rapl,sw").unwrap();
+        assert_eq!(s.len(), 3);
+        assert!(parse_schemes("hcapp,bogus").is_err());
+    }
+}

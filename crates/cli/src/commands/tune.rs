@@ -1,0 +1,78 @@
+//! `hcapp tune` — run the §3.1 PID tuning recipe and report the sweeps.
+
+use hcapp::tuning;
+use hcapp_sim_core::report::Table;
+use hcapp_sim_core::time::SimDuration;
+use hcapp_sim_core::units::Watt;
+use hcapp_workloads::combos::combo_by_name;
+
+use crate::args::{ArgError, Args};
+
+/// Execute `hcapp tune`.
+pub fn execute(args: &Args) -> Result<String, ArgError> {
+    let ms = args.u64("ms", 20)?.max(1);
+    let seed = args.u64("seed", 3)?;
+    let target = args.f64("target", 86.0)?;
+    let combo_name = args.string("combo", "Hi-Hi")?;
+    args.finish()?;
+    let combo = combo_by_name(&combo_name).ok_or_else(|| ArgError::BadValue {
+        flag: "combo".into(),
+        value: combo_name,
+        expected: "a Table 3 combo name",
+    })?;
+
+    let report = tuning::tune(
+        combo,
+        seed,
+        Watt::new(target),
+        SimDuration::from_millis(ms),
+    );
+
+    let mut out = String::new();
+    let mut kp = Table::new(
+        "Step 1: proportional sweep (ki = 0) until instability",
+        &["kp", "avg power", "oscillation", "stable?"],
+    );
+    for s in &report.kp_sweep {
+        kp.add_row(vec![
+            format!("{:.3}", s.gain),
+            format!("{:.1} W", s.avg_power),
+            format!("{:.3}", s.oscillation),
+            if s.stable { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    out.push_str(&kp.render());
+
+    let mut ki = Table::new(
+        "Step 2: integral sweep until steady-state error closes",
+        &["ki", "avg power", "ss error", "stable?"],
+    );
+    for s in &report.ki_sweep {
+        ki.add_row(vec![
+            format!("{:.0}", s.gain),
+            format!("{:.1} W", s.avg_power),
+            format!("{:.1}%", s.steady_state_error * 100.0),
+            if s.stable { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    out.push_str(&ki.render());
+    out.push_str(&format!(
+        "\nchosen: kp={:.4} ki={:.0} kd={} (PI form, per the paper)\n",
+        report.chosen.kp, report.chosen.ki, report.chosen.kd
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tune_renders_both_sweeps() {
+        let toks: Vec<String> = "--ms 1".split_whitespace().map(|t| t.to_string()).collect();
+        let out = execute(&Args::parse(&toks).unwrap()).unwrap();
+        assert!(out.contains("Step 1"));
+        assert!(out.contains("Step 2"));
+        assert!(out.contains("chosen: kp="));
+    }
+}

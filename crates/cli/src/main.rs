@@ -1,0 +1,12 @@
+//! The `hcapp` binary: parse argv, dispatch, print.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match hcapp_cli::dispatch(&argv) {
+        Ok(output) => print!("{output}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! The domain controller (§3.2).
+//!
+//! One per chiplet. Normalizes the global voltage to the chiplet's legal
+//! range through its domain VR — "a processor may need a voltage in the
+//! range of 1 V while a specific accelerator needs the input voltage to be
+//! between 0.6 V and 0.8 V" — and applies the software priority register:
+//! the incoming global voltage is multiplied by the priority value *before*
+//! domain-specific scaling. Domains that need a constant voltage (memory)
+//! use [`DomainMode::Fixed`].
+
+use hcapp_sim_core::units::Volt;
+
+/// How a domain derives its voltage from the global voltage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DomainMode {
+    /// `V_dom = clamp(V_global · priority · scale)` — tracking domains
+    /// (CPU scale 1.0, GPU/SHA scale 0.75 in the paper system).
+    Scaled {
+        /// Ratio of the domain voltage to the global voltage.
+        scale: f64,
+    },
+    /// A constant voltage regardless of the global voltage (memory, §3.2).
+    Fixed {
+        /// The constant output voltage.
+        voltage: Volt,
+    },
+}
+
+/// Level-2 controller: global voltage → chiplet domain voltage.
+#[derive(Debug, Clone)]
+pub struct DomainController {
+    mode: DomainMode,
+    /// Legal output range of the domain VR.
+    v_min: Volt,
+    v_max: Volt,
+    /// The software priority register (§3.2). 1.0 = neutral.
+    priority: f64,
+}
+
+impl DomainController {
+    /// Create a tracking domain with the given scale and legal range.
+    pub fn scaled(scale: f64, v_min: Volt, v_max: Volt) -> Self {
+        assert!(scale > 0.0, "non-positive domain scale");
+        assert!(v_min.value() <= v_max.value(), "inverted domain range");
+        DomainController {
+            mode: DomainMode::Scaled { scale },
+            v_min,
+            v_max,
+            priority: 1.0,
+        }
+    }
+
+    /// Create a fixed-voltage domain (memory-style).
+    pub fn fixed(voltage: Volt) -> Self {
+        DomainController {
+            mode: DomainMode::Fixed { voltage },
+            v_min: voltage,
+            v_max: voltage,
+            priority: 1.0,
+        }
+    }
+
+    /// The domain's derivation mode.
+    pub fn mode(&self) -> DomainMode {
+        self.mode
+    }
+
+    /// Current priority register value.
+    pub fn priority(&self) -> f64 {
+        self.priority
+    }
+
+    /// Software interface: write the priority register. Values are clamped
+    /// to a sane `[0.5, 1.5]` band (a register implementation would have a
+    /// bounded field).
+    pub fn set_priority(&mut self, priority: f64) {
+        self.priority = priority.clamp(0.5, 1.5);
+    }
+
+    /// The domain voltage for the given (delivered) global voltage.
+    pub fn domain_voltage(&self, v_global: Volt) -> Volt {
+        match self.mode {
+            DomainMode::Scaled { scale } => {
+                Volt::new(v_global.value() * self.priority * scale).clamp(self.v_min, self.v_max)
+            }
+            DomainMode::Fixed { voltage } => voltage,
+        }
+    }
+
+    /// Legal output range.
+    pub fn range(&self) -> (Volt, Volt) {
+        (self.v_min, self.v_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcapp_sim_core::assert_close;
+
+    #[test]
+    fn scaled_tracks_global() {
+        let d = DomainController::scaled(0.75, Volt::new(0.45), Volt::new(0.98));
+        assert_close!(d.domain_voltage(Volt::new(1.0)).value(), 0.75, 1e-12);
+        assert_close!(d.domain_voltage(Volt::new(0.8)).value(), 0.60, 1e-12);
+    }
+
+    #[test]
+    fn scaled_clamps_to_legal_range() {
+        let d = DomainController::scaled(0.75, Volt::new(0.45), Volt::new(0.80));
+        // 1.3 × 0.75 = 0.975 → clamped to 0.80.
+        assert_close!(d.domain_voltage(Volt::new(1.3)).value(), 0.80, 1e-12);
+        // 0.5 × 0.75 = 0.375 → clamped to 0.45.
+        assert_close!(d.domain_voltage(Volt::new(0.5)).value(), 0.45, 1e-12);
+    }
+
+    #[test]
+    fn priority_scales_before_domain_scaling() {
+        // The paper's example: de-prioritized by 10% → global × 0.9.
+        let mut d = DomainController::scaled(1.0, Volt::new(0.6), Volt::new(1.3));
+        d.set_priority(0.9);
+        assert_close!(d.domain_voltage(Volt::new(1.0)).value(), 0.9, 1e-12);
+    }
+
+    #[test]
+    fn priority_register_is_clamped() {
+        let mut d = DomainController::scaled(1.0, Volt::new(0.6), Volt::new(1.3));
+        d.set_priority(5.0);
+        assert_close!(d.priority(), 1.5, 1e-12);
+        d.set_priority(-1.0);
+        assert_close!(d.priority(), 0.5, 1e-12);
+    }
+
+    #[test]
+    fn fixed_domain_ignores_global_and_priority() {
+        let mut d = DomainController::fixed(Volt::new(1.1));
+        d.set_priority(0.5);
+        assert_close!(d.domain_voltage(Volt::new(0.6)).value(), 1.1, 1e-12);
+        assert_close!(d.domain_voltage(Volt::new(1.3)).value(), 1.1, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive domain scale")]
+    fn zero_scale_panics() {
+        let _ = DomainController::scaled(0.0, Volt::new(0.5), Volt::new(1.0));
+    }
+}

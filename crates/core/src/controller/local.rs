@@ -1,0 +1,371 @@
+//! Local controllers (§3.3).
+//!
+//! One per locally-controllable unit (CPU core, GPU SM) or per chiplet
+//! (accelerator pass-through). Each maintains a *local voltage ratio* the
+//! unit's supply is derived from (`V_unit = V_domain · ratio`) and adjusts
+//! it from local metrics:
+//!
+//! * [`CpuIpcStaticController`] — CAPP's design (§3.3.1/§4.2): if the core's
+//!   IPC exceeds 60% of the maximum possible IPC the ratio rises by 0.05; if
+//!   it falls below 30% the ratio drops by 0.05.
+//! * [`GpuIpcDynamicController`] — GPU-CAPP's dynamic-IPC design (§3.3.2 /
+//!   §4.3): same per-SM rule, but the thresholds themselves move ±5% per
+//!   cycle to steer the *domain* voltage toward a preset target (1.05 V in
+//!   the paper's GPU scale; our GPU domain is calibrated around 0.72 V),
+//!   with a 5% dead zone. This spreads SMs into a balanced distribution of
+//!   higher and lower ratios instead of letting static thresholds go stale.
+//! * [`PassThroughController`] — §3.3.3's accelerator controller: ratio 1.0
+//!   with over/under-voltage protection only (the protection clamps live in
+//!   the component simulators).
+//! * [`AdversarialController`] — §3.3.3's thought experiment: always demands
+//!   the maximum ratio and ignores software de-prioritization; HCAPP's
+//!   global level still enforces the cap (verified by an integration test).
+
+use hcapp_sim_core::units::Volt;
+
+/// A level-3 controller for the units of one domain.
+pub trait LocalController: Send + std::fmt::Debug {
+    /// Update the per-unit ratios from the units' measured IPC fractions
+    /// and the current domain voltage. Called once per control period.
+    fn update(&mut self, ipc_fractions: &[f64], v_domain: Volt);
+
+    /// The current per-unit local voltage ratios (`ratios().len()` equals
+    /// the unit count, or 1 for chiplet-granular controllers).
+    fn ratios(&self) -> &[f64];
+
+    /// Reset to the initial state.
+    fn reset(&mut self);
+
+    /// Controller name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Bounds shared by the ratio-stepping controllers.
+const RATIO_MIN: f64 = 0.70;
+const RATIO_MAX: f64 = 1.00;
+const RATIO_STEP: f64 = 0.05;
+
+/// CAPP's static-threshold IPC controller (one ratio per core).
+#[derive(Debug, Clone)]
+pub struct CpuIpcStaticController {
+    ratios: Vec<f64>,
+    /// Raise the ratio above this IPC fraction (paper: 0.6).
+    pub up_threshold: f64,
+    /// Lower the ratio below this IPC fraction (paper: 0.3).
+    pub down_threshold: f64,
+}
+
+impl CpuIpcStaticController {
+    /// The paper's configuration: thresholds 60% / 30% of peak IPC.
+    pub fn new(units: usize) -> Self {
+        Self::with_thresholds(units, 0.6, 0.3)
+    }
+
+    /// Custom thresholds (used by the threshold ablation).
+    pub fn with_thresholds(units: usize, up: f64, down: f64) -> Self {
+        assert!(units > 0, "need at least one unit");
+        assert!(down < up, "down threshold must be below up threshold");
+        CpuIpcStaticController {
+            ratios: vec![RATIO_MAX; units],
+            up_threshold: up,
+            down_threshold: down,
+        }
+    }
+}
+
+impl LocalController for CpuIpcStaticController {
+    fn update(&mut self, ipc_fractions: &[f64], _v_domain: Volt) {
+        debug_assert_eq!(ipc_fractions.len(), self.ratios.len());
+        for (r, &ipc) in self.ratios.iter_mut().zip(ipc_fractions) {
+            if ipc > self.up_threshold {
+                *r = (*r + RATIO_STEP).min(RATIO_MAX);
+            } else if ipc < self.down_threshold {
+                *r = (*r - RATIO_STEP).max(RATIO_MIN);
+            }
+        }
+    }
+
+    fn ratios(&self) -> &[f64] {
+        &self.ratios
+    }
+
+    fn reset(&mut self) {
+        self.ratios.fill(RATIO_MAX);
+    }
+
+    fn name(&self) -> &'static str {
+        "cpu-ipc-static"
+    }
+}
+
+/// GPU-CAPP's dynamic-IPC controller (one ratio per SM, shared moving
+/// thresholds).
+#[derive(Debug, Clone)]
+pub struct GpuIpcDynamicController {
+    ratios: Vec<f64>,
+    up_threshold: f64,
+    down_threshold: f64,
+    /// The domain voltage the threshold adaptation steers toward.
+    pub target_domain_voltage: Volt,
+    /// Relative dead zone around the target (paper: 5%).
+    pub dead_zone: f64,
+    /// Relative threshold step per control cycle (paper: ±5%).
+    pub threshold_step: f64,
+}
+
+impl GpuIpcDynamicController {
+    /// The paper's configuration with a given domain voltage target.
+    pub fn new(units: usize, target_domain_voltage: Volt) -> Self {
+        assert!(units > 0, "need at least one unit");
+        GpuIpcDynamicController {
+            ratios: vec![RATIO_MAX; units],
+            up_threshold: 0.6,
+            down_threshold: 0.3,
+            target_domain_voltage,
+            dead_zone: 0.05,
+            threshold_step: 0.05,
+        }
+    }
+
+    /// The current (moving) thresholds, `(up, down)`.
+    pub fn thresholds(&self) -> (f64, f64) {
+        (self.up_threshold, self.down_threshold)
+    }
+}
+
+impl LocalController for GpuIpcDynamicController {
+    fn update(&mut self, ipc_fractions: &[f64], v_domain: Volt) {
+        debug_assert_eq!(ipc_fractions.len(), self.ratios.len());
+        // §3.3.2: when the domain voltage is below target, raise the
+        // thresholds (more SMs fail them and shed voltage, lowering power so
+        // the global controller can raise the rail); above target, lower
+        // them.
+        let target = self.target_domain_voltage.value();
+        let dv = v_domain.value();
+        if dv < target * (1.0 - self.dead_zone) {
+            self.up_threshold *= 1.0 + self.threshold_step;
+            self.down_threshold *= 1.0 + self.threshold_step;
+        } else if dv > target * (1.0 + self.dead_zone) {
+            self.up_threshold *= 1.0 - self.threshold_step;
+            self.down_threshold *= 1.0 - self.threshold_step;
+        }
+        // Keep thresholds ordered and in the meaningful (0, 1) band.
+        self.up_threshold = self.up_threshold.clamp(0.10, 0.95);
+        self.down_threshold = self.down_threshold.clamp(0.02, self.up_threshold - 0.05);
+
+        for (r, &ipc) in self.ratios.iter_mut().zip(ipc_fractions) {
+            if ipc > self.up_threshold {
+                *r = (*r + RATIO_STEP).min(RATIO_MAX);
+            } else if ipc < self.down_threshold {
+                *r = (*r - RATIO_STEP).max(RATIO_MIN);
+            }
+        }
+    }
+
+    fn ratios(&self) -> &[f64] {
+        &self.ratios
+    }
+
+    fn reset(&mut self) {
+        self.ratios.fill(RATIO_MAX);
+        self.up_threshold = 0.6;
+        self.down_threshold = 0.3;
+    }
+
+    fn name(&self) -> &'static str {
+        "gpu-ipc-dynamic"
+    }
+}
+
+/// §3.3.3's accelerator controller: fixed full ratio; over/under-voltage
+/// protection is handled by the component's own clamps.
+#[derive(Debug, Clone)]
+pub struct PassThroughController {
+    ratios: [f64; 1],
+}
+
+impl PassThroughController {
+    /// Create a pass-through controller (chiplet-granular: one ratio).
+    pub fn new() -> Self {
+        PassThroughController { ratios: [1.0] }
+    }
+}
+
+impl Default for PassThroughController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalController for PassThroughController {
+    fn update(&mut self, _ipc_fractions: &[f64], _v_domain: Volt) {}
+
+    fn ratios(&self) -> &[f64] {
+        &self.ratios
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "pass-through"
+    }
+}
+
+/// §3.3.3's adversarial design: always demands every volt available,
+/// ignoring local metrics. Functionally a pass-through pinned at the
+/// maximum ratio — the point is that HCAPP's *global* level still maintains
+/// the package limit around it.
+#[derive(Debug, Clone)]
+pub struct AdversarialController {
+    ratios: [f64; 1],
+}
+
+impl AdversarialController {
+    /// Create an adversarial controller.
+    pub fn new() -> Self {
+        AdversarialController { ratios: [RATIO_MAX] }
+    }
+}
+
+impl Default for AdversarialController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalController for AdversarialController {
+    fn update(&mut self, _ipc_fractions: &[f64], _v_domain: Volt) {
+        // Never yields, never reduces.
+        self.ratios[0] = RATIO_MAX;
+    }
+
+    fn ratios(&self) -> &[f64] {
+        &self.ratios
+    }
+
+    fn reset(&mut self) {
+        self.ratios[0] = RATIO_MAX;
+    }
+
+    fn name(&self) -> &'static str {
+        "adversarial"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcapp_sim_core::assert_close;
+
+    #[test]
+    fn cpu_static_raises_on_high_ipc() {
+        let mut c = CpuIpcStaticController::new(2);
+        // Pre-drop both ratios so a raise is observable.
+        c.update(&[0.1, 0.1], Volt::new(1.0));
+        assert_close!(c.ratios()[0], 0.95, 1e-12);
+        c.update(&[0.8, 0.1], Volt::new(1.0));
+        assert_close!(c.ratios()[0], 1.0, 1e-12); // raised (and capped)
+        assert_close!(c.ratios()[1], 0.90, 1e-12); // lowered again
+    }
+
+    #[test]
+    fn cpu_static_holds_between_thresholds() {
+        let mut c = CpuIpcStaticController::new(1);
+        c.update(&[0.45], Volt::new(1.0));
+        assert_close!(c.ratios()[0], 1.0, 1e-12);
+    }
+
+    #[test]
+    fn cpu_static_ratio_floor() {
+        let mut c = CpuIpcStaticController::new(1);
+        for _ in 0..100 {
+            c.update(&[0.0], Volt::new(1.0));
+        }
+        assert_close!(c.ratios()[0], RATIO_MIN, 1e-12);
+    }
+
+    #[test]
+    fn cpu_reset_restores_full_ratio() {
+        let mut c = CpuIpcStaticController::new(3);
+        c.update(&[0.0, 0.0, 0.0], Volt::new(1.0));
+        c.reset();
+        assert!(c.ratios().iter().all(|&r| (r - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn gpu_thresholds_rise_when_domain_voltage_low() {
+        let mut c = GpuIpcDynamicController::new(4, Volt::new(0.72));
+        let (up0, down0) = c.thresholds();
+        c.update(&[0.5; 4], Volt::new(0.60)); // well below target
+        let (up1, down1) = c.thresholds();
+        assert!(up1 > up0);
+        assert!(down1 > down0);
+    }
+
+    #[test]
+    fn gpu_thresholds_fall_when_domain_voltage_high() {
+        let mut c = GpuIpcDynamicController::new(4, Volt::new(0.72));
+        let (up0, _) = c.thresholds();
+        c.update(&[0.5; 4], Volt::new(0.85));
+        let (up1, _) = c.thresholds();
+        assert!(up1 < up0);
+    }
+
+    #[test]
+    fn gpu_thresholds_hold_in_dead_zone() {
+        let mut c = GpuIpcDynamicController::new(4, Volt::new(0.72));
+        let before = c.thresholds();
+        c.update(&[0.5; 4], Volt::new(0.72));
+        assert_eq!(c.thresholds(), before);
+    }
+
+    #[test]
+    fn gpu_thresholds_stay_ordered_under_pressure() {
+        let mut c = GpuIpcDynamicController::new(2, Volt::new(0.72));
+        for _ in 0..500 {
+            c.update(&[0.5, 0.5], Volt::new(0.50));
+        }
+        let (up, down) = c.thresholds();
+        assert!(down < up);
+        assert!(up <= 0.95);
+        for _ in 0..500 {
+            c.update(&[0.5, 0.5], Volt::new(0.95));
+        }
+        let (up, down) = c.thresholds();
+        assert!(down < up);
+        assert!(down >= 0.02);
+    }
+
+    #[test]
+    fn gpu_separates_busy_and_idle_sms() {
+        let mut c = GpuIpcDynamicController::new(2, Volt::new(0.72));
+        for _ in 0..20 {
+            c.update(&[0.9, 0.05], Volt::new(0.72));
+        }
+        assert!(c.ratios()[0] > c.ratios()[1]);
+        assert_close!(c.ratios()[1], RATIO_MIN, 1e-12);
+    }
+
+    #[test]
+    fn pass_through_is_inert() {
+        let mut c = PassThroughController::new();
+        c.update(&[0.0], Volt::new(0.3));
+        assert_eq!(c.ratios(), &[1.0]);
+        assert_eq!(c.name(), "pass-through");
+    }
+
+    #[test]
+    fn adversarial_never_yields() {
+        let mut c = AdversarialController::new();
+        for _ in 0..10 {
+            c.update(&[0.0], Volt::new(0.3));
+            assert_eq!(c.ratios(), &[RATIO_MAX]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "down threshold")]
+    fn inverted_thresholds_panic() {
+        let _ = CpuIpcStaticController::with_thresholds(1, 0.3, 0.6);
+    }
+}

@@ -1,0 +1,13 @@
+//! The three controller levels of HCAPP (§3).
+//!
+//! * [`global`] — level 1: enforce the package power target through the
+//!   global VR voltage.
+//! * [`domain`] — level 2: normalize the global voltage per chiplet and
+//!   expose the software priority interface.
+//! * [`local`] — level 3: per-core/SM voltage-ratio controllers driven by
+//!   local metrics (IPC).
+
+pub mod domain;
+pub mod global;
+pub mod local;
+pub mod thermal_guard;

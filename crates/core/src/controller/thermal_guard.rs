@@ -1,0 +1,175 @@
+//! Thermal clamping (§3.3 extension).
+//!
+//! "The local controller also monitors the component for any thermal
+//! effects using local thermal sensors. … If thermal effects did exist
+//! throughout the workload, the local controller would reduce the local
+//! voltage at the affected component to prevent failure."
+//!
+//! The paper's evaluation disables this by choosing power limits below the
+//! TDP; we implement it anyway as the documented extension. Each guarded
+//! domain carries a lumped RC thermal node fed by its own power; when the
+//! junction temperature crosses the limit, the guard derates the domain
+//! voltage proportionally to the excursion (a proportional thermal
+//! throttle), and releases the derate as the silicon cools.
+
+use hcapp_power_model::ThermalModel;
+use hcapp_sim_core::time::SimDuration;
+use hcapp_sim_core::units::Watt;
+
+/// Thermal-guard parameters for a domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalConfig {
+    /// Thermal resistance junction→ambient in K/W.
+    pub r_th: f64,
+    /// Thermal capacitance in J/K.
+    pub c_th: f64,
+    /// Ambient temperature in kelvin.
+    pub t_ambient: f64,
+    /// Junction temperature limit in kelvin.
+    pub t_limit: f64,
+    /// Voltage derate per kelvin of excursion above the limit.
+    pub derate_per_kelvin: f64,
+    /// Floor on the derate factor (never throttle below this fraction).
+    pub derate_floor: f64,
+}
+
+impl ThermalConfig {
+    /// A laptop-class package: 1.2 K/W to ambient at 320 K, limit 358 K
+    /// (85 °C), 2%/K derate.
+    pub fn default_package() -> Self {
+        ThermalConfig {
+            r_th: 1.2,
+            c_th: 5e-3,
+            t_ambient: 320.0,
+            t_limit: 358.0,
+            derate_per_kelvin: 0.02,
+            derate_floor: 0.70,
+        }
+    }
+
+    /// Validate invariants.
+    ///
+    /// # Panics
+    /// Panics on non-physical parameters.
+    pub fn validate(&self) {
+        assert!(self.r_th > 0.0 && self.c_th > 0.0, "non-positive RC");
+        assert!(self.t_limit > self.t_ambient, "limit below ambient");
+        assert!(self.derate_per_kelvin >= 0.0);
+        assert!((0.0..=1.0).contains(&self.derate_floor));
+    }
+}
+
+/// Per-domain thermal sensor + proportional throttle.
+#[derive(Debug, Clone)]
+pub struct ThermalGuard {
+    cfg: ThermalConfig,
+    node: ThermalModel,
+    derate: f64,
+}
+
+impl ThermalGuard {
+    /// Create a guard at ambient temperature.
+    pub fn new(cfg: ThermalConfig) -> Self {
+        cfg.validate();
+        ThermalGuard {
+            node: ThermalModel::new(cfg.r_th, cfg.c_th, cfg.t_ambient),
+            cfg,
+            derate: 1.0,
+        }
+    }
+
+    /// Feed one interval of domain power; returns the voltage derate factor
+    /// to apply next interval (1.0 = no throttle).
+    pub fn update(&mut self, domain_power: Watt, dt: SimDuration) -> f64 {
+        self.node.step(domain_power, dt);
+        let excess = self.node.temperature() - self.cfg.t_limit;
+        self.derate = if excess > 0.0 {
+            (1.0 - self.cfg.derate_per_kelvin * excess).max(self.cfg.derate_floor)
+        } else {
+            1.0
+        };
+        self.derate
+    }
+
+    /// Current junction temperature in kelvin.
+    pub fn temperature(&self) -> f64 {
+        self.node.temperature()
+    }
+
+    /// Current derate factor.
+    pub fn derate(&self) -> f64 {
+        self.derate
+    }
+
+    /// Whether the throttle is currently engaged.
+    pub fn throttling(&self) -> bool {
+        self.derate < 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn guard() -> ThermalGuard {
+        ThermalGuard::new(ThermalConfig::default_package())
+    }
+
+    #[test]
+    fn cool_domain_is_untouched() {
+        let mut g = guard();
+        // 20 W: steady state 320 + 24 = 344 K, below the 358 K limit.
+        for _ in 0..100_000 {
+            let d = g.update(Watt::new(20.0), SimDuration::from_micros(1));
+            assert_eq!(d, 1.0);
+        }
+        assert!(!g.throttling());
+        assert!(g.temperature() < 358.0);
+    }
+
+    #[test]
+    fn hot_domain_gets_throttled() {
+        let mut g = guard();
+        // 40 W: steady state 368 K, 10 K over the limit.
+        for _ in 0..200_000 {
+            g.update(Watt::new(40.0), SimDuration::from_micros(1));
+        }
+        assert!(g.throttling());
+        assert!(g.derate() < 1.0);
+        assert!(g.derate() >= 0.70);
+    }
+
+    #[test]
+    fn throttle_releases_after_cooling() {
+        let mut g = guard();
+        for _ in 0..200_000 {
+            g.update(Watt::new(45.0), SimDuration::from_micros(1));
+        }
+        assert!(g.throttling());
+        for _ in 0..200_000 {
+            g.update(Watt::new(5.0), SimDuration::from_micros(1));
+        }
+        assert!(!g.throttling(), "guard stuck at {:.3}", g.derate());
+    }
+
+    #[test]
+    fn derate_floor_holds() {
+        let mut g = ThermalGuard::new(ThermalConfig {
+            derate_per_kelvin: 1.0, // absurdly aggressive
+            ..ThermalConfig::default_package()
+        });
+        for _ in 0..300_000 {
+            g.update(Watt::new(60.0), SimDuration::from_micros(1));
+        }
+        assert!((g.derate() - 0.70).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "limit below ambient")]
+    fn bad_config_panics() {
+        let _ = ThermalGuard::new(ThermalConfig {
+            t_limit: 300.0,
+            ..ThermalConfig::default_package()
+        });
+    }
+}

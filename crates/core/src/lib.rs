@@ -1,0 +1,55 @@
+//! HCAPP: Heterogeneous Constant Average Power Processing.
+//!
+//! The paper's primary contribution: a decentralized, hardware-speed power
+//! capping scheme for heterogeneous 2.5D packages. Three controller levels
+//! (§3) cooperate *through the power supply network* — the global voltage is
+//! the only broadcast channel, so the design scales with chiplet count:
+//!
+//! 1. [`controller::global::GlobalController`] — a PID loop on the global VR
+//!    output with the cube-root power-error term of Eq. 1/2, enforcing the
+//!    package power target at a 1 µs period (justified by the Table 1 delay
+//!    budget in `hcapp-pdn`).
+//! 2. [`controller::domain::DomainController`] — per-chiplet voltage
+//!    normalization plus the software priority interface (a register the OS
+//!    writes; de-prioritizing a domain by 10% scales its voltage by 0.9×).
+//! 3. [`controller::local`] — per-core/SM controllers that trade local
+//!    voltage ratio against measured IPC: static thresholds for CPU cores
+//!    (CAPP), dynamic thresholds for GPU SMs (GPU-CAPP), pass-through and
+//!    adversarial variants for accelerators.
+//!
+//! [`scheme::ControlScheme`] selects between HCAPP (1 µs), RAPL-like
+//! (100 µs), software-like (10 ms) and a fixed-voltage baseline — the four
+//! systems the evaluation compares. [`system`] assembles an N-domain package
+//! (the paper's CPU+GPU+SHA system is [`system::SystemConfig::paper_system`]),
+//! [`coordinator::Simulation`] is the central simulation controller (§4.1),
+//! and [`parallel`] provides deterministic parallel execution for sweeps and
+//! many-chiplet scaling studies.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod controller;
+pub mod coordinator;
+pub mod limits;
+pub mod outcome;
+pub mod parallel;
+pub mod pid;
+pub mod scheme;
+pub mod software;
+pub mod system;
+pub mod tuning;
+
+pub use controller::domain::DomainController;
+pub use controller::global::GlobalController;
+pub use controller::local::{
+    AdversarialController, CpuIpcStaticController, GpuIpcDynamicController, LocalController,
+    PassThroughController,
+};
+pub use controller::thermal_guard::{ThermalConfig, ThermalGuard};
+pub use coordinator::{RunConfig, Simulation};
+pub use limits::PowerLimit;
+pub use outcome::RunOutcome;
+pub use pid::{PidController, PidGains};
+pub use scheme::ControlScheme;
+pub use software::{ComponentKind, SoftwarePolicy, StaticPriorityPolicy};
+pub use system::{DomainSpec, SystemConfig};

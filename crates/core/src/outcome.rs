@@ -1,0 +1,165 @@
+//! Results of one simulated run.
+//!
+//! [`RunOutcome`] carries everything the paper's metrics need: average
+//! power (→ PPE, Eq. 4), windowed maxima (→ the max-power/limit ratios of
+//! Figures 4/7), per-component work (→ the geomean speedups of Eq. 3 /
+//! Figures 5/8/10) and, optionally, the decimated power trace (→ Figures
+//! 1/2).
+
+use hcapp_sim_core::series::TimeSeries;
+use hcapp_sim_core::stats::geometric_mean;
+use hcapp_sim_core::time::SimDuration;
+use hcapp_sim_core::units::Watt;
+
+use crate::limits::PowerLimit;
+use crate::scheme::ControlScheme;
+use crate::software::ComponentKind;
+
+/// Everything measured during one run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The scheme that produced this run.
+    pub scheme: ControlScheme,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Run-average package power.
+    pub avg_power: Watt,
+    /// Total package energy in joules.
+    pub energy_j: f64,
+    /// Maximum windowed-average power per tracked window.
+    pub windowed_max: Vec<(SimDuration, Watt)>,
+    /// Work completed per domain, in the domain's own units (nominal ns for
+    /// CPU/GPU, gigabits for SHA). Order matches the system's domain list.
+    pub work: Vec<(ComponentKind, f64)>,
+    /// Mean global VR output voltage over the run.
+    pub mean_global_voltage: f64,
+    /// Package power trace (one sample per trace interval), if recorded.
+    pub trace: Option<TimeSeries>,
+    /// Global VR output voltage trace, if recorded.
+    pub voltage_trace: Option<TimeSeries>,
+}
+
+impl RunOutcome {
+    /// Provisioned Power Efficiency (Eq. 4): average power over the
+    /// provisioned budget.
+    pub fn ppe(&self, provisioned: Watt) -> f64 {
+        self.avg_power / provisioned
+    }
+
+    /// Maximum windowed power divided by the limit's budget — the Figure
+    /// 4/7 metric. `None` if the limit's window was not tracked.
+    pub fn max_ratio(&self, limit: &PowerLimit) -> Option<f64> {
+        self.windowed_max
+            .iter()
+            .find(|(w, _)| *w == limit.window)
+            .map(|(_, p)| *p / limit.budget)
+    }
+
+    /// Whether the run respects `limit` (max windowed power ≤ budget, with a
+    /// hair of numerical slack).
+    pub fn respects(&self, limit: &PowerLimit) -> Option<bool> {
+        self.max_ratio(limit).map(|r| r <= 1.0 + 1e-9)
+    }
+
+    /// Work completed by the first domain of the given kind.
+    pub fn work_for(&self, kind: ComponentKind) -> Option<f64> {
+        self.work.iter().find(|(k, _)| *k == kind).map(|(_, w)| *w)
+    }
+
+    /// Per-component speedups versus a baseline run (same combo, same
+    /// duration): ratio of work completed.
+    pub fn component_speedups(&self, baseline: &RunOutcome) -> Vec<(ComponentKind, f64)> {
+        self.work
+            .iter()
+            .zip(&baseline.work)
+            .map(|((k, w), (kb, wb))| {
+                debug_assert_eq!(k, kb, "mismatched domain order");
+                (*k, if *wb > 0.0 { w / wb } else { 1.0 })
+            })
+            .collect()
+    }
+
+    /// Eq. 3: the total speedup is the geometric mean of the component
+    /// speedups (`cbrt(S_CPU · S_GPU · S_Accel)` for the 3-domain system).
+    pub fn speedup_vs(&self, baseline: &RunOutcome) -> f64 {
+        let s: Vec<f64> = self
+            .component_speedups(baseline)
+            .into_iter()
+            .map(|(_, s)| s)
+            .collect();
+        geometric_mean(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcapp_sim_core::assert_close;
+
+    fn outcome(avg: f64, max20us: f64, work: [f64; 3]) -> RunOutcome {
+        RunOutcome {
+            scheme: ControlScheme::Hcapp,
+            duration: SimDuration::from_millis(10),
+            avg_power: Watt::new(avg),
+            energy_j: avg * 0.01,
+            windowed_max: vec![
+                (SimDuration::from_micros(20), Watt::new(max20us)),
+                (SimDuration::from_millis(1), Watt::new(max20us * 0.9)),
+            ],
+            work: vec![
+                (ComponentKind::Cpu, work[0]),
+                (ComponentKind::Gpu, work[1]),
+                (ComponentKind::Sha, work[2]),
+            ],
+            mean_global_voltage: 0.95,
+            trace: None,
+            voltage_trace: None,
+        }
+    }
+
+    #[test]
+    fn ppe_definition() {
+        let o = outcome(79.3, 99.0, [1.0, 1.0, 1.0]);
+        assert_close!(o.ppe(Watt::new(100.0)), 0.793, 1e-12);
+    }
+
+    #[test]
+    fn max_ratio_lookup() {
+        let o = outcome(80.0, 95.0, [1.0; 3]);
+        let pin = PowerLimit::package_pin();
+        assert_close!(o.max_ratio(&pin).unwrap(), 0.95, 1e-12);
+        assert_eq!(o.respects(&pin), Some(true));
+        let over = outcome(80.0, 120.0, [1.0; 3]);
+        assert_eq!(over.respects(&pin), Some(false));
+        // Untracked window → None.
+        let odd = PowerLimit::new(Watt::new(100.0), SimDuration::from_micros(7));
+        assert_eq!(o.max_ratio(&odd), None);
+    }
+
+    #[test]
+    fn eq3_geomean_speedup() {
+        let base = outcome(70.0, 90.0, [100.0, 200.0, 300.0]);
+        let fast = outcome(90.0, 99.0, [121.0, 240.0, 330.0]);
+        let s = fast.speedup_vs(&base);
+        let expect = (1.21f64 * 1.2 * 1.1).cbrt();
+        assert_close!(s, expect, 1e-12);
+        let per = fast.component_speedups(&base);
+        assert_close!(per[0].1, 1.21, 1e-12);
+        assert_close!(per[2].1, 1.10, 1e-12);
+    }
+
+    #[test]
+    fn work_lookup_by_kind() {
+        let o = outcome(70.0, 90.0, [1.0, 2.0, 3.0]);
+        assert_eq!(o.work_for(ComponentKind::Gpu), Some(2.0));
+        assert_eq!(o.work_for(ComponentKind::Sha), Some(3.0));
+    }
+
+    #[test]
+    fn zero_baseline_work_degrades_to_unity() {
+        let base = outcome(70.0, 90.0, [0.0, 1.0, 1.0]);
+        let fast = outcome(90.0, 99.0, [5.0, 1.0, 1.0]);
+        let per = fast.component_speedups(&base);
+        assert_close!(per[0].1, 1.0, 1e-12);
+    }
+}

@@ -1,0 +1,337 @@
+//! Parallel execution.
+//!
+//! Two levels of parallelism, both deterministic:
+//!
+//! 1. **Run-level** ([`run_all`]) — the experiment sweeps (8 combos × 4
+//!    schemes × limits) are embarrassingly parallel: a crossbeam work queue
+//!    feeds system/run configs to scoped worker threads; results land in
+//!    input order. This is the workhorse for regenerating the figures.
+//!
+//! 2. **Chiplet-level** ([`Simulation::run_parallel`]) — inside one run,
+//!    domains are independent within a control quantum (the global voltage
+//!    schedule is fixed at the boundary), so each worker thread owns a
+//!    subset of domains and advances them per quantum. Per-domain power
+//!    vectors are merged *in domain order*, making the result bit-identical
+//!    to the serial executor — an integration test asserts this. Worthwhile
+//!    when quanta are long (SW-like control) or the package is large (the
+//!    scaling study's 32-chiplet systems); for the 3-domain paper system at
+//!    a 1 µs quantum the channel traffic outweighs the win, which the
+//!    `scaling` bench quantifies.
+
+use std::thread;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use hcapp_sim_core::time::{SimDuration, SimTime};
+
+use crate::coordinator::{run_loop, DomainExecutor, RunConfig, Simulation};
+use crate::outcome::RunOutcome;
+use crate::software::ComponentKind;
+use crate::system::{Domain, SystemConfig};
+
+/// Run many independent simulations on `workers` threads, preserving input
+/// order in the result.
+pub fn run_all(jobs: Vec<(SystemConfig, RunConfig)>, workers: usize) -> Vec<RunOutcome> {
+    let workers = workers.max(1).min(jobs.len().max(1));
+    let (job_tx, job_rx) = unbounded::<(usize, SystemConfig, RunConfig)>();
+    let (res_tx, res_rx) = unbounded::<(usize, RunOutcome)>();
+    let n = jobs.len();
+    for (i, (sys, run)) in jobs.into_iter().enumerate() {
+        job_tx.send((i, sys, run)).expect("queue open");
+    }
+    drop(job_tx);
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            scope.spawn(move || {
+                while let Ok((i, sys, run)) = job_rx.recv() {
+                    let outcome = Simulation::new(sys, run).run();
+                    if res_tx.send((i, outcome)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        let mut slots: Vec<Option<RunOutcome>> = (0..n).map(|_| None).collect();
+        for (i, outcome) in res_rx.iter() {
+            slots[i] = Some(outcome);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("worker returned every job"))
+            .collect()
+    })
+}
+
+/// A quantum command broadcast to every domain worker.
+struct QuantumCmd {
+    /// Start time of the quantum.
+    t0: SimTime,
+    /// Global voltage per tick of the quantum.
+    v_sched: std::sync::Arc<Vec<f64>>,
+    /// Number of valid ticks in `v_sched`.
+    n: usize,
+    /// Whether local controllers update at this boundary.
+    update_local: bool,
+    /// Software priorities, one per domain (global indexing).
+    priorities: std::sync::Arc<Vec<f64>>,
+    tick: SimDuration,
+}
+
+/// One domain's reply for a quantum.
+struct QuantumReply {
+    domain_idx: usize,
+    powers: Vec<f64>,
+    work_done: f64,
+}
+
+enum WorkerMsg {
+    Quantum(QuantumCmd),
+    /// Request current work figures without advancing.
+    ReportWork,
+}
+
+/// Executor that fans domains out to persistent worker threads.
+struct PooledExecutor<'scope> {
+    cmd_txs: Vec<Sender<WorkerMsg>>,
+    reply_rx: Receiver<QuantumReply>,
+    kinds: Vec<ComponentKind>,
+    nominal_rates: Vec<f64>,
+    last_work: Vec<f64>,
+    n_domains: usize,
+    _marker: std::marker::PhantomData<&'scope ()>,
+}
+
+impl DomainExecutor for PooledExecutor<'_> {
+    fn kinds(&self) -> Vec<ComponentKind> {
+        self.kinds.clone()
+    }
+
+    fn nominal_rates(&self) -> Vec<f64> {
+        self.nominal_rates.clone()
+    }
+
+    fn work_done(&mut self) -> Vec<f64> {
+        for tx in &self.cmd_txs {
+            tx.send(WorkerMsg::ReportWork).expect("worker alive");
+        }
+        for _ in 0..self.n_domains {
+            let r = self.reply_rx.recv().expect("worker alive");
+            self.last_work[r.domain_idx] = r.work_done;
+        }
+        self.last_work.clone()
+    }
+
+    fn run_quantum(
+        &mut self,
+        t0: SimTime,
+        v_sched: &[f64],
+        update_local: bool,
+        priorities: &[f64],
+        tick: SimDuration,
+        power_acc: &mut [f64],
+    ) {
+        let v = std::sync::Arc::new(v_sched.to_vec());
+        let p = std::sync::Arc::new(priorities.to_vec());
+        for tx in &self.cmd_txs {
+            tx.send(WorkerMsg::Quantum(QuantumCmd {
+                t0,
+                v_sched: v.clone(),
+                n: v_sched.len(),
+                update_local,
+                priorities: p.clone(),
+                tick,
+            }))
+            .expect("worker alive");
+        }
+        // Collect one reply per domain, then merge in domain order so the
+        // floating-point sums match the serial executor exactly.
+        let mut replies: Vec<Option<QuantumReply>> = (0..self.n_domains).map(|_| None).collect();
+        for _ in 0..self.n_domains {
+            let r = self.reply_rx.recv().expect("worker alive");
+            self.last_work[r.domain_idx] = r.work_done;
+            let idx = r.domain_idx;
+            replies[idx] = Some(r);
+        }
+        for r in replies.into_iter().flatten() {
+            for (acc, p) in power_acc.iter_mut().zip(&r.powers) {
+                *acc += p;
+            }
+        }
+    }
+}
+
+impl Simulation {
+    /// Run to completion with the chiplet-parallel executor on `workers`
+    /// threads. Produces results bit-identical to [`Simulation::run`].
+    pub fn run_parallel(self, workers: usize) -> RunOutcome {
+        let Simulation {
+            sys,
+            run,
+            domains,
+            global_ctl,
+            vr,
+            sensor,
+            policy,
+        } = self;
+
+        let n_domains = domains.len();
+        let workers = workers.max(1).min(n_domains);
+        let kinds: Vec<ComponentKind> = domains.iter().map(|d| d.kind).collect();
+        let nominal_rates: Vec<f64> = domains.iter().map(|d| d.nominal_rate).collect();
+        let initial_work: Vec<f64> = domains.iter().map(|d| d.sim.work_done()).collect();
+
+        // Partition domains round-robin so heterogeneous chiplets spread
+        // across workers.
+        let mut partitions: Vec<Vec<(usize, Domain)>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, d) in domains.into_iter().enumerate() {
+            partitions[i % workers].push((i, d));
+        }
+
+        thread::scope(|scope| {
+            let (reply_tx, reply_rx) = unbounded::<QuantumReply>();
+            let mut cmd_txs = Vec::with_capacity(workers);
+            for part in partitions {
+                let (cmd_tx, cmd_rx) = unbounded::<WorkerMsg>();
+                cmd_txs.push(cmd_tx);
+                let reply_tx = reply_tx.clone();
+                scope.spawn(move || {
+                    let mut part = part;
+                    while let Ok(msg) = cmd_rx.recv() {
+                        match msg {
+                            WorkerMsg::Quantum(cmd) => {
+                                for (idx, d) in part.iter_mut() {
+                                    d.ctl.set_priority(cmd.priorities[*idx]);
+                                    let mut powers = vec![0.0f64; cmd.n];
+                                    d.run_quantum(
+                                        cmd.t0,
+                                        &cmd.v_sched[..cmd.n],
+                                        cmd.update_local,
+                                        cmd.tick,
+                                        &mut powers,
+                                    );
+                                    if reply_tx
+                                        .send(QuantumReply {
+                                            domain_idx: *idx,
+                                            powers,
+                                            work_done: d.sim.work_done(),
+                                        })
+                                        .is_err()
+                                    {
+                                        return;
+                                    }
+                                }
+                            }
+                            WorkerMsg::ReportWork => {
+                                for (idx, d) in part.iter() {
+                                    if reply_tx
+                                        .send(QuantumReply {
+                                            domain_idx: *idx,
+                                            powers: Vec::new(),
+                                            work_done: d.sim.work_done(),
+                                        })
+                                        .is_err()
+                                    {
+                                        return;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            drop(reply_tx);
+
+            let executor = PooledExecutor {
+                cmd_txs,
+                reply_rx,
+                kinds,
+                nominal_rates,
+                last_work: initial_work,
+                n_domains,
+                _marker: std::marker::PhantomData,
+            };
+            let outcome = run_loop(sys, run, global_ctl, vr, sensor, policy, executor);
+            // Workers exit when their command channels drop with the
+            // executor at the end of run_loop.
+            outcome
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::limits::PowerLimit;
+    use crate::scheme::ControlScheme;
+    
+    use hcapp_workloads::combos::combo_suite;
+
+    fn job(seed: u64) -> (SystemConfig, RunConfig) {
+        let sys = SystemConfig::paper_system(combo_suite()[4], seed); // Hi-Low
+        let target = PowerLimit::package_pin().guardbanded_target();
+        let run = RunConfig::new(
+            SimDuration::from_millis(2),
+            ControlScheme::Hcapp,
+            target,
+        );
+        (sys, run)
+    }
+
+    #[test]
+    fn run_all_preserves_order_and_determinism() {
+        let jobs: Vec<_> = (0..4).map(job).collect();
+        let par = run_all(jobs.clone(), 4);
+        let ser: Vec<RunOutcome> = jobs
+            .into_iter()
+            .map(|(s, r)| Simulation::new(s, r).run())
+            .collect();
+        assert_eq!(par.len(), ser.len());
+        for (p, s) in par.iter().zip(&ser) {
+            assert_eq!(p.avg_power, s.avg_power);
+            assert_eq!(p.work, s.work);
+        }
+    }
+
+    #[test]
+    fn run_all_with_single_worker() {
+        let out = run_all(vec![job(9)], 1);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].avg_power.value() > 0.0);
+    }
+
+    #[test]
+    fn chiplet_parallel_matches_serial_bitwise() {
+        let (sys, run) = job(13);
+        let ser = Simulation::new(sys.clone(), run.clone()).run();
+        let par = Simulation::new(sys, run).run_parallel(3);
+        assert_eq!(ser.avg_power, par.avg_power, "avg power differs");
+        assert_eq!(ser.energy_j, par.energy_j, "energy differs");
+        assert_eq!(ser.work, par.work, "work differs");
+        assert_eq!(ser.windowed_max, par.windowed_max, "windowed max differs");
+        assert_eq!(
+            ser.mean_global_voltage, par.mean_global_voltage,
+            "mean voltage differs"
+        );
+    }
+
+    #[test]
+    fn chiplet_parallel_with_more_workers_than_domains() {
+        let (sys, run) = job(17);
+        let out = Simulation::new(sys, run).run_parallel(16);
+        assert!(out.avg_power.value() > 0.0);
+    }
+
+    #[test]
+    fn chiplet_parallel_with_software_policy() {
+        let (sys, run) = job(21);
+        let run = run.with_software(crate::coordinator::SoftwareConfig::StaticPriority(
+            ComponentKind::Cpu,
+        ));
+        let ser = Simulation::new(sys.clone(), run.clone()).run();
+        let par = Simulation::new(sys, run).run_parallel(2);
+        assert_eq!(ser.work, par.work);
+    }
+}

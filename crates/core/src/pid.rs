@@ -1,0 +1,392 @@
+//! PID controller with feed-forward (Eq. 2).
+//!
+//! `V_next = V_offset + K_P·V_err + K_I·∫V_err dt + K_D·dV_err/dt`
+//!
+//! The paper uses the common feed-forward variant: `V_offset` is an open-
+//! loop term "set to approximately the average voltage expected throughout
+//! execution" (§3.1). The integral uses continuous-time units (per second),
+//! so the same gains behave consistently across the 1 µs / 100 µs / 10 ms
+//! control periods of the three schemes — exactly what the paper does when
+//! it reuses HCAPP's constants for the RAPL-like and software-like variants.
+//! Anti-windup clamps the integral so a long saturation (e.g. an idle
+//! package pinned at the voltage ceiling) doesn't poison later transients.
+
+use hcapp_sim_core::time::SimDuration;
+
+/// Gains and limits for a [`PidController`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PidGains {
+    /// Proportional gain (volts per unit error).
+    pub kp: f64,
+    /// Integral gain (volts per unit-error-second).
+    pub ki: f64,
+    /// Derivative gain (volt-seconds per unit error). The paper finds the
+    /// derivative term "generally unneeded" (§3.1) — the tuned default is a
+    /// PI controller.
+    pub kd: f64,
+    /// Feed-forward output offset (volts).
+    pub offset: f64,
+    /// Output clamp range (volts).
+    pub out_min: f64,
+    /// Output clamp upper bound (volts).
+    pub out_max: f64,
+    /// Anti-windup clamp on the integral *contribution* (volts).
+    pub integral_limit: f64,
+    /// Overshoot protection: multiplier on `kp` while the error is negative
+    /// (power above target). Hardware cappers react asymmetrically — cutting
+    /// an over-budget spike is urgent, using spare budget is not. 1.0
+    /// disables the boost.
+    pub overshoot_kp_boost: f64,
+    /// Overshoot protection: per-period decay applied to the integral while
+    /// the error is negative, draining the budget headroom accumulated
+    /// during quiet phases (a conditional-integration anti-windup variant).
+    /// 1.0 disables the decay.
+    pub overshoot_integral_decay: f64,
+    /// Largest change in the output per control action, in volts. Real
+    /// controllers walk an operating-point ladder (P-states, VID steps)
+    /// rather than jumping rail-to-rail in one command; this is what makes a
+    /// slow controller *lag* the program phases instead of slamming between
+    /// extremes. `f64::INFINITY` disables the limit.
+    pub max_step: f64,
+    /// Overshoot protection trigger, in error units (cube-root watts for
+    /// the global controller): protection engages only when the error is
+    /// below `-overshoot_deadband`, so ordinary regulation noise around the
+    /// target keeps symmetric gains and only genuine spikes get the
+    /// emergency response.
+    pub overshoot_deadband: f64,
+}
+
+impl PidGains {
+    /// The tuned constants for the paper system (see [`crate::tuning`] for
+    /// the procedure that produced them). PI form, per §3.1.
+    pub fn paper_default() -> Self {
+        PidGains {
+            kp: 0.012,
+            ki: 900.0,
+            kd: 0.0,
+            offset: 0.95,
+            out_min: 0.60,
+            out_max: 1.30,
+            integral_limit: 0.40,
+            max_step: 0.05,
+            overshoot_kp_boost: 4.0,
+            overshoot_integral_decay: 0.80,
+            overshoot_deadband: 1.6,
+        }
+    }
+
+    /// Validate invariants.
+    ///
+    /// # Panics
+    /// Panics on inverted output range or negative limits.
+    pub fn validate(&self) {
+        assert!(self.out_min <= self.out_max, "inverted output range");
+        assert!(self.integral_limit >= 0.0, "negative integral limit");
+        assert!(self.overshoot_kp_boost >= 1.0, "boost must be >= 1");
+        assert!(
+            self.overshoot_integral_decay > 0.0 && self.overshoot_integral_decay <= 1.0,
+            "decay must be in (0, 1]"
+        );
+        assert!(self.overshoot_deadband >= 0.0, "negative deadband");
+        assert!(self.max_step > 0.0, "non-positive max step");
+    }
+}
+
+/// Discrete PID controller state.
+///
+/// ```
+/// use hcapp::pid::{PidController, PidGains};
+/// use hcapp_sim_core::time::SimDuration;
+///
+/// let mut pid = PidController::new(PidGains::paper_default());
+/// // Power below target (positive error) drives the voltage above the
+/// // feed-forward offset; above target drives it below.
+/// let up = pid.update(2.0, SimDuration::from_micros(1));
+/// assert!(up > 0.95);
+/// pid.reset();
+/// let down = pid.update(-2.0, SimDuration::from_micros(1));
+/// assert!(down < 0.95);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PidController {
+    gains: PidGains,
+    /// Integral of error over time (unit-error-seconds).
+    integral: f64,
+    prev_error: Option<f64>,
+    prev_output: Option<f64>,
+}
+
+impl PidController {
+    /// Create a controller with the given gains.
+    pub fn new(gains: PidGains) -> Self {
+        gains.validate();
+        PidController {
+            gains,
+            integral: 0.0,
+            prev_error: None,
+            prev_output: None,
+        }
+    }
+
+    /// The configured gains.
+    pub fn gains(&self) -> &PidGains {
+        &self.gains
+    }
+
+    /// Advance one control period with the given error; returns the clamped
+    /// output.
+    pub fn update(&mut self, error: f64, dt: SimDuration) -> f64 {
+        let dt_s = dt.as_secs_f64();
+        // Overshoot protection: while clearly over budget, drain the
+        // headroom the integral accumulated during quiet phases instead of
+        // letting it hold the voltage up through a power spike.
+        let overshooting = error < -self.gains.overshoot_deadband;
+        if overshooting && self.gains.overshoot_integral_decay < 1.0 {
+            self.integral *= self.gains.overshoot_integral_decay;
+        }
+        self.integral += error * dt_s;
+        // Anti-windup: clamp the integral so its contribution stays within
+        // ±integral_limit volts.
+        if self.gains.ki != 0.0 {
+            let max_int = self.gains.integral_limit / self.gains.ki.abs();
+            self.integral = self.integral.clamp(-max_int, max_int);
+        }
+        let derivative = match self.prev_error {
+            Some(prev) if dt_s > 0.0 => (error - prev) / dt_s,
+            _ => 0.0,
+        };
+        self.prev_error = Some(error);
+        let kp = if overshooting {
+            self.gains.kp * self.gains.overshoot_kp_boost
+        } else {
+            self.gains.kp
+        };
+        let mut out = self.gains.offset
+            + kp * error
+            + self.gains.ki * self.integral
+            + self.gains.kd * derivative;
+        // The ladder starts from the feed-forward point: the first action is
+        // as step-limited as every later one.
+        let prev = self.prev_output.unwrap_or(self.gains.offset);
+        out = out.clamp(prev - self.gains.max_step, prev + self.gains.max_step);
+        let out = out.clamp(self.gains.out_min, self.gains.out_max);
+        self.prev_output = Some(out);
+        out
+    }
+
+    /// Reset dynamic state (integral and derivative history).
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+        self.prev_error = None;
+        self.prev_output = None;
+    }
+
+    /// Current integral contribution in volts (for diagnostics/tests).
+    pub fn integral_contribution(&self) -> f64 {
+        self.gains.ki * self.integral
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcapp_sim_core::assert_close;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    fn gains() -> PidGains {
+        PidGains {
+            kp: 0.1,
+            ki: 1000.0,
+            kd: 0.0,
+            offset: 1.0,
+            out_min: 0.5,
+            out_max: 1.5,
+            integral_limit: 0.3,
+            max_step: f64::INFINITY,
+            overshoot_kp_boost: 1.0,
+            overshoot_integral_decay: 1.0,
+            overshoot_deadband: 0.0,
+        }
+    }
+
+    #[test]
+    fn step_limit_walks_the_ladder() {
+        let g = PidGains {
+            ki: 0.0,
+            max_step: 0.1,
+            ..gains()
+        };
+        let mut pid = PidController::new(g);
+        // Every action — including the first, anchored at the offset —
+        // moves at most 0.1 V along the ladder.
+        let first = pid.update(100.0, us(1));
+        assert_close!(first, 1.1, 1e-12);
+        let second = pid.update(100.0, us(1));
+        assert_close!(second, 1.2, 1e-12);
+        let down = pid.update(-100.0, us(1));
+        assert_close!(down, 1.1, 1e-12);
+    }
+
+    #[test]
+    fn overshoot_boost_asymmetry() {
+        let g = PidGains {
+            ki: 0.0,
+            overshoot_kp_boost: 4.0,
+            ..gains()
+        };
+        let mut pid = PidController::new(g);
+        let up = pid.update(1.0, us(1)) - 1.0;
+        let down = 1.0 - pid.update(-1.0, us(1));
+        assert_close!(down / up, 4.0, 1e-9);
+    }
+
+    #[test]
+    fn overshoot_decay_drains_integral() {
+        let g = PidGains {
+            kp: 0.0,
+            overshoot_integral_decay: 0.5,
+            ..gains()
+        };
+        let mut pid = PidController::new(g);
+        for _ in 0..200 {
+            pid.update(1.0, us(1));
+        }
+        let wound = pid.integral_contribution();
+        assert!(wound > 0.1);
+        // A handful of over-budget periods drains it geometrically.
+        for _ in 0..10 {
+            pid.update(-0.1, us(1));
+        }
+        assert!(
+            pid.integral_contribution() < wound * 0.01,
+            "integral should drain fast on overshoot"
+        );
+    }
+
+    #[test]
+    fn zero_error_outputs_offset() {
+        let mut pid = PidController::new(gains());
+        assert_close!(pid.update(0.0, us(1)), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn proportional_action() {
+        let mut pid = PidController::new(PidGains {
+            ki: 0.0,
+            ..gains()
+        });
+        // offset + kp*err = 1.0 + 0.1*2 = 1.2
+        assert_close!(pid.update(2.0, us(1)), 1.2, 1e-12);
+        assert_close!(pid.update(-2.0, us(1)), 0.8, 1e-12);
+    }
+
+    #[test]
+    fn integral_accumulates() {
+        let mut pid = PidController::new(PidGains {
+            kp: 0.0,
+            ..gains()
+        });
+        // 1000 µs of error 1 → integral = 1e-3, contribution = 1.0 … but
+        // anti-windup clamps at 0.3.
+        let mut out = 0.0;
+        for _ in 0..1000 {
+            out = pid.update(1.0, us(1));
+        }
+        assert_close!(pid.integral_contribution(), 0.3, 1e-9);
+        assert_close!(out, 1.3, 1e-9);
+    }
+
+    #[test]
+    fn integral_recovers_after_windup() {
+        let mut pid = PidController::new(PidGains {
+            kp: 0.0,
+            ..gains()
+        });
+        for _ in 0..10_000 {
+            pid.update(5.0, us(1));
+        }
+        // Reverse error: contribution falls immediately because the integral
+        // was clamped, not left to grow unbounded.
+        let before = pid.integral_contribution();
+        for _ in 0..300 {
+            pid.update(-5.0, us(1));
+        }
+        assert!(pid.integral_contribution() < before);
+    }
+
+    #[test]
+    fn derivative_action() {
+        let mut pid = PidController::new(PidGains {
+            kp: 0.0,
+            ki: 0.0,
+            kd: 1e-6,
+            ..gains()
+        });
+        pid.update(0.0, us(1));
+        // Error jumps 0 → 1 over 1 µs: derivative = 1e6, kd*deriv = 1.
+        let out = pid.update(1.0, us(1));
+        assert_close!(out, 1.5, 1e-9); // clamped at out_max
+    }
+
+    #[test]
+    fn output_clamped() {
+        let mut pid = PidController::new(gains());
+        assert_close!(pid.update(100.0, us(1)), 1.5, 1e-12);
+        let mut pid = PidController::new(gains());
+        assert_close!(pid.update(-100.0, us(1)), 0.5, 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut pid = PidController::new(gains());
+        for _ in 0..100 {
+            pid.update(3.0, us(10));
+        }
+        pid.reset();
+        assert_close!(pid.integral_contribution(), 0.0, 1e-12);
+        assert_close!(pid.update(0.0, us(1)), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn time_scaled_integral_is_period_consistent() {
+        // Same wall-clock error history through 1 µs vs 100 µs periods
+        // accumulates the same integral.
+        let g = PidGains {
+            kp: 0.0,
+            integral_limit: 10.0,
+            ..gains()
+        };
+        let mut fast = PidController::new(g);
+        let mut slow = PidController::new(g);
+        for _ in 0..1000 {
+            fast.update(0.5, us(1));
+        }
+        for _ in 0..10 {
+            slow.update(0.5, us(100));
+        }
+        assert_close!(
+            fast.integral_contribution(),
+            slow.integral_contribution(),
+            1e-9
+        );
+    }
+
+    #[test]
+    fn paper_default_validates() {
+        PidGains::paper_default().validate();
+        assert_eq!(PidGains::paper_default().kd, 0.0, "paper uses PI form");
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn bad_gains_panic() {
+        let _ = PidController::new(PidGains {
+            out_min: 2.0,
+            out_max: 1.0,
+            ..gains()
+        });
+    }
+}

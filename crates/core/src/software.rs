@@ -1,0 +1,223 @@
+//! The software control interface (§3.2, §5.3, §6).
+//!
+//! The domain controller exposes a per-domain *priority register* the
+//! operating system can write: the incoming global voltage is multiplied by
+//! the priority value before domain-specific scaling, so "when a domain is
+//! de-prioritized by 10%, the domain voltage controller multiplies the
+//! global voltage by 0.9×". The power freed by de-prioritized domains raises
+//! the global voltage (the global controller sees spare budget), which the
+//! prioritized domain receives in full — that is the entire §5.3 mechanism.
+//!
+//! Policies:
+//! * [`NoPolicy`] — hardware-only HCAPP (priorities stay 1.0).
+//! * [`StaticPriorityPolicy`] — the paper's §5.3 proof of concept: one
+//!   component prioritized for the whole run by de-prioritizing the others.
+//! * [`DynamicBacklogPolicy`] — the §6 future-work extension: periodically
+//!   re-prioritize whichever component is making the least relative
+//!   progress.
+
+/// Which component a priority targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComponentKind {
+    /// The CPU chiplet.
+    Cpu,
+    /// The GPU chiplet.
+    Gpu,
+    /// The SHA accelerator chiplet.
+    Sha,
+    /// A fixed-voltage memory stack (§3.2). Not a priority target — its
+    /// domain ignores the global voltage, so it is excluded from
+    /// [`ComponentKind::ALL`] (the compute components Eq. 3 covers).
+    Memory,
+}
+
+impl ComponentKind {
+    /// The paper system's three *compute* components — the priority targets
+    /// of §5.3 and the factors of Eq. 3.
+    pub const ALL: [ComponentKind; 3] = [ComponentKind::Cpu, ComponentKind::Gpu, ComponentKind::Sha];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ComponentKind::Cpu => "CPU",
+            ComponentKind::Gpu => "GPU",
+            ComponentKind::Sha => "SHA",
+            ComponentKind::Memory => "MEM",
+        }
+    }
+}
+
+/// A view of per-domain progress the software controller can read
+/// (normalized work rates since the last policy invocation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DomainProgress {
+    /// Which component this is.
+    pub kind: ComponentKind,
+    /// Work completed since the last policy call, normalized to nominal
+    /// full-speed progress (1.0 = nominal rate).
+    pub relative_rate: f64,
+}
+
+/// A software power-control policy: maps progress observations to priority
+/// register writes.
+pub trait SoftwarePolicy: Send {
+    /// Called once per software control interval with the per-domain
+    /// progress; writes new priorities (one per domain, same order).
+    fn update(&mut self, progress: &[DomainProgress], priorities: &mut [f64]);
+
+    /// How often the policy runs, in global control periods (software acts
+    /// much more slowly than the hardware loop).
+    fn interval_periods(&self) -> u64 {
+        1000
+    }
+
+    /// Human-readable policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Hardware-only operation: priorities stay at 1.0.
+#[derive(Debug, Clone, Default)]
+pub struct NoPolicy;
+
+impl SoftwarePolicy for NoPolicy {
+    fn update(&mut self, _progress: &[DomainProgress], priorities: &mut [f64]) {
+        priorities.fill(1.0);
+    }
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// §5.3's static priority: the target keeps priority 1.0, every other domain
+/// is de-prioritized by a fixed fraction (10% in the paper).
+#[derive(Debug, Clone)]
+pub struct StaticPriorityPolicy {
+    /// The prioritized component.
+    pub target: ComponentKind,
+    /// Priority applied to the non-target domains (paper: 0.9).
+    pub others: f64,
+}
+
+impl StaticPriorityPolicy {
+    /// The paper's configuration: de-prioritize the others by 10%.
+    pub fn paper(target: ComponentKind) -> Self {
+        StaticPriorityPolicy {
+            target,
+            others: 0.9,
+        }
+    }
+}
+
+impl SoftwarePolicy for StaticPriorityPolicy {
+    fn update(&mut self, progress: &[DomainProgress], priorities: &mut [f64]) {
+        for (i, p) in progress.iter().enumerate() {
+            priorities[i] = if p.kind == self.target { 1.0 } else { self.others };
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "static-priority"
+    }
+}
+
+/// §6 future-work extension: periodically boost whichever domain has made
+/// the least relative progress (proactive re-balancing).
+#[derive(Debug, Clone)]
+pub struct DynamicBacklogPolicy {
+    /// De-prioritization applied to the domains not being boosted.
+    pub others: f64,
+    /// Dead band: only re-prioritize when the slowest domain's rate is below
+    /// `dead_band` × the fastest domain's rate.
+    pub dead_band: f64,
+}
+
+impl Default for DynamicBacklogPolicy {
+    fn default() -> Self {
+        DynamicBacklogPolicy {
+            others: 0.92,
+            dead_band: 0.8,
+        }
+    }
+}
+
+impl SoftwarePolicy for DynamicBacklogPolicy {
+    fn update(&mut self, progress: &[DomainProgress], priorities: &mut [f64]) {
+        let Some((slowest, s)) = progress
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.relative_rate.total_cmp(&b.1.relative_rate))
+        else {
+            return;
+        };
+        let fastest = progress
+            .iter()
+            .map(|p| p.relative_rate)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if s.relative_rate < self.dead_band * fastest {
+            for (i, p) in priorities.iter_mut().enumerate() {
+                *p = if i == slowest { 1.0 } else { self.others };
+            }
+        } else {
+            priorities.fill(1.0);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "dynamic-backlog"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn progress(rates: [f64; 3]) -> Vec<DomainProgress> {
+        ComponentKind::ALL
+            .iter()
+            .zip(rates)
+            .map(|(&kind, relative_rate)| DomainProgress {
+                kind,
+                relative_rate,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn no_policy_keeps_unity() {
+        let mut p = [0.5, 0.5, 0.5];
+        NoPolicy.update(&progress([1.0, 1.0, 1.0]), &mut p);
+        assert_eq!(p, [1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn static_priority_deprioritizes_others() {
+        let mut policy = StaticPriorityPolicy::paper(ComponentKind::Gpu);
+        let mut p = [1.0, 1.0, 1.0];
+        policy.update(&progress([1.0, 1.0, 1.0]), &mut p);
+        assert_eq!(p, [0.9, 1.0, 0.9]);
+    }
+
+    #[test]
+    fn dynamic_policy_boosts_laggard() {
+        let mut policy = DynamicBacklogPolicy::default();
+        let mut p = [1.0, 1.0, 1.0];
+        policy.update(&progress([1.0, 0.4, 0.9]), &mut p);
+        assert_eq!(p[1], 1.0);
+        assert!(p[0] < 1.0 && p[2] < 1.0);
+    }
+
+    #[test]
+    fn dynamic_policy_idles_in_dead_band() {
+        let mut policy = DynamicBacklogPolicy::default();
+        let mut p = [0.5, 0.5, 0.5];
+        policy.update(&progress([1.0, 0.95, 0.9]), &mut p);
+        assert_eq!(p, [1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn component_names() {
+        assert_eq!(ComponentKind::Cpu.name(), "CPU");
+        assert_eq!(ComponentKind::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the controller hierarchy.
+
+use hcapp::controller::domain::DomainController;
+use hcapp::controller::global::GlobalController;
+use hcapp::controller::local::{
+    CpuIpcStaticController, GpuIpcDynamicController, LocalController,
+};
+use hcapp::pid::{PidController, PidGains};
+use hcapp_sim_core::time::SimDuration;
+use hcapp_sim_core::units::{Volt, Watt};
+use proptest::prelude::*;
+
+fn arb_gains() -> impl Strategy<Value = PidGains> {
+    (
+        0.001f64..0.1,   // kp
+        0.0f64..5_000.0, // ki
+        0.5f64..1.2,     // offset
+        0.01f64..0.5,    // integral limit
+        1.0f64..8.0,     // boost
+        0.5f64..1.0,     // decay
+        0.0f64..3.0,     // deadband
+        0.01f64..0.2,    // max step
+    )
+        .prop_map(|(kp, ki, offset, il, boost, decay, dead, step)| PidGains {
+            kp,
+            ki,
+            kd: 0.0,
+            offset,
+            out_min: 0.6,
+            out_max: 1.3,
+            integral_limit: il,
+            max_step: step,
+            overshoot_kp_boost: boost,
+            overshoot_integral_decay: decay,
+            overshoot_deadband: dead,
+        })
+}
+
+proptest! {
+    /// The PID output is always within its clamp range, for any error
+    /// sequence and any sane gain set.
+    #[test]
+    fn pid_output_always_clamped(gains in arb_gains(),
+                                 errors in prop::collection::vec(-50.0f64..50.0, 1..300)) {
+        let mut pid = PidController::new(gains);
+        for e in errors {
+            let out = pid.update(e, SimDuration::from_micros(1));
+            prop_assert!((gains.out_min..=gains.out_max).contains(&out),
+                "output {out} escaped [{}, {}]", gains.out_min, gains.out_max);
+            prop_assert!(out.is_finite());
+        }
+    }
+
+    /// Consecutive outputs never differ by more than the step limit.
+    #[test]
+    fn pid_respects_step_limit(gains in arb_gains(),
+                               errors in prop::collection::vec(-50.0f64..50.0, 2..300)) {
+        let mut pid = PidController::new(gains);
+        let mut prev = None;
+        for e in errors {
+            let out = pid.update(e, SimDuration::from_micros(1));
+            if let Some(p) = prev {
+                let delta: f64 = out - p;
+                prop_assert!(delta.abs() <= gains.max_step + 1e-12,
+                    "step {delta} exceeds limit {}", gains.max_step);
+            }
+            prev = Some(out);
+        }
+    }
+
+    /// The global controller's voltage error has the sign of the power
+    /// error and is monotone in it.
+    #[test]
+    fn global_error_sign_and_monotonicity(target in 50.0f64..120.0,
+                                          p1 in 0.0f64..200.0, p2 in 0.0f64..200.0) {
+        let ctl = GlobalController::new(PidGains::paper_default(), Watt::new(target));
+        let e1 = ctl.voltage_error(Watt::new(p1));
+        let e2 = ctl.voltage_error(Watt::new(p2));
+        prop_assert_eq!(e1 > 0.0, p1 < target);
+        if p1 < p2 {
+            prop_assert!(e1 >= e2);
+        }
+    }
+
+    /// CPU local ratios always stay in [0.7, 1.0] and never change by more
+    /// than one step per update.
+    #[test]
+    fn cpu_local_ratio_invariants(ipcs in prop::collection::vec(
+        prop::collection::vec(0.0f64..1.0, 4), 1..100)) {
+        let mut c = CpuIpcStaticController::new(4);
+        let mut prev: Vec<f64> = c.ratios().to_vec();
+        for frame in ipcs {
+            c.update(&frame, Volt::new(1.0));
+            for (r, p) in c.ratios().iter().zip(&prev) {
+                prop_assert!((0.7..=1.0).contains(r), "ratio {r} out of band");
+                prop_assert!((r - p).abs() <= 0.05 + 1e-12, "jumped {} -> {}", p, r);
+            }
+            prev = c.ratios().to_vec();
+        }
+    }
+
+    /// GPU dynamic thresholds always stay ordered (down < up) and inside
+    /// their clamps under any voltage/ipc history.
+    #[test]
+    fn gpu_thresholds_always_ordered(volts in prop::collection::vec(0.4f64..1.0, 1..200),
+                                     ipc in 0.0f64..1.0) {
+        let mut g = GpuIpcDynamicController::new(3, Volt::new(0.72));
+        let frame = [ipc; 3];
+        for v in volts {
+            g.update(&frame, Volt::new(v));
+            let (up, down) = g.thresholds();
+            prop_assert!(down < up, "thresholds crossed: {down} >= {up}");
+            prop_assert!(up <= 0.95 && down >= 0.02);
+            for r in g.ratios() {
+                prop_assert!((0.7..=1.0).contains(r));
+            }
+        }
+    }
+
+    /// Domain voltage is always inside the domain's legal range and is
+    /// monotone in the global voltage.
+    #[test]
+    fn domain_voltage_invariants(scale in 0.3f64..1.2,
+                                 lo in 0.3f64..0.7, span in 0.05f64..0.6,
+                                 pri in 0.5f64..1.5,
+                                 v1 in 0.0f64..2.0, v2 in 0.0f64..2.0) {
+        let v_min = Volt::new(lo);
+        let v_max = Volt::new(lo + span);
+        let mut d = DomainController::scaled(scale, v_min, v_max);
+        d.set_priority(pri);
+        let d1 = d.domain_voltage(Volt::new(v1));
+        let d2 = d.domain_voltage(Volt::new(v2));
+        for dv in [d1, d2] {
+            prop_assert!(dv.value() >= v_min.value() - 1e-12);
+            prop_assert!(dv.value() <= v_max.value() + 1e-12);
+        }
+        if v1 <= v2 {
+            prop_assert!(d1.value() <= d2.value() + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! CPU chiplet configuration (Table 2, CPU column).
+//!
+//! The paper simulates the Nehalem model shipped with Sniper: 8 cores,
+//! 32 kB L1, 256 kB L2, 0.8–2 GHz. Power calibration constants are chosen so
+//! the chiplet peaks around 60 W — a Nehalem-class chiplet share of the
+//! 100 W package budget (see DESIGN.md's calibration notes).
+
+use hcapp_power_model::FrequencyModel;
+use hcapp_sim_core::units::{Hertz, Volt, Watt};
+
+/// Static configuration of the CPU chiplet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuConfig {
+    /// Number of cores (Table 2: 8).
+    pub cores: usize,
+    /// L1 data cache per core in kB (Table 2: 32).
+    pub l1_kb: u32,
+    /// L2 cache per core in kB (Table 2: 256).
+    pub l2_kb: u32,
+    /// Maximum core frequency (Table 2: 2 GHz).
+    pub f_max: Hertz,
+    /// Minimum core frequency (Table 2: 800 MHz).
+    pub f_min: Hertz,
+    /// Device threshold voltage for the frequency model.
+    pub v_threshold: Volt,
+    /// Voltage at which `f_max` is reached.
+    pub v_fmax: Volt,
+    /// Nominal (design/calibration) voltage.
+    pub v_nominal: Volt,
+    /// Lowest safe core voltage (undervoltage protection).
+    pub v_min: Volt,
+    /// Highest safe core voltage (overvoltage protection).
+    pub v_max: Volt,
+    /// Per-core peak dynamic power at `v_nominal`, activity 1.0.
+    pub core_peak_dynamic: Watt,
+    /// Per-core leakage at `v_nominal`.
+    pub core_leakage: Watt,
+    /// Uncore (L3 slice, ring, memory controller) peak dynamic power at
+    /// `v_nominal` — scaled by memory traffic.
+    pub uncore_peak_dynamic: Watt,
+    /// Uncore leakage at `v_nominal`.
+    pub uncore_leakage: Watt,
+    /// Relative std-dev of the slowly-varying per-core activity jitter.
+    pub core_jitter_std: f64,
+    /// How often the per-core jitter is resampled, in nanoseconds.
+    pub jitter_resample_ns: u64,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig {
+            cores: 8,
+            l1_kb: 32,
+            l2_kb: 256,
+            f_max: Hertz::from_ghz(2.0),
+            f_min: Hertz::from_mhz(800.0),
+            v_threshold: Volt::new(0.50),
+            v_fmax: Volt::new(1.25),
+            v_nominal: Volt::new(1.00),
+            v_min: Volt::new(0.60),
+            v_max: Volt::new(1.30),
+            core_peak_dynamic: Watt::new(6.5),
+            core_leakage: Watt::new(0.8),
+            uncore_peak_dynamic: Watt::new(4.0),
+            uncore_leakage: Watt::new(2.0),
+            core_jitter_std: 0.05,
+            jitter_resample_ns: 50_000,
+        }
+    }
+}
+
+impl CpuConfig {
+    /// The frequency model the cores share.
+    pub fn frequency_model(&self) -> FrequencyModel {
+        FrequencyModel::new(self.v_threshold, self.v_fmax, self.f_min, self.f_max)
+    }
+
+    /// Theoretical peak chiplet power at voltage `v` (all cores at activity
+    /// 1.0, uncore saturated) — used for calibration checks.
+    pub fn peak_power_at(&self, v: Volt) -> Watt {
+        use hcapp_power_model::ComponentPowerModel;
+        let fm = self.frequency_model();
+        let core = ComponentPowerModel::calibrated(
+            fm.clone(),
+            self.v_nominal,
+            self.core_peak_dynamic,
+            self.core_leakage,
+        );
+        let uncore = ComponentPowerModel::calibrated(
+            fm,
+            self.v_nominal,
+            self.uncore_peak_dynamic,
+            self.uncore_leakage,
+        );
+        core.power(v, 1.0) * self.cores as f64 + uncore.power(v, 1.0)
+    }
+
+    /// Validate invariants (positive sizes, ordered voltage points).
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration.
+    pub fn validate(&self) {
+        assert!(self.cores > 0, "need at least one core");
+        assert!(
+            self.v_min.value() <= self.v_nominal.value()
+                && self.v_nominal.value() <= self.v_max.value(),
+            "nominal voltage outside [v_min, v_max]"
+        );
+        assert!(self.core_jitter_std >= 0.0);
+        assert!(self.jitter_resample_ns > 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_2() {
+        let c = CpuConfig::default();
+        assert_eq!(c.cores, 8);
+        assert_eq!(c.l1_kb, 32);
+        assert_eq!(c.l2_kb, 256);
+        assert_eq!(c.f_max, Hertz::from_ghz(2.0));
+        assert_eq!(c.f_min, Hertz::from_mhz(800.0));
+        c.validate();
+    }
+
+    #[test]
+    fn peak_power_in_calibration_band() {
+        // At nominal voltage the chiplet should peak in the 55–70 W band —
+        // a CPU-chiplet share of the 100 W package (DESIGN.md).
+        let c = CpuConfig::default();
+        let p = c.peak_power_at(c.v_nominal).value();
+        assert!((55.0..=70.0).contains(&p), "peak {p} W out of band");
+    }
+
+    #[test]
+    fn peak_power_monotone_in_voltage() {
+        let c = CpuConfig::default();
+        let lo = c.peak_power_at(Volt::new(0.8)).value();
+        let hi = c.peak_power_at(Volt::new(1.2)).value();
+        assert!(lo < hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_invalid() {
+        let c = CpuConfig {
+            cores: 0,
+            ..CpuConfig::default()
+        };
+        c.validate();
+    }
+}

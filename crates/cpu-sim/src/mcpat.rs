@@ -1,0 +1,27 @@
+//! McPAT-style power/energy breakdown.
+//!
+//! The paper uses McPAT to turn Sniper's activity into power. The actual
+//! accumulator is the shared [`hcapp_power_model::breakdown::PowerBreakdown`]
+//! (GPUWattch reports the same split for the GPU); this module re-exports it
+//! under the CPU stack's name.
+
+pub use hcapp_power_model::breakdown::PowerBreakdown;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcapp_sim_core::time::SimDuration;
+    use hcapp_sim_core::units::Watt;
+
+    #[test]
+    fn reexport_is_usable() {
+        let mut b = PowerBreakdown::new();
+        b.record(
+            Watt::new(1.0),
+            Watt::new(1.0),
+            Watt::new(1.0),
+            SimDuration::from_millis(1),
+        );
+        assert!(b.total_joules() > 0.0);
+    }
+}

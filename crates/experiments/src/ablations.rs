@@ -1,0 +1,308 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! None of these are paper figures; they justify the knobs the reproduction
+//! introduces (guardband policy, overshoot protection, step-limited control
+//! actions) and the paper's own design choices (local controllers, §3.3;
+//! the adversarial accelerator discussion, §3.3.3; the control-period
+//! continuum between the three schemes, §4.6).
+
+use hcapp::coordinator::RunConfig;
+use hcapp::limits::PowerLimit;
+use hcapp::outcome::RunOutcome;
+use hcapp::parallel::run_all;
+use hcapp::scheme::ControlScheme;
+use hcapp::system::SystemConfig;
+use hcapp_sim_core::report::Table;
+use hcapp_sim_core::time::SimDuration;
+use hcapp_workloads::combos::{combo_by_name, combo_suite};
+
+use crate::config::ExperimentConfig;
+
+fn worst_and_mean(outs: &[RunOutcome], limit: &PowerLimit) -> (f64, f64) {
+    let ratios: Vec<f64> = outs
+        .iter()
+        .map(|o| o.max_ratio(limit).unwrap_or(0.0))
+        .collect();
+    let worst = ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let ppe = outs.iter().map(|o| o.ppe(limit.budget)).sum::<f64>() / outs.len() as f64;
+    (worst, ppe)
+}
+
+/// Guardband sweep: how much headroom does the 20 µs window actually need?
+///
+/// For each candidate target fraction, run the whole suite under HCAPP and
+/// report the worst-case max-power ratio and the average PPE. The shipped
+/// guardband (0.84) is the largest fraction that keeps the worst case under
+/// 1.0 — more headroom wastes PPE, less violates the limit.
+pub fn guardband_sweep(cfg: &ExperimentConfig) -> Table {
+    let limit = PowerLimit::package_pin();
+    let fractions = [0.78, 0.81, 0.84, 0.87, 0.90, 0.95, 1.00];
+    let mut t = Table::new(
+        "Ablation: guardband fraction vs worst 20 us max-power and PPE",
+        &["target fraction", "worst max/limit", "avg PPE", "legal?"],
+    );
+    for &frac in &fractions {
+        let jobs: Vec<_> = combo_suite()
+            .iter()
+            .map(|&combo| {
+                let sys = SystemConfig::paper_system(combo, cfg.seed);
+                let run = RunConfig::new(
+                    cfg.duration,
+                    ControlScheme::Hcapp,
+                    limit.budget * frac,
+                );
+                (sys, run)
+            })
+            .collect();
+        let outs = run_all(jobs, cfg.workers);
+        let (worst, ppe) = worst_and_mean(&outs, &limit);
+        t.add_row(vec![
+            format!("{frac:.2}"),
+            format!("{worst:.3}"),
+            format!("{:.1}%", ppe * 100.0),
+            if worst <= 1.0 { "yes" } else { "no" }.into(),
+        ]);
+    }
+    t.write_csv(cfg.csv_path("ablation_guardband"))
+        .expect("write csv");
+    t
+}
+
+/// Control-period sweep: the continuum between HCAPP (1 µs), RAPL-like
+/// (100 µs) and SW-like (10 ms) — §4.6's "importance of fast adaptation
+/// time" as a curve instead of three points.
+pub fn period_sweep(cfg: &ExperimentConfig) -> Table {
+    let limit = PowerLimit::off_package_vr();
+    let periods_us: [u64; 7] = [1, 5, 20, 100, 500, 2_000, 10_000];
+    let combo = combo_by_name("Hi-Hi").expect("combo");
+    let mut t = Table::new(
+        "Ablation: control period vs 1 ms max-power and PPE (Hi-Hi)",
+        &["period", "max/limit", "PPE"],
+    );
+    let jobs: Vec<_> = periods_us
+        .iter()
+        .map(|&us| {
+            let sys = SystemConfig::paper_system(combo, cfg.seed);
+            let scheme = ControlScheme::CustomPeriod(SimDuration::from_micros(us));
+            (sys, RunConfig::new(cfg.duration, scheme, limit.guardbanded_target()))
+        })
+        .collect();
+    let outs = run_all(jobs, cfg.workers);
+    for (&us, out) in periods_us.iter().zip(&outs) {
+        t.add_row(vec![
+            format!("{} us", us),
+            format!("{:.3}", out.max_ratio(&limit).unwrap_or(0.0)),
+            format!("{:.1}%", out.ppe(limit.budget) * 100.0),
+        ]);
+    }
+    t.write_csv(cfg.csv_path("ablation_period")).expect("write csv");
+    t
+}
+
+/// Local controllers on/off: §3.3's claim that IPC-guided local ratios use
+/// power more efficiently. Same global control, same target; with the local
+/// level disabled every unit takes the full domain voltage.
+pub fn local_controller_ablation(cfg: &ExperimentConfig) -> Table {
+    let limit = PowerLimit::package_pin();
+    let mut t = Table::new(
+        "Ablation: local controllers on vs off (HCAPP, 20 us limit)",
+        &["combo", "speedup with local", "speedup without", "delta"],
+    );
+    let combos = combo_suite();
+    let mut jobs = Vec::new();
+    for &combo in &combos {
+        // Baseline for speedups.
+        jobs.push((
+            SystemConfig::paper_system(combo, cfg.seed),
+            RunConfig::new(
+                cfg.duration,
+                ControlScheme::fixed_baseline(),
+                limit.guardbanded_target(),
+            ),
+        ));
+    }
+    for enabled in [true, false] {
+        for &combo in &combos {
+            let mut sys = SystemConfig::paper_system(combo, cfg.seed);
+            sys.local_controllers_enabled = enabled;
+            jobs.push((
+                sys,
+                RunConfig::new(cfg.duration, ControlScheme::Hcapp, limit.guardbanded_target()),
+            ));
+        }
+    }
+    let outs = run_all(jobs, cfg.workers);
+    let (base, rest) = outs.split_at(combos.len());
+    let (with_local, without_local) = rest.split_at(combos.len());
+    let mut sum_with = 0.0;
+    let mut sum_without = 0.0;
+    for (i, combo) in combos.iter().enumerate() {
+        let sw = with_local[i].speedup_vs(&base[i]);
+        let so = without_local[i].speedup_vs(&base[i]);
+        sum_with += sw;
+        sum_without += so;
+        t.add_row(vec![
+            combo.name.to_string(),
+            format!("{sw:.3}x"),
+            format!("{so:.3}x"),
+            format!("{:+.1}%", (sw / so - 1.0) * 100.0),
+        ]);
+    }
+    let n = combos.len() as f64;
+    t.add_row(vec![
+        "Ave.".into(),
+        format!("{:.3}x", sum_with / n),
+        format!("{:.3}x", sum_without / n),
+        format!("{:+.1}%", (sum_with / sum_without - 1.0) * 100.0),
+    ]);
+    t.write_csv(cfg.csv_path("ablation_local")).expect("write csv");
+    t
+}
+
+/// §3.3.3's adversarial accelerator: a local controller that always demands
+/// every volt. The global controller must still hold the package limit.
+pub fn adversarial_accel(cfg: &ExperimentConfig) -> Table {
+    let limit = PowerLimit::package_pin();
+    let mut t = Table::new(
+        "Ablation: adversarial accelerator local controller (HCAPP, 20 us limit)",
+        &["combo", "max/limit (pass-through)", "max/limit (adversarial)", "both legal?"],
+    );
+    let combos = combo_suite();
+    let mut jobs = Vec::new();
+    for adversarial in [false, true] {
+        for &combo in &combos {
+            let mut sys = SystemConfig::paper_system(combo, cfg.seed);
+            if adversarial {
+                sys = sys.with_adversarial_accel();
+            }
+            jobs.push((
+                sys,
+                RunConfig::new(cfg.duration, ControlScheme::Hcapp, limit.guardbanded_target()),
+            ));
+        }
+    }
+    let outs = run_all(jobs, cfg.workers);
+    let (normal, adv) = outs.split_at(combos.len());
+    for (i, combo) in combos.iter().enumerate() {
+        let rn = normal[i].max_ratio(&limit).unwrap_or(0.0);
+        let ra = adv[i].max_ratio(&limit).unwrap_or(0.0);
+        t.add_row(vec![
+            combo.name.to_string(),
+            format!("{rn:.3}"),
+            format!("{ra:.3}"),
+            if rn <= 1.0 && ra <= 1.0 { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    t.write_csv(cfg.csv_path("ablation_adversarial"))
+        .expect("write csv");
+    t
+}
+
+/// Overshoot protection on/off: without the asymmetric response, quiet-phase
+/// headroom lets bursts through the 20 µs window (how Figure 4's HCAPP bar
+/// would look without it).
+pub fn overshoot_protection_ablation(cfg: &ExperimentConfig) -> Table {
+    let limit = PowerLimit::package_pin();
+    let mut t = Table::new(
+        "Ablation: overshoot protection on vs off (HCAPP, 20 us limit)",
+        &["combo", "max/limit (on)", "max/limit (off)"],
+    );
+    let combos = combo_suite();
+    let mut jobs = Vec::new();
+    for protected in [true, false] {
+        for &combo in &combos {
+            let mut sys = SystemConfig::paper_system(combo, cfg.seed);
+            if !protected {
+                sys.pid.overshoot_kp_boost = 1.0;
+                sys.pid.overshoot_integral_decay = 1.0;
+            }
+            jobs.push((
+                sys,
+                RunConfig::new(cfg.duration, ControlScheme::Hcapp, limit.guardbanded_target()),
+            ));
+        }
+    }
+    let outs = run_all(jobs, cfg.workers);
+    let (on, off) = outs.split_at(combos.len());
+    for (i, combo) in combos.iter().enumerate() {
+        t.add_row(vec![
+            combo.name.to_string(),
+            format!("{:.3}", on[i].max_ratio(&limit).unwrap_or(0.0)),
+            format!("{:.3}", off[i].max_ratio(&limit).unwrap_or(0.0)),
+        ]);
+    }
+    t.write_csv(cfg.csv_path("ablation_overshoot"))
+        .expect("write csv");
+    t
+}
+
+/// §6's future-work software controller: the dynamic backlog policy versus
+/// hardware-only HCAPP, measured as Eq. 3 speedup against the same baseline.
+pub fn dynamic_software_policy(cfg: &ExperimentConfig) -> Table {
+    use hcapp::coordinator::SoftwareConfig;
+    let limit = PowerLimit::package_pin();
+    let combos = combo_suite();
+    let mut jobs = Vec::new();
+    for sw in [SoftwareConfig::None, SoftwareConfig::DynamicBacklog] {
+        for &combo in &combos {
+            jobs.push((
+                SystemConfig::paper_system(combo, cfg.seed),
+                RunConfig::new(cfg.duration, ControlScheme::Hcapp, limit.guardbanded_target())
+                    .with_software(sw),
+            ));
+        }
+    }
+    let outs = run_all(jobs, cfg.workers);
+    let (plain, dynamic) = outs.split_at(combos.len());
+    let mut t = Table::new(
+        "Extension: dynamic backlog software policy vs hardware-only HCAPP",
+        &["combo", "geomean work ratio (dynamic/plain)", "slowest-component ratio"],
+    );
+    for (i, combo) in combos.iter().enumerate() {
+        let geo = dynamic[i].speedup_vs(&plain[i]);
+        let worst = dynamic[i]
+            .component_speedups(&plain[i])
+            .into_iter()
+            .map(|(_, s)| s)
+            .fold(f64::INFINITY, f64::min);
+        t.add_row(vec![
+            combo.name.to_string(),
+            format!("{geo:.3}x"),
+            format!("{worst:.3}x"),
+        ]);
+    }
+    t.write_csv(cfg.csv_path("ablation_dynamic_sw"))
+        .expect("write csv");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guardband_monotonicity() {
+        // Looser targets must not reduce the worst max-power ratio.
+        let cfg = ExperimentConfig::quick(4);
+        let t = guardband_sweep(&cfg);
+        assert_eq!(t.len(), 7);
+    }
+
+    #[test]
+    fn adversarial_accel_still_capped() {
+        let cfg = ExperimentConfig::quick(4);
+        let t = adversarial_accel(&cfg);
+        let rendered = t.render();
+        assert!(
+            !rendered.contains("NO"),
+            "adversarial accel broke the cap: {rendered}"
+        );
+    }
+
+    #[test]
+    fn period_sweep_runs() {
+        let cfg = ExperimentConfig::quick(4);
+        let t = period_sweep(&cfg);
+        assert_eq!(t.len(), 7);
+    }
+}

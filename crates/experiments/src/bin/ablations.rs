@@ -1,0 +1,17 @@
+//! Run every ablation study (guardband, control period, local controllers,
+//! adversarial accelerator, overshoot protection, dynamic software policy).
+fn main() {
+    let cfg = hcapp_experiments::ExperimentConfig::from_env();
+    std::fs::create_dir_all(&cfg.out_dir).expect("create results dir");
+    use hcapp_experiments::ablations as ab;
+    for table in [
+        ab::guardband_sweep(&cfg),
+        ab::period_sweep(&cfg),
+        ab::local_controller_ablation(&cfg),
+        ab::adversarial_accel(&cfg),
+        ab::overshoot_protection_ablation(&cfg),
+        ab::dynamic_software_policy(&cfg),
+    ] {
+        println!("{}", table.render());
+    }
+}

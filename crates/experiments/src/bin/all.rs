@@ -1,0 +1,28 @@
+//! Regenerate every table and figure in sequence (the full reproduction).
+fn main() {
+    let cfg = hcapp_experiments::ExperimentConfig::from_env();
+    std::fs::create_dir_all(&cfg.out_dir).expect("create results dir");
+    use hcapp_experiments::{figures, scaling, summary, tables};
+    let t0 = std::time::Instant::now();
+    for table in [
+        tables::table1(&cfg),
+        tables::table2(&cfg),
+        tables::table3(&cfg),
+        figures::fig01::run(&cfg),
+        figures::fig02::run(&cfg),
+        figures::fig03::run(&cfg),
+        figures::fig04::run(&cfg),
+        figures::fig05::run(&cfg),
+        figures::fig06::run(&cfg),
+        figures::fig07::run(&cfg),
+        figures::fig08::run(&cfg),
+        figures::fig09::run(&cfg),
+        figures::fig10::run(&cfg),
+        summary::run(&cfg),
+        scaling::run(&cfg),
+        hcapp_experiments::robustness::run(&cfg),
+    ] {
+        println!("{}", table.render());
+    }
+    eprintln!("total wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}

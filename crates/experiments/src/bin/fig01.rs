@@ -1,0 +1,8 @@
+//! Regenerate Figure 01 of the paper. See DESIGN.md's experiment index.
+fn main() {
+    let cfg = hcapp_experiments::ExperimentConfig::from_env();
+    std::fs::create_dir_all(&cfg.out_dir).expect("create results dir");
+    let table = hcapp_experiments::figures::fig01::run(&cfg);
+    print!("{}", table.render());
+    println!("(csv written to {})", cfg.csv_path("fig01").display());
+}

@@ -1,0 +1,7 @@
+//! Regenerate Figure 3 (the architecture diagram) from the built system.
+fn main() {
+    let cfg = hcapp_experiments::ExperimentConfig::from_env();
+    std::fs::create_dir_all(&cfg.out_dir).expect("create results dir");
+    let table = hcapp_experiments::figures::fig03::run(&cfg);
+    print!("{}", table.render());
+}

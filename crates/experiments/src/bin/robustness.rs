@@ -1,0 +1,7 @@
+//! Seed-sensitivity study of the §5.1 aggregates.
+fn main() {
+    let cfg = hcapp_experiments::ExperimentConfig::from_env();
+    std::fs::create_dir_all(&cfg.out_dir).expect("create results dir");
+    let table = hcapp_experiments::robustness::run(&cfg);
+    print!("{}", table.render());
+}

@@ -1,0 +1,7 @@
+//! Chiplet-count scaling study: HCAPP vs a centralized-aggregation model.
+fn main() {
+    let cfg = hcapp_experiments::ExperimentConfig::from_env();
+    std::fs::create_dir_all(&cfg.out_dir).expect("create results dir");
+    let table = hcapp_experiments::scaling::run(&cfg);
+    print!("{}", table.render());
+}

@@ -1,0 +1,7 @@
+//! Compute the abstract's headline numbers (paper vs measured).
+fn main() {
+    let cfg = hcapp_experiments::ExperimentConfig::from_env();
+    std::fs::create_dir_all(&cfg.out_dir).expect("create results dir");
+    let table = hcapp_experiments::summary::run(&cfg);
+    print!("{}", table.render());
+}

@@ -1,0 +1,8 @@
+//! Regenerate Table 1 of the paper.
+fn main() {
+    let cfg = hcapp_experiments::ExperimentConfig::from_env();
+    std::fs::create_dir_all(&cfg.out_dir).expect("create results dir");
+    let table = hcapp_experiments::tables::table1(&cfg);
+    print!("{}", table.render());
+    println!("(csv written to {})", cfg.csv_path("table1").display());
+}

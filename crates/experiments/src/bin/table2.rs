@@ -1,0 +1,8 @@
+//! Regenerate Table 2 of the paper.
+fn main() {
+    let cfg = hcapp_experiments::ExperimentConfig::from_env();
+    std::fs::create_dir_all(&cfg.out_dir).expect("create results dir");
+    let table = hcapp_experiments::tables::table2(&cfg);
+    print!("{}", table.render());
+    println!("(csv written to {})", cfg.csv_path("table2").display());
+}

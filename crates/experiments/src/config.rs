@@ -1,0 +1,85 @@
+//! Experiment configuration.
+//!
+//! All experiments share a duration, a seed, a worker count and an output
+//! directory. The paper's runs cover roughly 200 ms of simulated time
+//! (Figure 1's axis); that is the release default. `HCAPP_DURATION_MS`,
+//! `HCAPP_SEED` and `HCAPP_OUT` override from the environment so CI and
+//! tests can run abbreviated versions of the exact same code path.
+
+use std::path::PathBuf;
+
+use hcapp_sim_core::time::SimDuration;
+
+/// Shared experiment knobs.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Simulated duration per run.
+    pub duration: SimDuration,
+    /// Run seed.
+    pub seed: u64,
+    /// Worker threads for the run-level sweep.
+    pub workers: usize,
+    /// Directory CSVs are written into.
+    pub out_dir: PathBuf,
+}
+
+impl ExperimentConfig {
+    /// The paper-scale configuration (200 ms runs), with environment
+    /// overrides applied.
+    pub fn from_env() -> Self {
+        let ms = std::env::var("HCAPP_DURATION_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(200);
+        let seed = std::env::var("HCAPP_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(11);
+        let out_dir = std::env::var("HCAPP_OUT")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("results"));
+        ExperimentConfig {
+            duration: SimDuration::from_millis(ms.max(1)),
+            seed,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            out_dir,
+        }
+    }
+
+    /// An abbreviated configuration for tests (a few ms; same code path).
+    pub fn quick(ms: u64) -> Self {
+        ExperimentConfig {
+            duration: SimDuration::from_millis(ms.max(1)),
+            seed: 11,
+            workers: 2,
+            out_dir: std::env::temp_dir().join("hcapp_quick_results"),
+        }
+    }
+
+    /// Path for an experiment's CSV output.
+    pub fn csv_path(&self, name: &str) -> PathBuf {
+        self.out_dir.join(format!("{name}.csv"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_config() {
+        let c = ExperimentConfig::quick(3);
+        assert_eq!(c.duration, SimDuration::from_millis(3));
+        assert!(c.csv_path("fig04").to_string_lossy().ends_with("fig04.csv"));
+    }
+
+    #[test]
+    fn quick_zero_clamps_to_one_ms() {
+        assert_eq!(
+            ExperimentConfig::quick(0).duration,
+            SimDuration::from_millis(1)
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Figure 1: power trace of the static configuration.
+//!
+//! "Power usage of heterogeneous system running workloads on all
+//! subcomponents in a static configuration normalized to the average power."
+//! The paper's trace peaks ≈ 1.6× and dips ≈ 0.65× the average over a
+//! ~200 ms run — the volatility that motivates dynamic control. We run the
+//! Hi-Hi combo (all subcomponents busy) at the fixed 0.95 V with no local
+//! controllers, record the 1 µs package power trace and normalize it to its
+//! own mean.
+
+use hcapp::coordinator::{RunConfig, Simulation};
+use hcapp::scheme::ControlScheme;
+use hcapp::system::SystemConfig;
+use hcapp_sim_core::report::{write_series_csv, Table};
+use hcapp_sim_core::series::TimeSeries;
+use hcapp_sim_core::units::Watt;
+use hcapp_workloads::combos::combo_suite;
+
+use crate::config::ExperimentConfig;
+
+/// The normalized trace plus its headline statistics.
+pub struct Fig01 {
+    /// Power normalized to the run average, 1 µs samples.
+    pub normalized: TimeSeries,
+    /// Run-average package power (the normalization constant).
+    pub average: Watt,
+}
+
+impl Fig01 {
+    /// Peak of the normalized trace (paper: ≈ 1.6).
+    pub fn peak_ratio(&self) -> f64 {
+        self.normalized.max().unwrap_or(0.0)
+    }
+
+    /// Trough of the normalized trace (paper: ≈ 0.65).
+    pub fn trough_ratio(&self) -> f64 {
+        self.normalized.min().unwrap_or(0.0)
+    }
+
+    /// The implied PPE if pins were provisioned for the observed peak
+    /// (the paper's §1 example computes 62.5%).
+    pub fn implied_ppe(&self) -> f64 {
+        let peak = self.peak_ratio();
+        if peak > 0.0 {
+            1.0 / peak
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Compute the figure.
+pub fn compute(cfg: &ExperimentConfig) -> Fig01 {
+    // Static configuration: fixed voltage, no controllers.
+    let combo = combo_suite()[3]; // Hi-Hi: workloads on all subcomponents
+    let sys = SystemConfig::paper_system(combo, cfg.seed);
+    let run = RunConfig::new(
+        cfg.duration,
+        ControlScheme::fixed_baseline(),
+        Watt::new(100.0),
+    )
+    .with_trace();
+    let out = Simulation::new(sys, run).run();
+    let trace = out.trace.expect("trace requested");
+    Fig01 {
+        normalized: trace.normalized_to_mean(),
+        average: out.avg_power,
+    }
+}
+
+/// Compute, print the summary table and write the series CSV.
+pub fn run(cfg: &ExperimentConfig) -> Table {
+    let fig = compute(cfg);
+    let thin = fig.normalized.thin_to(4_000);
+    let (t, v): (Vec<f64>, Vec<f64>) = thin.iter_us().unzip();
+    write_series_csv(
+        cfg.csv_path("fig01"),
+        "time_us",
+        &t,
+        &[("normalized_power", v.as_slice())],
+    )
+    .expect("write fig01 csv");
+
+    let mut chart = crate::plot::LineChart::new(
+        "Figure 1: static-configuration power, normalized to average",
+        "time (us)",
+        "power / average",
+    );
+    chart.add_series("normalized power", t.iter().copied().zip(v.iter().copied()).collect());
+    chart
+        .write(cfg.out_dir.join("fig01.svg"))
+        .expect("write fig01 svg");
+
+    let mut table = Table::new(
+        "Figure 1: static-configuration power, normalized to average",
+        &["metric", "value", "paper"],
+    );
+    table.add_row(vec![
+        "average power".into(),
+        format!("{:.1}", fig.average),
+        "(normalization)".into(),
+    ]);
+    table.add_row(vec![
+        "peak / average".into(),
+        format!("{:.2}", fig.peak_ratio()),
+        "~1.6".into(),
+    ]);
+    table.add_row(vec![
+        "trough / average".into(),
+        format!("{:.2}", fig.trough_ratio()),
+        "~0.65".into(),
+    ]);
+    table.add_row(vec![
+        "implied PPE at peak-provisioning".into(),
+        format!("{:.1}%", fig.implied_ppe() * 100.0),
+        "62.5%".into(),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_trace_is_volatile() {
+        let fig = compute(&ExperimentConfig::quick(8));
+        // Normalized mean is 1 by construction.
+        assert!((fig.normalized.mean() - 1.0).abs() < 1e-9);
+        // The motivating observation: peaks well above, troughs well below.
+        assert!(fig.peak_ratio() > 1.2, "peak {}", fig.peak_ratio());
+        assert!(fig.trough_ratio() < 0.85, "trough {}", fig.trough_ratio());
+        assert!(fig.implied_ppe() < 0.85);
+    }
+
+    #[test]
+    fn run_emits_table_and_csv() {
+        let cfg = ExperimentConfig::quick(2);
+        let table = run(&cfg);
+        assert_eq!(table.len(), 4);
+        assert!(cfg.csv_path("fig01").exists());
+        let _ = std::fs::remove_file(cfg.csv_path("fig01"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Figure 2: the Figure 1 trace through different limit windows.
+//!
+//! "Note that the power peaks seen at the 20 µs time window are not visible
+//! at the other time windows. This represents power behavior that
+//! firmware-based or software-based controllers could not account for
+//! without guardbanding." We pass the static trace through trailing moving
+//! averages at the three window lengths and report each view's peak.
+
+use hcapp_sim_core::report::{write_series_csv, Table};
+use hcapp_sim_core::series::TimeSeries;
+use hcapp_sim_core::time::SimDuration;
+
+use crate::config::ExperimentConfig;
+use crate::figures::fig01;
+
+/// The three windowed views of the normalized trace.
+pub struct Fig02 {
+    /// 20 µs view (the package-pin constraint, grey curve).
+    pub w20us: TimeSeries,
+    /// 1 ms view (blue curve).
+    pub w1ms: TimeSeries,
+    /// 10 ms view (red curve).
+    pub w10ms: TimeSeries,
+}
+
+/// Compute the figure from the Figure 1 trace.
+pub fn compute(cfg: &ExperimentConfig) -> Fig02 {
+    let fig1 = fig01::compute(cfg);
+    let t = &fig1.normalized;
+    Fig02 {
+        w20us: t.windowed(SimDuration::from_micros(20)),
+        w1ms: t.windowed(SimDuration::from_millis(1).min(t.duration())),
+        w10ms: t.windowed(SimDuration::from_millis(10).min(t.duration())),
+    }
+}
+
+/// Compute, print peaks per window and write the multi-series CSV.
+pub fn run(cfg: &ExperimentConfig) -> Table {
+    let fig = compute(cfg);
+    let points = 4_000;
+    let a = fig.w20us.thin_to(points);
+    let factor = fig.w20us.len().div_ceil(points);
+    let b = fig.w1ms.decimate(factor.max(1));
+    let c = fig.w10ms.decimate(factor.max(1));
+    let (t, va): (Vec<f64>, Vec<f64>) = a.iter_us().unzip();
+    let vb: Vec<f64> = b.values()[..t.len().min(b.len())].to_vec();
+    let vc: Vec<f64> = c.values()[..t.len().min(c.len())].to_vec();
+    let n = t.len().min(vb.len()).min(vc.len());
+    write_series_csv(
+        cfg.csv_path("fig02"),
+        "time_us",
+        &t[..n],
+        &[
+            ("window_20us", &va[..n]),
+            ("window_1ms", &vb[..n]),
+            ("window_10ms", &vc[..n]),
+        ],
+    )
+    .expect("write fig02 csv");
+
+    let mut chart = crate::plot::LineChart::new(
+        "Figure 2: normalized power through the limit time windows",
+        "time (us)",
+        "power / average",
+    );
+    for (name, vals) in [("20 us window", &va), ("1 ms window", &vb), ("10 ms window", &vc)] {
+        chart.add_series(
+            name,
+            t[..n].iter().copied().zip(vals[..n].iter().copied()).collect(),
+        );
+    }
+    chart
+        .write(cfg.out_dir.join("fig02.svg"))
+        .expect("write fig02 svg");
+
+    let mut table = Table::new(
+        "Figure 2: normalized power peaks by limit time window",
+        &["window", "peak / average", "note"],
+    );
+    let rows = [
+        ("20 us", fig.w20us.max().unwrap_or(0.0), "package-pin constraint"),
+        ("1 ms", fig.w1ms.max().unwrap_or(0.0), "off-package VR"),
+        ("10 ms", fig.w10ms.max().unwrap_or(0.0), "software timescale"),
+    ];
+    for (w, peak, note) in rows {
+        table.add_row(vec![w.into(), format!("{peak:.3}"), note.into()]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slower_windows_hide_fast_peaks() {
+        let fig = compute(&ExperimentConfig::quick(8));
+        let p20 = fig.w20us.max().unwrap();
+        let p1m = fig.w1ms.max().unwrap();
+        let p10m = fig.w10ms.max().unwrap();
+        // The figure's whole point: each wider window flattens the peak.
+        assert!(p20 > p1m, "20us peak {p20} should exceed 1ms peak {p1m}");
+        assert!(p1m >= p10m, "1ms peak {p1m} should be >= 10ms peak {p10m}");
+        // And the 10 ms view is essentially the average.
+        assert!(p10m < 1.25, "10ms peak {p10m} should be near 1.0");
+    }
+
+    #[test]
+    fn run_emits_csv() {
+        let cfg = ExperimentConfig::quick(2);
+        let table = run(&cfg);
+        assert_eq!(table.len(), 3);
+        assert!(cfg.csv_path("fig02").exists());
+        let _ = std::fs::remove_file(cfg.csv_path("fig02"));
+    }
+}

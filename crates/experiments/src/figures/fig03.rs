@@ -1,0 +1,100 @@
+//! Figure 3: the HCAPP high-level architecture.
+//!
+//! The paper's Figure 3 is the block diagram of the controller hierarchy.
+//! We render the same diagram from the *built* system — global controller
+//! and VR at the top, one domain controller per chiplet with its scale and
+//! local-controller type, and the unit counts underneath — so the diagram
+//! is guaranteed to match the code that runs.
+
+use hcapp::system::{Domain, SystemConfig};
+use hcapp_sim_core::report::Table;
+use hcapp_workloads::combos::combo_suite;
+
+use crate::config::ExperimentConfig;
+
+/// Render the architecture of `sys` as a table (one row per level/domain).
+pub fn render(sys: &SystemConfig) -> Table {
+    let mut t = Table::new(
+        "Figure 3: HCAPP high-level architecture (as built)",
+        &["level", "block", "role", "units"],
+    );
+    t.add_row(vec![
+        "1".into(),
+        "global controller + global VR".into(),
+        format!(
+            "PID on cbrt(P_spec - P_now); output {:.2}-{:.2} V; period per scheme",
+            sys.pid.out_min, sys.pid.out_max
+        ),
+        "1".into(),
+    ]);
+    for (i, spec) in sys.domains.iter().enumerate() {
+        let d = Domain::build(spec, sys, i);
+        let mode = match d.ctl.mode() {
+            hcapp::controller::domain::DomainMode::Scaled { scale } => {
+                format!("scaled x{scale:.2} of global")
+            }
+            hcapp::controller::domain::DomainMode::Fixed { voltage } => {
+                format!("fixed at {voltage}")
+            }
+        };
+        t.add_row(vec![
+            "2".into(),
+            format!("{} domain controller + VR", d.kind.name()),
+            format!("{mode}; priority register (software interface)"),
+            "1".into(),
+        ]);
+        t.add_row(vec![
+            "3".into(),
+            format!("{} local controllers", d.kind.name()),
+            d.local.name().to_string(),
+            format!("{}", d.sim.units()),
+        ]);
+    }
+    t.add_row(vec![
+        "-".into(),
+        "power supply network".into(),
+        "the communication fabric: voltage down, current draw up".into(),
+        format!("{} branches", sys.domains.len()),
+    ]);
+    t
+}
+
+/// Render the paper system's architecture and write CSV.
+pub fn run(cfg: &ExperimentConfig) -> Table {
+    let sys = SystemConfig::paper_system(combo_suite()[3], cfg.seed);
+    let table = render(&sys);
+    table.write_csv(cfg.csv_path("fig03")).expect("write fig03 csv");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagram_matches_the_paper_system() {
+        let sys = SystemConfig::paper_system(combo_suite()[0], 1);
+        let r = render(&sys).render();
+        // Three levels.
+        assert!(r.contains("global controller"));
+        assert!(r.contains("CPU domain controller"));
+        assert!(r.contains("GPU domain controller"));
+        assert!(r.contains("SHA domain controller"));
+        // The right local controllers with the right unit counts.
+        assert!(r.contains("cpu-ipc-static"));
+        assert!(r.contains("gpu-ipc-dynamic"));
+        assert!(r.contains("pass-through"));
+        assert!(r.contains('8'));
+        assert!(r.contains("15"));
+        // The fabric.
+        assert!(r.contains("power supply network"));
+    }
+
+    #[test]
+    fn memory_domain_appears_as_fixed() {
+        let sys = SystemConfig::paper_system_with_memory(combo_suite()[0], 1);
+        let r = render(&sys).render();
+        assert!(r.contains("MEM domain controller"));
+        assert!(r.contains("fixed at"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Figure 5: speedup of HCAPP versus the fixed-voltage baseline under the
+//! package-pin limit.
+//!
+//! Paper result: HCAPP (the only viable dynamic scheme under this limit)
+//! speeds execution up by 21% on average across the suite, by using the
+//! provisioned pins more efficiently.
+
+use hcapp::limits::PowerLimit;
+use hcapp::scheme::ControlScheme;
+use hcapp_sim_core::report::Table;
+use hcapp_sim_core::stats::arithmetic_mean;
+
+use crate::config::ExperimentConfig;
+use crate::runner::SuiteRun;
+
+/// Per-combo Eq. 3 speedups of HCAPP vs fixed, plus the "Ave." value.
+pub fn compute(run: &SuiteRun) -> (Table, f64) {
+    let hcapp = run.scheme(ControlScheme::Hcapp).expect("HCAPP present");
+    let mut table = Table::new(
+        "Figure 5: HCAPP speedup vs fixed voltage (0.95 V), 100 W / 20 us",
+        &["combo", "speedup (Eq. 3)", "CPU", "GPU", "SHA"],
+    );
+    let mut totals = Vec::with_capacity(hcapp.len());
+    for (combo, out) in hcapp {
+        let base = run.baseline_for(combo);
+        let per = out.component_speedups(base);
+        let s = out.speedup_vs(base);
+        totals.push(s);
+        table.add_row(vec![
+            combo.name.to_string(),
+            format!("{s:.3}x"),
+            format!("{:.3}x", per[0].1),
+            format!("{:.3}x", per[1].1),
+            format!("{:.3}x", per[2].1),
+        ]);
+    }
+    let ave = arithmetic_mean(&totals);
+    table.add_row(vec![
+        "Ave.".into(),
+        format!("{ave:.3}x"),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    (table, ave)
+}
+
+/// Execute, print and write CSV.
+pub fn run(cfg: &ExperimentConfig) -> Table {
+    let sweep = SuiteRun::execute(cfg, PowerLimit::package_pin(), &[ControlScheme::Hcapp]);
+    let (table, _) = compute(&sweep);
+    table.write_csv(cfg.csv_path("fig05")).expect("write fig05 csv");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hcapp_speeds_up_the_suite() {
+        let cfg = ExperimentConfig::quick(8);
+        let sweep = SuiteRun::execute(&cfg, PowerLimit::package_pin(), &[ControlScheme::Hcapp]);
+        let (_, ave) = compute(&sweep);
+        // Paper: +21%. Band: clearly positive.
+        assert!(ave > 1.05, "average speedup {ave} too small");
+        assert!(ave < 1.6, "average speedup {ave} implausibly large");
+    }
+}

@@ -1,0 +1,75 @@
+//! Figure 8: speedup under the off-package VR limit.
+//!
+//! Paper result: HCAPP averages 43% speedup, RAPL-like 36%, SW-like shows
+//! little benefit; bursty (ferret) combos are the exception where RAPL-like
+//! edges out HCAPP because HCAPP throttles the short bursts that RAPL-like
+//! never sees in time (§5.2).
+
+use hcapp::scheme::ControlScheme;
+use hcapp_sim_core::report::Table;
+use hcapp_sim_core::stats::arithmetic_mean;
+
+use crate::config::ExperimentConfig;
+use crate::figures::fig07;
+use crate::runner::SuiteRun;
+
+/// Build the Figure 8 table; returns the per-scheme "Ave." speedups
+/// `(hcapp, rapl, sw)`.
+pub fn compute(run: &SuiteRun) -> (Table, f64, f64, f64) {
+    let schemes = [
+        ControlScheme::Hcapp,
+        ControlScheme::RaplLike,
+        ControlScheme::SoftwareLike,
+    ];
+    let mut table = Table::new(
+        "Figure 8: speedup vs fixed voltage under 100 W over 1 ms",
+        &["combo", "HCAPP", "RAPL-like", "SW-like"],
+    );
+    let mut aves = [Vec::new(), Vec::new(), Vec::new()];
+    for (i, (combo, _)) in run.baseline.iter().enumerate() {
+        let base = run.baseline_for(combo);
+        let mut cells = vec![combo.name.to_string()];
+        for (j, s) in schemes.iter().enumerate() {
+            let out = &run.scheme(*s).expect("scheme present")[i].1;
+            let sp = out.speedup_vs(base);
+            aves[j].push(sp);
+            cells.push(format!("{sp:.3}x"));
+        }
+        table.add_row(cells);
+    }
+    let h = arithmetic_mean(&aves[0]);
+    let r = arithmetic_mean(&aves[1]);
+    let s = arithmetic_mean(&aves[2]);
+    table.add_row(vec![
+        "Ave.".into(),
+        format!("{h:.3}x"),
+        format!("{r:.3}x"),
+        format!("{s:.3}x"),
+    ]);
+    (table, h, r, s)
+}
+
+/// Execute, print and write CSV.
+pub fn run(cfg: &ExperimentConfig) -> Table {
+    let sweep = fig07::sweep(cfg);
+    let (table, _, _, _) = compute(&sweep);
+    table.write_csv(cfg.csv_path("fig08")).expect("write fig08 csv");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_ordering_matches_paper() {
+        let cfg = ExperimentConfig::quick(24);
+        let sweep = fig07::sweep(&cfg);
+        let (_, hcapp, rapl, sw) = compute(&sweep);
+        // Paper: HCAPP 1.43 > RAPL-like 1.36 >> SW-like.
+        assert!(hcapp > rapl, "HCAPP {hcapp} should beat RAPL-like {rapl}");
+        assert!(rapl > sw, "RAPL-like {rapl} should beat SW-like {sw}");
+        assert!(hcapp > 1.15, "HCAPP speedup {hcapp} too small");
+        assert!(sw < hcapp - 0.05, "SW-like {sw} should clearly trail");
+    }
+}

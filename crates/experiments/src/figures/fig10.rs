@@ -1,0 +1,89 @@
+//! Figure 10: the software priority interface (§5.3).
+//!
+//! Three extra suites, each with one component statically prioritized (the
+//! other domains de-prioritized by 10% through the domain controllers'
+//! priority registers), under the package-pin limit. Reported value: the
+//! *prioritized component's* speedup versus the unprioritized HCAPP run.
+//! Paper averages: CPU +8.3%, GPU +5.4%, SHA +12%.
+
+use hcapp::coordinator::SoftwareConfig;
+use hcapp::limits::PowerLimit;
+use hcapp::scheme::ControlScheme;
+use hcapp::software::ComponentKind;
+use hcapp_sim_core::report::Table;
+use hcapp_sim_core::stats::arithmetic_mean;
+
+use crate::config::ExperimentConfig;
+use crate::runner::scheme_outcomes;
+
+/// Per-combo prioritized-component speedups for each priority target;
+/// returns the table plus the per-component averages `(cpu, gpu, sha)`.
+pub fn compute(cfg: &ExperimentConfig) -> (Table, f64, f64, f64) {
+    let limit = PowerLimit::package_pin();
+    let unprioritized = scheme_outcomes(cfg, ControlScheme::Hcapp, &limit, SoftwareConfig::None);
+
+    let mut table = Table::new(
+        "Figure 10: speedup of the prioritized component vs unprioritized HCAPP",
+        &["combo", "CPU prioritized", "GPU prioritized", "SHA prioritized"],
+    );
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    let mut rows: Vec<Vec<String>> = unprioritized
+        .iter()
+        .map(|(c, _)| vec![c.name.to_string()])
+        .collect();
+
+    for (k, kind) in ComponentKind::ALL.iter().enumerate() {
+        let prioritized = scheme_outcomes(
+            cfg,
+            ControlScheme::Hcapp,
+            &limit,
+            SoftwareConfig::StaticPriority(*kind),
+        );
+        for (i, ((_, base), (_, pri))) in unprioritized.iter().zip(&prioritized).enumerate() {
+            let b = base.work_for(*kind).expect("component present");
+            let p = pri.work_for(*kind).expect("component present");
+            let s = if b > 0.0 { p / b } else { 1.0 };
+            columns[k].push(s);
+            rows[i].push(format!("{:+.1}%", (s - 1.0) * 100.0));
+        }
+    }
+    for row in rows {
+        table.add_row(row);
+    }
+    let cpu = arithmetic_mean(&columns[0]);
+    let gpu = arithmetic_mean(&columns[1]);
+    let sha = arithmetic_mean(&columns[2]);
+    table.add_row(vec![
+        "Ave.".into(),
+        format!("{:+.1}%", (cpu - 1.0) * 100.0),
+        format!("{:+.1}%", (gpu - 1.0) * 100.0),
+        format!("{:+.1}%", (sha - 1.0) * 100.0),
+    ]);
+    (table, cpu, gpu, sha)
+}
+
+/// Execute, print and write CSV.
+pub fn run(cfg: &ExperimentConfig) -> Table {
+    let (table, _, _, _) = compute(cfg);
+    table.write_csv(cfg.csv_path("fig10")).expect("write fig10 csv");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prioritization_speeds_up_the_target() {
+        let cfg = ExperimentConfig::quick(8);
+        let (_, cpu, gpu, sha) = compute(&cfg);
+        // Paper: CPU +8.3%, GPU +5.4%, SHA +12% — all positive, SHA largest.
+        assert!(cpu > 1.0, "CPU priority speedup {cpu} should be positive");
+        assert!(gpu > 1.0, "GPU priority speedup {gpu} should be positive");
+        assert!(sha > 1.0, "SHA priority speedup {sha} should be positive");
+        assert!(
+            sha > cpu.min(gpu),
+            "SHA ({sha}) should gain at least as much as the weakest of CPU/GPU"
+        );
+    }
+}

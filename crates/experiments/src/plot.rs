@@ -1,0 +1,271 @@
+//! Minimal SVG line charts.
+//!
+//! The figure binaries emit CSVs for external plotting; for a zero-
+//! dependency quick look they also render the trace figures (1 and 2) as
+//! standalone SVG. This is a deliberately small chart kit: linear axes,
+//! ticks, one polyline per series, a legend — enough to eyeball the power
+//! traces without leaving the repository.
+
+use std::fmt::Write as _;
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Data points (x ascending for a sensible polyline).
+    pub points: Vec<(f64, f64)>,
+    /// Stroke color (any SVG color string).
+    pub color: String,
+}
+
+/// A simple line chart.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+}
+
+const WIDTH: f64 = 900.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 30.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 50.0;
+
+/// Default series palette.
+pub const PALETTE: [&str; 5] = ["#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4"];
+
+impl LineChart {
+    /// Create an empty chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a series (colors cycle through [`PALETTE`]).
+    pub fn add_series(&mut self, name: impl Into<String>, points: Vec<(f64, f64)>) {
+        let color = PALETTE[self.series.len() % PALETTE.len()].to_string();
+        self.series.push(Series {
+            name: name.into(),
+            points,
+            color,
+        });
+    }
+
+    fn bounds(&self) -> (f64, f64, f64, f64) {
+        let (mut min_x, mut max_x, mut min_y, mut max_y) =
+            (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                min_x = min_x.min(x);
+                max_x = max_x.max(x);
+                min_y = min_y.min(y);
+                max_y = max_y.max(y);
+            }
+        }
+        if !min_x.is_finite() {
+            return (0.0, 1.0, 0.0, 1.0);
+        }
+        // Pad y a little; never collapse a flat series.
+        let span_y = (max_y - min_y).max(1e-9);
+        (
+            min_x,
+            max_x.max(min_x + 1e-9),
+            min_y - 0.05 * span_y,
+            max_y + 0.05 * span_y,
+        )
+    }
+
+    /// Render the SVG document.
+    pub fn render(&self) -> String {
+        let (min_x, max_x, min_y, max_y) = self.bounds();
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let sx = |x: f64| MARGIN_L + (x - min_x) / (max_x - min_x) * plot_w;
+        let sy = |y: f64| MARGIN_T + plot_h - (y - min_y) / (max_y - min_y) * plot_h;
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+        );
+        let _ = writeln!(out, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="22" font-size="15" text-anchor="middle">{}</text>"#,
+            WIDTH / 2.0,
+            xml_escape(&self.title)
+        );
+
+        // Axes.
+        let _ = writeln!(
+            out,
+            r#"<line x1="{MARGIN_L}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+            MARGIN_T + plot_h,
+            MARGIN_L + plot_w,
+            MARGIN_T + plot_h
+        );
+        let _ = writeln!(
+            out,
+            r#"<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" y2="{}" stroke="black"/>"#,
+            MARGIN_T + plot_h
+        );
+
+        // Ticks (5 per axis).
+        for i in 0..=5 {
+            let fx = min_x + (max_x - min_x) * i as f64 / 5.0;
+            let px = sx(fx);
+            let _ = writeln!(
+                out,
+                r#"<line x1="{px}" y1="{}" x2="{px}" y2="{}" stroke="black"/><text x="{px}" y="{}" font-size="11" text-anchor="middle">{}</text>"#,
+                MARGIN_T + plot_h,
+                MARGIN_T + plot_h + 5.0,
+                MARGIN_T + plot_h + 20.0,
+                fmt_tick(fx)
+            );
+            let fy = min_y + (max_y - min_y) * i as f64 / 5.0;
+            let py = sy(fy);
+            let _ = writeln!(
+                out,
+                r#"<line x1="{}" y1="{py}" x2="{MARGIN_L}" y2="{py}" stroke="black"/><text x="{}" y="{}" font-size="11" text-anchor="end">{}</text>"#,
+                MARGIN_L - 5.0,
+                MARGIN_L - 9.0,
+                py + 4.0,
+                fmt_tick(fy)
+            );
+        }
+
+        // Axis labels.
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="{}" font-size="12" text-anchor="middle">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 10.0,
+            xml_escape(&self.x_label)
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="16" y="{}" font-size="12" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            xml_escape(&self.y_label)
+        );
+
+        // Series polylines + legend.
+        for (i, s) in self.series.iter().enumerate() {
+            let mut pts = String::new();
+            for &(x, y) in &s.points {
+                let _ = write!(pts, "{:.1},{:.1} ", sx(x), sy(y));
+            }
+            let _ = writeln!(
+                out,
+                r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="1.2"/>"#,
+                pts.trim_end(),
+                s.color
+            );
+            let lx = MARGIN_L + 12.0 + 170.0 * i as f64;
+            let _ = writeln!(
+                out,
+                r#"<line x1="{lx}" y1="{}" x2="{}" y2="{}" stroke="{}" stroke-width="3"/><text x="{}" y="{}" font-size="12">{}</text>"#,
+                MARGIN_T - 8.0,
+                lx + 24.0,
+                MARGIN_T - 8.0,
+                s.color,
+                lx + 30.0,
+                MARGIN_T - 4.0,
+                xml_escape(&s.name)
+            );
+        }
+        let _ = writeln!(out, "</svg>");
+        out
+    }
+
+    /// Write the SVG to disk, creating parent directories.
+    pub fn write(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.render())
+    }
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v.abs() >= 10_000.0 {
+        format!("{:.0}k", v / 1_000.0)
+    } else if v.abs() >= 10.0 || v == 0.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> LineChart {
+        let mut c = LineChart::new("Demo <chart>", "time (us)", "power (W)");
+        c.add_series("a", vec![(0.0, 50.0), (1.0, 80.0), (2.0, 60.0)]);
+        c.add_series("b", vec![(0.0, 20.0), (1.0, 25.0), (2.0, 22.0)]);
+        c
+    }
+
+    #[test]
+    fn renders_valid_looking_svg() {
+        let svg = chart().render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        // Title escaped.
+        assert!(svg.contains("Demo &lt;chart&gt;"));
+        // Legend entries.
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+    }
+
+    #[test]
+    fn coordinates_stay_inside_the_canvas() {
+        let svg = chart().render();
+        for cap in svg.split("points=\"").skip(1) {
+            let pts = cap.split('"').next().unwrap();
+            for pair in pts.split_whitespace() {
+                let (x, y) = pair.split_once(',').unwrap();
+                let x: f64 = x.parse().unwrap();
+                let y: f64 = y.parse().unwrap();
+                assert!((0.0..=WIDTH).contains(&x), "x {x} out of canvas");
+                assert!((0.0..=HEIGHT).contains(&y), "y {y} out of canvas");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_chart_renders() {
+        let c = LineChart::new("empty", "x", "y");
+        let svg = c.render();
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn writes_to_disk() {
+        let path = std::env::temp_dir().join("hcapp_plot_test.svg");
+        chart().write(&path).unwrap();
+        assert!(std::fs::read_to_string(&path).unwrap().contains("<svg"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

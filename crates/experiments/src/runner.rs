@@ -1,0 +1,145 @@
+//! Shared sweep machinery.
+//!
+//! Every §5 figure needs the same matrix: each Table 3 combo run under some
+//! set of schemes against one power limit, plus the fixed-voltage baseline
+//! for speedup normalization. [`SuiteRun`] materializes that matrix once
+//! (in parallel, deterministically) so e.g. the Figure 7/8/9 binaries can
+//! share one sweep.
+
+use hcapp::coordinator::{RunConfig, SoftwareConfig};
+use hcapp::limits::PowerLimit;
+use hcapp::outcome::RunOutcome;
+use hcapp::parallel::run_all;
+use hcapp::scheme::ControlScheme;
+use hcapp::system::SystemConfig;
+use hcapp_workloads::combos::{combo_suite, Combo};
+
+use crate::config::ExperimentConfig;
+
+/// Run the fixed-voltage baseline on every combo.
+pub fn baseline_outcomes(cfg: &ExperimentConfig, limit: &PowerLimit) -> Vec<(Combo, RunOutcome)> {
+    scheme_outcomes(cfg, ControlScheme::fixed_baseline(), limit, SoftwareConfig::None)
+}
+
+/// Run one scheme on every combo under `limit`'s guardbanded target.
+pub fn scheme_outcomes(
+    cfg: &ExperimentConfig,
+    scheme: ControlScheme,
+    limit: &PowerLimit,
+    software: SoftwareConfig,
+) -> Vec<(Combo, RunOutcome)> {
+    let combos = combo_suite();
+    let jobs: Vec<_> = combos
+        .iter()
+        .map(|&combo| {
+            let sys = SystemConfig::paper_system(combo, cfg.seed);
+            let run = RunConfig::new(cfg.duration, scheme, limit.guardbanded_target())
+                .with_software(software);
+            (sys, run)
+        })
+        .collect();
+    let outcomes = run_all(jobs, cfg.workers);
+    combos.into_iter().zip(outcomes).collect()
+}
+
+/// The full matrix one evaluation section needs: a baseline plus N schemes,
+/// all on the same limit.
+pub struct SuiteRun {
+    /// The power limit the runs target.
+    pub limit: PowerLimit,
+    /// Fixed-voltage baseline outcomes per combo.
+    pub baseline: Vec<(Combo, RunOutcome)>,
+    /// `(scheme, per-combo outcomes)` in the order requested.
+    pub schemes: Vec<(ControlScheme, Vec<(Combo, RunOutcome)>)>,
+}
+
+impl SuiteRun {
+    /// Execute the matrix. All runs across all schemes are dispatched to one
+    /// parallel pool.
+    pub fn execute(cfg: &ExperimentConfig, limit: PowerLimit, schemes: &[ControlScheme]) -> Self {
+        let combos = combo_suite();
+        let mut jobs = Vec::with_capacity(combos.len() * (schemes.len() + 1));
+        let all_schemes: Vec<ControlScheme> = std::iter::once(ControlScheme::fixed_baseline())
+            .chain(schemes.iter().copied())
+            .collect();
+        for &scheme in &all_schemes {
+            for &combo in &combos {
+                let sys = SystemConfig::paper_system(combo, cfg.seed);
+                let run = RunConfig::new(cfg.duration, scheme, limit.guardbanded_target());
+                jobs.push((sys, run));
+            }
+        }
+        let mut outcomes = run_all(jobs, cfg.workers).into_iter();
+        let mut per_scheme = Vec::with_capacity(all_schemes.len());
+        for &scheme in &all_schemes {
+            let rows: Vec<(Combo, RunOutcome)> = combos
+                .iter()
+                .map(|&c| (c, outcomes.next().expect("job per combo")))
+                .collect();
+            per_scheme.push((scheme, rows));
+        }
+        let baseline = per_scheme.remove(0).1;
+        SuiteRun {
+            limit,
+            baseline,
+            schemes: per_scheme,
+        }
+    }
+
+    /// The baseline outcome for `combo`.
+    pub fn baseline_for(&self, combo: &Combo) -> &RunOutcome {
+        &self
+            .baseline
+            .iter()
+            .find(|(c, _)| c == combo)
+            .expect("combo in baseline")
+            .1
+    }
+
+    /// The outcomes for one scheme.
+    pub fn scheme(&self, scheme: ControlScheme) -> Option<&[(Combo, RunOutcome)]> {
+        self.schemes
+            .iter()
+            .find(|(s, _)| *s == scheme)
+            .map(|(_, rows)| rows.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_run_shape() {
+        let cfg = ExperimentConfig::quick(1);
+        let run = SuiteRun::execute(
+            &cfg,
+            PowerLimit::package_pin(),
+            &[ControlScheme::Hcapp],
+        );
+        assert_eq!(run.baseline.len(), 8);
+        assert_eq!(run.schemes.len(), 1);
+        let hcapp = run.scheme(ControlScheme::Hcapp).unwrap();
+        assert_eq!(hcapp.len(), 8);
+        // Combos align between baseline and scheme rows.
+        for ((cb, _), (cs, _)) in run.baseline.iter().zip(hcapp) {
+            assert_eq!(cb, cs);
+        }
+        assert!(run.scheme(ControlScheme::SoftwareLike).is_none());
+    }
+
+    #[test]
+    fn scheme_outcomes_cover_suite() {
+        let cfg = ExperimentConfig::quick(1);
+        let rows = scheme_outcomes(
+            &cfg,
+            ControlScheme::fixed_baseline(),
+            &PowerLimit::package_pin(),
+            SoftwareConfig::None,
+        );
+        assert_eq!(rows.len(), 8);
+        for (_, out) in rows {
+            assert!(out.avg_power.value() > 0.0);
+        }
+    }
+}

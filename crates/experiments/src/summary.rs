@@ -1,0 +1,100 @@
+//! The abstract's headline numbers.
+//!
+//! "Overall, HCAPP achieves 7% speedup over a RAPL-like implementation. The
+//! power utilization improves from 79.7% (RAPL-like) to 93.9% (HCAPP)" —
+//! both derived from the §5.2 (off-package VR limit) suite. This module
+//! computes the same derived quantities from our measured data.
+
+use hcapp::scheme::ControlScheme;
+use hcapp_sim_core::report::Table;
+
+use crate::config::ExperimentConfig;
+use crate::figures::{fig07, fig08, fig09};
+
+/// The measured headline numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct Headline {
+    /// HCAPP's average speedup vs fixed under the slow limit.
+    pub hcapp_speedup: f64,
+    /// RAPL-like's average speedup vs fixed under the slow limit.
+    pub rapl_speedup: f64,
+    /// HCAPP's speedup over RAPL-like (paper: 7%).
+    pub hcapp_over_rapl: f64,
+    /// HCAPP average PPE (paper: 93.9%).
+    pub hcapp_ppe: f64,
+    /// RAPL-like average PPE (paper: 79.7%).
+    pub rapl_ppe: f64,
+    /// SW-like average PPE (paper: 69.2%).
+    pub sw_ppe: f64,
+}
+
+/// Compute the headline numbers from one slow-limit sweep.
+pub fn compute(cfg: &ExperimentConfig) -> Headline {
+    let sweep = fig07::sweep(cfg);
+    let (_, h_sp, r_sp, _) = fig08::compute(&sweep);
+    let (_, h_ppe, r_ppe, s_ppe, _) = fig09::compute(&sweep);
+    // Sanity: the sweep carries the schemes we rely on.
+    debug_assert!(sweep.scheme(ControlScheme::Hcapp).is_some());
+    Headline {
+        hcapp_speedup: h_sp,
+        rapl_speedup: r_sp,
+        hcapp_over_rapl: h_sp / r_sp,
+        hcapp_ppe: h_ppe,
+        rapl_ppe: r_ppe,
+        sw_ppe: s_ppe,
+    }
+}
+
+/// Compute, render the paper-vs-measured table and write CSV.
+pub fn run(cfg: &ExperimentConfig) -> Table {
+    let h = compute(cfg);
+    let mut t = Table::new(
+        "Headline claims (abstract) — paper vs measured",
+        &["claim", "paper", "measured"],
+    );
+    t.add_row(vec![
+        "HCAPP speedup over RAPL-like".into(),
+        "7%".into(),
+        format!("{:+.1}%", (h.hcapp_over_rapl - 1.0) * 100.0),
+    ]);
+    t.add_row(vec![
+        "HCAPP PPE".into(),
+        "93.9%".into(),
+        format!("{:.1}%", h.hcapp_ppe * 100.0),
+    ]);
+    t.add_row(vec![
+        "RAPL-like PPE".into(),
+        "79.7%".into(),
+        format!("{:.1}%", h.rapl_ppe * 100.0),
+    ]);
+    t.add_row(vec![
+        "SW-like PPE".into(),
+        "69.2%".into(),
+        format!("{:.1}%", h.sw_ppe * 100.0),
+    ]);
+    t.add_row(vec![
+        "HCAPP speedup vs fixed (slow limit)".into(),
+        "43%".into(),
+        format!("{:+.1}%", (h.hcapp_speedup - 1.0) * 100.0),
+    ]);
+    t.add_row(vec![
+        "RAPL-like speedup vs fixed (slow limit)".into(),
+        "36%".into(),
+        format!("{:+.1}%", (h.rapl_speedup - 1.0) * 100.0),
+    ]);
+    t.write_csv(cfg.csv_path("summary")).expect("write summary csv");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_directions() {
+        let h = compute(&ExperimentConfig::quick(24));
+        assert!(h.hcapp_over_rapl > 1.0, "HCAPP should beat RAPL-like");
+        assert!(h.hcapp_ppe > h.rapl_ppe);
+        assert!(h.rapl_ppe > h.sw_ppe);
+    }
+}

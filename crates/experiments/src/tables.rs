@@ -1,0 +1,147 @@
+//! Tables 1–3 of the paper.
+//!
+//! These are configuration/definition tables rather than measurements, but
+//! regenerating them from the code proves the implementation carries the
+//! same system the paper describes (and the Table 1 totals are *computed*
+//! from the per-component delays, so the arithmetic is checked).
+
+use hcapp_cpu_sim::CpuConfig;
+use hcapp_gpu_sim::GpuConfig;
+use hcapp_pdn::delays::TransitionBudget;
+use hcapp_sim_core::report::Table;
+use hcapp_workloads::combos::combo_suite;
+
+use crate::config::ExperimentConfig;
+
+/// Table 1: the delay budget behind HCAPP's 1 µs control period.
+pub fn table1(cfg: &ExperimentConfig) -> Table {
+    let budget = TransitionBudget::paper();
+    let mut t = Table::new(
+        "Table 1: breakdown of delays for HCAPP transitions",
+        &["component", "simulated (ns)", "scale", "scaled (ns)"],
+    );
+    for row in budget.rows() {
+        let s = row.scaled();
+        t.add_row(vec![
+            row.component.to_string(),
+            format!("{}-{}", row.simulated.min_ns, row.simulated.max_ns),
+            format!("x{}", row.scale),
+            format!("{}-{}", s.min_ns, s.max_ns),
+        ]);
+    }
+    let total = budget.total();
+    t.add_row(vec![
+        "Total".into(),
+        String::new(),
+        String::new(),
+        format!("{}-{}", total.min_ns, total.max_ns),
+    ]);
+    t.add_row(vec![
+        "HCAPP Control Period".into(),
+        String::new(),
+        String::new(),
+        format!("{}", budget.control_period().as_nanos()),
+    ]);
+    t.write_csv(cfg.csv_path("table1")).expect("write table1 csv");
+    t
+}
+
+/// Table 2: CPU and GPU configuration.
+pub fn table2(cfg: &ExperimentConfig) -> Table {
+    let cpu = CpuConfig::default();
+    let gpu = GpuConfig::default();
+    let mut t = Table::new(
+        "Table 2: details of CPU and GPU configuration",
+        &["component", "CPU", "GPU"],
+    );
+    t.add_row(vec![
+        "Units".into(),
+        format!("{} Cores", cpu.cores),
+        format!("{} SMs", gpu.sms),
+    ]);
+    t.add_row(vec![
+        "Cores per SM".into(),
+        "N/A".into(),
+        format!("{}", gpu.cores_per_sm),
+    ]);
+    t.add_row(vec![
+        "L1 Cache Size".into(),
+        format!("{} kB", cpu.l1_kb),
+        format!("{} kB", gpu.l1_kb),
+    ]);
+    t.add_row(vec![
+        "Shared Memory Size".into(),
+        "N/A".into(),
+        format!("{} kB", gpu.shared_kb),
+    ]);
+    t.add_row(vec![
+        "L2 Cache Size".into(),
+        format!("{} kB", cpu.l2_kb),
+        format!("{} kB", gpu.l2_kb),
+    ]);
+    t.add_row(vec![
+        "Maximum Frequency".into(),
+        format!("{:.0} GHz", cpu.f_max.as_ghz()),
+        format!("{:.0} MHz", gpu.f_max.value() * 1e-6),
+    ]);
+    t.add_row(vec![
+        "Minimum Frequency".into(),
+        format!("{:.0} MHz", cpu.f_min.value() * 1e-6),
+        format!("{:.0} MHz", gpu.f_min.value() * 1e-6),
+    ]);
+    t.write_csv(cfg.csv_path("table2")).expect("write table2 csv");
+    t
+}
+
+/// Table 3: the benchmark combinations.
+pub fn table3(cfg: &ExperimentConfig) -> Table {
+    let mut t = Table::new(
+        "Table 3: benchmark combinations used for validation",
+        &["name", "CPU", "GPU", "SHA"],
+    );
+    for combo in combo_suite() {
+        t.add_row(vec![
+            combo.name.to_string(),
+            combo.cpu.name().to_string(),
+            combo.gpu.name().to_string(),
+            "modeled".into(),
+        ]);
+    }
+    t.write_csv(cfg.csv_path("table3")).expect("write table3 csv");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig::quick(1)
+    }
+
+    #[test]
+    fn table1_totals() {
+        let t = table1(&cfg());
+        let rendered = t.render();
+        assert!(rendered.contains("147-617"), "total row missing: {rendered}");
+        assert!(rendered.contains("1000"), "control period missing");
+    }
+
+    #[test]
+    fn table2_matches_paper_numbers() {
+        let t = table2(&cfg());
+        let rendered = t.render();
+        for needle in ["8 Cores", "15 SMs", "32 kB", "48 kB", "768 kB", "2 GHz", "700 MHz"] {
+            assert!(rendered.contains(needle), "missing {needle}: {rendered}");
+        }
+    }
+
+    #[test]
+    fn table3_has_eight_combos() {
+        let t = table3(&cfg());
+        assert_eq!(t.len(), 8);
+        let rendered = t.render();
+        assert!(rendered.contains("blackscholes"));
+        assert!(rendered.contains("myocyte"));
+    }
+}

@@ -1,0 +1,169 @@
+//! GPU chiplet configuration (Table 2, GPU column).
+//!
+//! The paper uses the GTX480 model because it is the newest *validated*
+//! GPUWattch power model. We keep its shape: 15 SMs, 16 kB L1, 48 kB shared
+//! memory, 768 kB L2, 100–700 MHz. The voltage scale is the GPU domain's
+//! (the domain controller feeds this chiplet 75% of the global voltage,
+//! §4.3), so the nominal point sits near 0.72 V; power calibration puts the
+//! chiplet's peak near 50 W — its share of the 100 W package (DESIGN.md).
+
+use hcapp_power_model::FrequencyModel;
+use hcapp_sim_core::units::{Hertz, Volt, Watt};
+
+/// Static configuration of the GPU chiplet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Number of streaming multiprocessors (Table 2: 15).
+    pub sms: usize,
+    /// CUDA cores per SM (Table 2 lists the per-SM organization as 1
+    /// SM-level unit; the GTX480 has 32 lanes per SM — lanes are folded into
+    /// the power calibration).
+    pub cores_per_sm: usize,
+    /// L1 cache per SM in kB (Table 2: 16).
+    pub l1_kb: u32,
+    /// Shared memory per SM in kB (Table 2: 48).
+    pub shared_kb: u32,
+    /// L2 cache in kB (Table 2: 768).
+    pub l2_kb: u32,
+    /// Maximum SM clock (Table 2: 700 MHz).
+    pub f_max: Hertz,
+    /// Minimum SM clock (Table 2: 100 MHz).
+    pub f_min: Hertz,
+    /// Device threshold voltage.
+    pub v_threshold: Volt,
+    /// Voltage reaching `f_max`.
+    pub v_fmax: Volt,
+    /// Nominal (calibration) voltage in the GPU domain scale.
+    pub v_nominal: Volt,
+    /// Lowest safe SM voltage.
+    pub v_min: Volt,
+    /// Highest safe SM voltage.
+    pub v_max: Volt,
+    /// Per-SM peak dynamic power at `v_nominal`, full occupancy.
+    pub sm_peak_dynamic: Watt,
+    /// Per-SM leakage at `v_nominal`.
+    pub sm_leakage: Watt,
+    /// Uncore (L2, memory controllers) peak dynamic power at `v_nominal`.
+    pub uncore_peak_dynamic: Watt,
+    /// Uncore leakage at `v_nominal`.
+    pub uncore_leakage: Watt,
+    /// Maximum resident warps per SM (GTX480: 48).
+    pub max_warps: u32,
+    /// Warp-model latency-hiding constant (warps needed to reach ~50% issue
+    /// utilization).
+    pub warp_half_occupancy: f64,
+    /// Relative std-dev of the slowly-varying per-SM jitter.
+    pub sm_jitter_std: f64,
+    /// Jitter resample period in nanoseconds.
+    pub jitter_resample_ns: u64,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig {
+            sms: 15,
+            cores_per_sm: 1,
+            l1_kb: 16,
+            shared_kb: 48,
+            l2_kb: 768,
+            f_max: Hertz::from_mhz(700.0),
+            f_min: Hertz::from_mhz(100.0),
+            v_threshold: Volt::new(0.35),
+            v_fmax: Volt::new(0.95),
+            v_nominal: Volt::new(0.72),
+            v_min: Volt::new(0.45),
+            v_max: Volt::new(0.98),
+            sm_peak_dynamic: Watt::new(2.6),
+            sm_leakage: Watt::new(0.30),
+            uncore_peak_dynamic: Watt::new(5.0),
+            uncore_leakage: Watt::new(2.0),
+            max_warps: 48,
+            warp_half_occupancy: 24.0,
+            sm_jitter_std: 0.06,
+            jitter_resample_ns: 50_000,
+        }
+    }
+}
+
+impl GpuConfig {
+    /// The frequency model the SMs share.
+    pub fn frequency_model(&self) -> FrequencyModel {
+        FrequencyModel::new(self.v_threshold, self.v_fmax, self.f_min, self.f_max)
+    }
+
+    /// Theoretical peak chiplet power at voltage `v`.
+    pub fn peak_power_at(&self, v: Volt) -> Watt {
+        use hcapp_power_model::ComponentPowerModel;
+        let fm = self.frequency_model();
+        let sm = ComponentPowerModel::calibrated(
+            fm.clone(),
+            self.v_nominal,
+            self.sm_peak_dynamic,
+            self.sm_leakage,
+        );
+        let uncore = ComponentPowerModel::calibrated(
+            fm,
+            self.v_nominal,
+            self.uncore_peak_dynamic,
+            self.uncore_leakage,
+        );
+        sm.power(v, 1.0) * self.sms as f64 + uncore.power(v, 1.0)
+    }
+
+    /// Validate invariants.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration.
+    pub fn validate(&self) {
+        assert!(self.sms > 0, "need at least one SM");
+        assert!(self.max_warps > 0, "need at least one warp slot");
+        assert!(self.warp_half_occupancy > 0.0);
+        assert!(
+            self.v_min.value() <= self.v_nominal.value()
+                && self.v_nominal.value() <= self.v_max.value(),
+            "nominal voltage outside [v_min, v_max]"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_2() {
+        let c = GpuConfig::default();
+        assert_eq!(c.sms, 15);
+        assert_eq!(c.l1_kb, 16);
+        assert_eq!(c.shared_kb, 48);
+        assert_eq!(c.l2_kb, 768);
+        assert_eq!(c.f_max, Hertz::from_mhz(700.0));
+        assert_eq!(c.f_min, Hertz::from_mhz(100.0));
+        c.validate();
+    }
+
+    #[test]
+    fn peak_power_in_calibration_band() {
+        let c = GpuConfig::default();
+        let p = c.peak_power_at(c.v_nominal).value();
+        assert!((45.0..=60.0).contains(&p), "peak {p} W out of band");
+    }
+
+    #[test]
+    fn gpu_domain_voltages_below_cpu_scale() {
+        // The GPU domain runs at ~75% of the global voltage; its whole legal
+        // window sits below the CPU's nominal 1.0 V.
+        let c = GpuConfig::default();
+        assert!(c.v_max.value() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one SM")]
+    fn zero_sms_invalid() {
+        let c = GpuConfig {
+            sms: 0,
+            ..GpuConfig::default()
+        };
+        c.validate();
+    }
+}

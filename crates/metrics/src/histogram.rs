@@ -1,0 +1,205 @@
+//! Power-distribution analysis.
+//!
+//! The PPE and max-power metrics compress a run into two numbers; the
+//! distribution in between explains *why* a scheme behaves as it does (a
+//! fixed-voltage run has a long right tail the designer must provision for;
+//! HCAPP's distribution is pinned near the target). [`PowerHistogram`] bins
+//! a power trace, and [`percentiles`] extracts the quantiles the analysis
+//! sections quote.
+
+use hcapp_sim_core::report::Table;
+use hcapp_sim_core::series::TimeSeries;
+
+/// A fixed-bin histogram over a power trace.
+#[derive(Debug, Clone)]
+pub struct PowerHistogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    /// Samples below `lo` / above `hi`.
+    under: u64,
+    over: u64,
+}
+
+impl PowerHistogram {
+    /// Create a histogram over `[lo, hi)` with `bins` equal bins.
+    ///
+    /// # Panics
+    /// Panics if the range is inverted or `bins` is zero.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "inverted histogram range");
+        assert!(bins > 0, "zero bins");
+        PowerHistogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            under: 0,
+            over: 0,
+        }
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.under += 1;
+        } else if x >= self.hi {
+            self.over += 1;
+        } else {
+            let n_bins = self.counts.len();
+            let bin = ((x - self.lo) / (self.hi - self.lo) * n_bins as f64) as usize;
+            self.counts[bin.min(n_bins - 1)] += 1;
+        }
+    }
+
+    /// Build from a trace.
+    pub fn from_series(series: &TimeSeries, lo: f64, hi: f64, bins: usize) -> Self {
+        let mut h = PowerHistogram::new(lo, hi, bins);
+        for &v in series.values() {
+            h.push(v);
+        }
+        h
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of samples in bin `i`.
+    pub fn fraction(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of samples above the histogram's upper bound.
+    pub fn overflow_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.over as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of samples at or above `threshold` (threshold is snapped to
+    /// a bin edge; samples above `hi` always count).
+    pub fn fraction_at_or_above(&self, threshold: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut n = self.over;
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let edge = self.lo + i as f64 * width;
+            if edge >= threshold {
+                n += c;
+            }
+        }
+        n as f64 / self.total as f64
+    }
+
+    /// Render as an ASCII table (bin range, fraction, bar).
+    pub fn to_table(&self, title: &str) -> Table {
+        let mut t = Table::new(title, &["range (W)", "fraction", ""]);
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        for i in 0..self.counts.len() {
+            let frac = self.fraction(i);
+            let bar = "#".repeat((frac * 50.0).round() as usize);
+            t.add_row(vec![
+                format!("{:.0}-{:.0}", self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width),
+                format!("{:.1}%", frac * 100.0),
+                bar,
+            ]);
+        }
+        t
+    }
+}
+
+/// Percentiles of a sample slice (nearest-rank). `qs` are in `[0, 1]`.
+///
+/// Returns an empty vec for empty input.
+pub fn percentiles(values: &[f64], qs: &[f64]) -> Vec<f64> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    qs.iter()
+        .map(|&q| {
+            let q = q.clamp(0.0, 1.0);
+            let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+            sorted[idx]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcapp_sim_core::assert_close;
+    use hcapp_sim_core::time::SimDuration;
+
+    #[test]
+    fn bins_partition_samples() {
+        let mut h = PowerHistogram::new(0.0, 100.0, 10);
+        for i in 0..100 {
+            h.push(i as f64);
+        }
+        assert_eq!(h.total(), 100);
+        for i in 0..10 {
+            assert_close!(h.fraction(i), 0.1, 1e-12);
+        }
+        assert_eq!(h.overflow_fraction(), 0.0);
+    }
+
+    #[test]
+    fn overflow_and_underflow_tracked() {
+        let mut h = PowerHistogram::new(10.0, 20.0, 2);
+        h.push(5.0);
+        h.push(15.0);
+        h.push(25.0);
+        h.push(30.0);
+        assert_close!(h.overflow_fraction(), 0.5, 1e-12);
+        assert_close!(h.fraction_at_or_above(15.0), 0.75, 1e-12);
+    }
+
+    #[test]
+    fn from_series() {
+        let s = TimeSeries::from_values(SimDuration::from_micros(1), vec![50.0, 60.0, 70.0, 99.0]);
+        let h = PowerHistogram::from_series(&s, 0.0, 100.0, 10);
+        assert_eq!(h.total(), 4);
+        assert_close!(h.fraction_at_or_above(90.0), 0.25, 1e-12);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let ps = percentiles(&xs, &[0.5, 0.95, 0.99, 1.0]);
+        assert_close!(ps[0], 50.0, 1e-12);
+        assert_close!(ps[1], 95.0, 1e-12);
+        assert_close!(ps[2], 99.0, 1e-12);
+        assert_close!(ps[3], 100.0, 1e-12);
+        assert!(percentiles(&[], &[0.5]).is_empty());
+    }
+
+    #[test]
+    fn table_renders() {
+        let mut h = PowerHistogram::new(0.0, 10.0, 2);
+        h.push(1.0);
+        h.push(7.0);
+        let t = h.to_table("demo");
+        assert_eq!(t.len(), 2);
+        assert!(t.render().contains("50.0%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_range_panics() {
+        let _ = PowerHistogram::new(10.0, 0.0, 4);
+    }
+}

@@ -1,0 +1,28 @@
+//! Evaluation metrics and suite-level aggregation.
+//!
+//! The paper evaluates every scheme on three axes (§5):
+//!
+//! * **maximum power / limit** over the specification window (Figures 4/7) —
+//!   [`violation`];
+//! * **speedup** versus the fixed-voltage baseline, per component and as the
+//!   Eq. 3 geometric mean (Figures 5/8/10) — [`speedup`];
+//! * **Provisioned Power Efficiency** (Eq. 4, Figures 6/9) — [`ppe`].
+//!
+//! [`suite`] aggregates those per-combo numbers across the Table 3 test
+//! suite the way the paper reports them (arithmetic mean of per-combo
+//! values, e.g. "HCAPP averages a PPE of 93.9%").
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod histogram;
+pub mod ppe;
+pub mod speedup;
+pub mod suite;
+pub mod violation;
+
+pub use histogram::{percentiles, PowerHistogram};
+pub use ppe::provisioned_power_efficiency;
+pub use speedup::{component_speedup, eq3_total_speedup};
+pub use suite::{ComboRow, SuiteSummary};
+pub use violation::{classify, Violation};

@@ -1,0 +1,50 @@
+//! Provisioned Power Efficiency (Eq. 4).
+//!
+//! `PPE = AveragePower / SystemProvisionedPower` — how much of the power the
+//! package pins were provisioned for is actually used. The whole point of
+//! HCAPP is raising this toward 1.0: "the SoC designer must provision (pay)
+//! for 60% more pins for power delivery than are used on average" (§1).
+
+use hcapp_sim_core::units::Watt;
+
+/// Eq. 4.
+///
+/// # Panics
+/// Panics (debug) on non-positive provisioned power.
+#[inline]
+pub fn provisioned_power_efficiency(average: Watt, provisioned: Watt) -> f64 {
+    debug_assert!(provisioned.value() > 0.0, "non-positive provisioned power");
+    average / provisioned
+}
+
+/// The pin over-provisioning factor implied by a PPE: how many more pins the
+/// designer paid for than the average use (`1/PPE`). The paper's motivating
+/// example: PPE 62.5% ⇒ 60% extra pins.
+#[inline]
+pub fn overprovision_factor(ppe: f64) -> f64 {
+    debug_assert!(ppe > 0.0);
+    1.0 / ppe
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcapp_sim_core::assert_close;
+
+    #[test]
+    fn eq4() {
+        assert_close!(
+            provisioned_power_efficiency(Watt::new(93.9), Watt::new(100.0)),
+            0.939,
+            1e-12
+        );
+    }
+
+    #[test]
+    fn paper_intro_example() {
+        // §1: peak 60% above average ⇒ PPE 62.5% ⇒ paying for 60% more pins.
+        let ppe = provisioned_power_efficiency(Watt::new(100.0), Watt::new(160.0));
+        assert_close!(ppe, 0.625, 1e-12);
+        assert_close!(overprovision_factor(ppe), 1.6, 1e-12);
+    }
+}

@@ -1,0 +1,61 @@
+//! Speedup metrics (Eq. 3).
+//!
+//! Components run for the full test duration (short workloads are looped,
+//! §4), so a component's speedup is the ratio of work it completes:
+//! `S = work_scheme / work_baseline`. The test's total speedup is Eq. 3:
+//! `S_total = cbrt(S_CPU · S_GPU · S_Accel)` — generalized here to the
+//! geometric mean over any number of domains so the scaling study can reuse
+//! it.
+
+use hcapp_sim_core::stats::geometric_mean;
+
+/// Per-component speedup: work ratio against the baseline run.
+///
+/// Returns 1.0 when the baseline did no work (idle component).
+#[inline]
+pub fn component_speedup(work: f64, baseline_work: f64) -> f64 {
+    debug_assert!(work >= 0.0 && baseline_work >= 0.0);
+    if baseline_work <= 0.0 {
+        1.0
+    } else {
+        work / baseline_work
+    }
+}
+
+/// Eq. 3: geometric mean of component speedups.
+///
+/// ```
+/// use hcapp_metrics::speedup::eq3_total_speedup;
+/// let total = eq3_total_speedup(&[1.083, 1.054, 1.12]);
+/// assert!((total - (1.083f64 * 1.054 * 1.12).cbrt()).abs() < 1e-12);
+/// ```
+pub fn eq3_total_speedup(component_speedups: &[f64]) -> f64 {
+    geometric_mean(component_speedups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcapp_sim_core::assert_close;
+
+    #[test]
+    fn work_ratio() {
+        assert_close!(component_speedup(121.0, 100.0), 1.21, 1e-12);
+        assert_close!(component_speedup(0.0, 0.0), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn eq3_exact_form() {
+        let s = eq3_total_speedup(&[1.083, 1.054, 1.12]);
+        assert_close!(s, (1.083f64 * 1.054 * 1.12).cbrt(), 1e-12);
+    }
+
+    #[test]
+    fn slowdown_components_pull_total_down() {
+        let with_slow = eq3_total_speedup(&[0.9, 1.4, 1.6]);
+        let without = eq3_total_speedup(&[1.0, 1.4, 1.6]);
+        assert!(with_slow < without);
+        // But a strong pair still nets a speedup.
+        assert!(with_slow > 1.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Suite-level aggregation.
+//!
+//! The paper reports per-combo bars plus an "Ave." bar (arithmetic mean of
+//! the per-combo values — Figure 5 explicitly has an "Ave." category).
+//! [`SuiteSummary`] collects one [`ComboRow`] per Table 3 combo and provides
+//! those averages, plus rendering into the shared table format.
+
+use hcapp_sim_core::report::Table;
+
+/// One combo's metrics under one scheme.
+#[derive(Debug, Clone)]
+pub struct ComboRow {
+    /// Combo name (figure label).
+    pub combo: String,
+    /// Max windowed power / limit.
+    pub max_ratio: f64,
+    /// PPE (Eq. 4).
+    pub ppe: f64,
+    /// Eq. 3 total speedup versus the fixed baseline.
+    pub speedup: f64,
+}
+
+/// All combos for one scheme.
+#[derive(Debug, Clone)]
+pub struct SuiteSummary {
+    /// Scheme display name.
+    pub scheme: String,
+    /// Per-combo rows, in suite order.
+    pub rows: Vec<ComboRow>,
+}
+
+impl SuiteSummary {
+    /// Create an empty summary for a scheme.
+    pub fn new(scheme: impl Into<String>) -> Self {
+        SuiteSummary {
+            scheme: scheme.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one combo's metrics.
+    pub fn push(&mut self, row: ComboRow) {
+        self.rows.push(row);
+    }
+
+    fn mean(&self, f: impl Fn(&ComboRow) -> f64) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(f).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// The figures' "Ave." bar for speedup.
+    pub fn average_speedup(&self) -> f64 {
+        self.mean(|r| r.speedup)
+    }
+
+    /// Average PPE across the suite ("HCAPP averages a PPE of 93.9%").
+    pub fn average_ppe(&self) -> f64 {
+        self.mean(|r| r.ppe)
+    }
+
+    /// Average max-power ratio.
+    pub fn average_max_ratio(&self) -> f64 {
+        self.mean(|r| r.max_ratio)
+    }
+
+    /// Worst (largest) max-power ratio — the §5.1 viability criterion
+    /// applies to this value.
+    pub fn worst_max_ratio(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.max_ratio)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// §5.1 viability: every combo under the limit.
+    pub fn viable(&self) -> bool {
+        crate::violation::suite_viable(
+            &self.rows.iter().map(|r| r.max_ratio).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Render as a table with the "Ave." row the figures carry.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            format!("{} across the Table 3 suite", self.scheme),
+            &["combo", "max power/limit", "PPE", "speedup"],
+        );
+        for r in &self.rows {
+            t.add_row(vec![
+                r.combo.clone(),
+                format!("{:.3}", r.max_ratio),
+                format!("{:.1}%", r.ppe * 100.0),
+                format!("{:.3}x", r.speedup),
+            ]);
+        }
+        t.add_row(vec![
+            "Ave.".to_string(),
+            format!("{:.3}", self.average_max_ratio()),
+            format!("{:.1}%", self.average_ppe() * 100.0),
+            format!("{:.3}x", self.average_speedup()),
+        ]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcapp_sim_core::assert_close;
+
+    fn summary() -> SuiteSummary {
+        let mut s = SuiteSummary::new("HCAPP");
+        for (i, name) in ["Hi-Hi", "Low-Low"].iter().enumerate() {
+            s.push(ComboRow {
+                combo: name.to_string(),
+                max_ratio: 0.9 + 0.05 * i as f64,
+                ppe: 0.90 + 0.02 * i as f64,
+                speedup: 1.1 + 0.2 * i as f64,
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn averages() {
+        let s = summary();
+        assert_close!(s.average_speedup(), 1.2, 1e-12);
+        assert_close!(s.average_ppe(), 0.91, 1e-12);
+        assert_close!(s.average_max_ratio(), 0.925, 1e-12);
+        assert_close!(s.worst_max_ratio(), 0.95, 1e-12);
+        assert!(s.viable());
+    }
+
+    #[test]
+    fn viability_fails_on_one_violation() {
+        let mut s = summary();
+        s.push(ComboRow {
+            combo: "Const-Burst".into(),
+            max_ratio: 1.02,
+            ppe: 0.9,
+            speedup: 1.2,
+        });
+        assert!(!s.viable());
+    }
+
+    #[test]
+    fn table_has_ave_row() {
+        let t = summary().to_table();
+        assert_eq!(t.len(), 3); // 2 combos + Ave.
+        assert!(t.render().contains("Ave."));
+    }
+
+    #[test]
+    fn empty_summary_is_calm() {
+        let s = SuiteSummary::new("empty");
+        assert_eq!(s.average_speedup(), 0.0);
+        assert!(s.viable());
+    }
+}

@@ -1,0 +1,80 @@
+//! Power-limit violation classification.
+//!
+//! Figures 4 and 7 hinge on which schemes stay under the 1.0 line. §5.1:
+//! "For an approach to be viable, all of the maximum powers across the
+//! entire test suite must be below the 1.0 mark" — schemes that exceed it
+//! are declared invalid and dropped from the speedup/PPE figures (the paper
+//! then re-admits them "for the sake of analysis" in §5.2).
+
+/// How a run relates to a power limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Violation {
+    /// Max windowed power ≤ the limit.
+    Respected,
+    /// Exceeds the limit by at most 10% — the paper's "narrowly exceeds"
+    /// (RAPL-like on Const-Burst under the 1 ms limit).
+    Narrow,
+    /// Exceeds the limit by more than 10%.
+    Gross,
+}
+
+/// Classify a max-power/limit ratio.
+pub fn classify(max_ratio: f64) -> Violation {
+    if max_ratio <= 1.0 + 1e-9 {
+        Violation::Respected
+    } else if max_ratio <= 1.10 {
+        Violation::Narrow
+    } else {
+        Violation::Gross
+    }
+}
+
+impl Violation {
+    /// §5.1 viability: a scheme is viable only if every combo respects the
+    /// limit.
+    pub fn is_viable(&self) -> bool {
+        matches!(self, Violation::Respected)
+    }
+
+    /// Display marker used in the experiment tables.
+    pub fn marker(&self) -> &'static str {
+        match self {
+            Violation::Respected => "ok",
+            Violation::Narrow => "VIOLATES (narrow)",
+            Violation::Gross => "VIOLATES",
+        }
+    }
+}
+
+/// A whole suite is viable iff every run respects the limit (§5.1).
+pub fn suite_viable(max_ratios: &[f64]) -> bool {
+    max_ratios.iter().all(|&r| classify(r).is_viable())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_bands() {
+        assert_eq!(classify(0.95), Violation::Respected);
+        assert_eq!(classify(1.0), Violation::Respected);
+        assert_eq!(classify(1.05), Violation::Narrow);
+        assert_eq!(classify(1.5), Violation::Gross);
+    }
+
+    #[test]
+    fn viability() {
+        assert!(classify(0.99).is_viable());
+        assert!(!classify(1.01).is_viable());
+        assert!(suite_viable(&[0.9, 0.95, 1.0]));
+        assert!(!suite_viable(&[0.9, 1.2, 0.8]));
+    }
+
+    #[test]
+    fn markers() {
+        assert_eq!(classify(0.5).marker(), "ok");
+        assert_eq!(classify(1.05).marker(), "VIOLATES (narrow)");
+        assert_eq!(classify(2.0).marker(), "VIOLATES");
+    }
+}

@@ -1,0 +1,194 @@
+//! The Table 1 delay budget.
+//!
+//! The paper derives HCAPP's 1 µs control period from the round-trip delay
+//! of the control loop: global VR transition → supply-network propagation →
+//! component current change → sensing → controller computation. The numbers
+//! come from the Raven VR design \[16\], Cadence Spectre simulations, and the
+//! Gupta et al. supply-network model scaled ×5 for 2.5D integration.
+//!
+//! This module encodes those numbers verbatim and reproduces the table's
+//! arithmetic (per-component scaling factors, totals, and the conservative
+//! rounding to 1 µs).
+
+use hcapp_sim_core::time::{SimDuration, MICROSECOND};
+
+/// A min–max delay range in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelayRange {
+    /// Best-case delay in nanoseconds.
+    pub min_ns: u64,
+    /// Worst-case delay in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl DelayRange {
+    /// Construct a range.
+    ///
+    /// # Panics
+    /// Panics if `min_ns > max_ns`.
+    pub const fn new(min_ns: u64, max_ns: u64) -> Self {
+        assert!(min_ns <= max_ns, "inverted delay range");
+        DelayRange { min_ns, max_ns }
+    }
+
+    /// Multiply both endpoints by an integer factor (the ×2 for the two VRs
+    /// in the loop, the ×5 2.5D scaling of the supply-network model).
+    pub const fn scaled(self, factor: u64) -> Self {
+        DelayRange {
+            min_ns: self.min_ns * factor,
+            max_ns: self.max_ns * factor,
+        }
+    }
+
+    /// Element-wise sum of two ranges.
+    pub const fn plus(self, other: DelayRange) -> Self {
+        DelayRange {
+            min_ns: self.min_ns + other.min_ns,
+            max_ns: self.max_ns + other.max_ns,
+        }
+    }
+
+    /// The worst case as a [`SimDuration`].
+    pub const fn worst(self) -> SimDuration {
+        SimDuration::from_nanos(self.max_ns)
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct BudgetRow {
+    /// Component name as printed in the paper.
+    pub component: &'static str,
+    /// Simulated (unscaled) transition time.
+    pub simulated: DelayRange,
+    /// Scaling factor applied for the 2.5D system (1 = unscaled).
+    pub scale: u64,
+}
+
+impl BudgetRow {
+    /// The scaled transition time (the paper's right-hand column).
+    pub fn scaled(&self) -> DelayRange {
+        self.simulated.scaled(self.scale)
+    }
+}
+
+/// The full Table 1 delay budget.
+#[derive(Debug, Clone)]
+pub struct TransitionBudget {
+    rows: Vec<BudgetRow>,
+}
+
+impl Default for TransitionBudget {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl TransitionBudget {
+    /// The budget exactly as published in Table 1.
+    pub fn paper() -> Self {
+        TransitionBudget {
+            rows: vec![
+                BudgetRow {
+                    component: "Voltage Regulator (global and domain)",
+                    simulated: DelayRange::new(36, 226),
+                    scale: 2,
+                },
+                BudgetRow {
+                    component: "Sensing Circuitry",
+                    simulated: DelayRange::new(50, 60),
+                    scale: 1,
+                },
+                BudgetRow {
+                    component: "Controller",
+                    simulated: DelayRange::new(10, 30),
+                    scale: 1,
+                },
+                BudgetRow {
+                    component: "Power Supply Network",
+                    simulated: DelayRange::new(3, 15),
+                    scale: 5,
+                },
+            ],
+        }
+    }
+
+    /// A custom budget (for scaling studies that add aggregation hops).
+    pub fn new(rows: Vec<BudgetRow>) -> Self {
+        assert!(!rows.is_empty(), "empty delay budget");
+        TransitionBudget { rows }
+    }
+
+    /// The budget rows.
+    pub fn rows(&self) -> &[BudgetRow] {
+        &self.rows
+    }
+
+    /// Total scaled round-trip range (the paper's "Total" row: 147–617 ns).
+    pub fn total(&self) -> DelayRange {
+        self.rows
+            .iter()
+            .map(|r| r.scaled())
+            .fold(DelayRange::new(0, 0), |acc, r| acc.plus(r))
+    }
+
+    /// Conservative control period: the worst-case total rounded up to the
+    /// next microsecond (the paper rounds 617 ns to 1 µs).
+    pub fn control_period(&self) -> SimDuration {
+        let worst = self.total().max_ns;
+        let us = worst.div_ceil(MICROSECOND.as_nanos());
+        MICROSECOND * us.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_totals_match_table_1() {
+        let b = TransitionBudget::paper();
+        let total = b.total();
+        assert_eq!(total.min_ns, 147);
+        assert_eq!(total.max_ns, 617);
+    }
+
+    #[test]
+    fn paper_scaled_rows_match() {
+        let b = TransitionBudget::paper();
+        let vr = b.rows()[0].scaled();
+        assert_eq!((vr.min_ns, vr.max_ns), (72, 452));
+        let psn = b.rows()[3].scaled();
+        assert_eq!((psn.min_ns, psn.max_ns), (15, 75));
+    }
+
+    #[test]
+    fn control_period_is_one_microsecond() {
+        assert_eq!(TransitionBudget::paper().control_period(), MICROSECOND);
+    }
+
+    #[test]
+    fn control_period_rounds_up() {
+        let b = TransitionBudget::new(vec![BudgetRow {
+            component: "slow aggregation bus",
+            simulated: DelayRange::new(900, 1_700),
+            scale: 1,
+        }]);
+        assert_eq!(b.control_period(), MICROSECOND * 2);
+    }
+
+    #[test]
+    fn range_arithmetic() {
+        let r = DelayRange::new(3, 15).scaled(5);
+        assert_eq!((r.min_ns, r.max_ns), (15, 75));
+        let s = r.plus(DelayRange::new(5, 5));
+        assert_eq!((s.min_ns, s.max_ns), (20, 80));
+        assert_eq!(s.worst(), SimDuration::from_nanos(80));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_range_panics() {
+        let _ = DelayRange::new(10, 5);
+    }
+}

@@ -1,0 +1,156 @@
+//! On-package power supply network.
+//!
+//! The global voltage takes time to propagate across the interposer to each
+//! chiplet (Table 1: 3–15 ns on-chip, ×5 for 2.5D → 15–75 ns), and the grid
+//! has finite resistance, so a heavily-drawing chiplet sees a slightly
+//! depressed local voltage (IR drop). [`SupplyNetwork`] models both as a
+//! per-chiplet delay line plus an optional resistive drop proportional to
+//! the chiplet's current draw.
+
+use hcapp_sim_core::units::{Volt, Watt};
+use std::collections::VecDeque;
+
+/// Per-chiplet voltage propagation with optional IR drop.
+#[derive(Debug, Clone)]
+pub struct SupplyNetwork {
+    /// Propagation delay to each chiplet in whole simulation ticks.
+    delay_ticks: usize,
+    /// Effective grid resistance per chiplet branch in ohms (0 disables IR
+    /// drop).
+    branch_resistance: f64,
+    /// One delay line per chiplet.
+    lines: Vec<VecDeque<Volt>>,
+    /// Last delivered voltage per chiplet (held while the pipeline fills).
+    delivered: Vec<Volt>,
+}
+
+impl SupplyNetwork {
+    /// Create a network serving `chiplets` branches with the given delay
+    /// (simulation ticks) and branch resistance (ohms).
+    ///
+    /// # Panics
+    /// Panics if `chiplets` is zero or resistance negative.
+    pub fn new(chiplets: usize, delay_ticks: usize, branch_resistance: f64) -> Self {
+        assert!(chiplets > 0, "network needs at least one chiplet");
+        assert!(branch_resistance >= 0.0, "negative resistance");
+        SupplyNetwork {
+            delay_ticks,
+            branch_resistance,
+            lines: vec![VecDeque::with_capacity(delay_ticks + 1); chiplets],
+            delivered: vec![Volt::ZERO; chiplets],
+        }
+    }
+
+    /// An ideal network: instantaneous, lossless.
+    pub fn ideal(chiplets: usize) -> Self {
+        SupplyNetwork::new(chiplets, 0, 0.0)
+    }
+
+    /// A Table-1-like network for a 100 ns tick: 15–75 ns rounds to one
+    /// tick; a small branch resistance for visible but mild IR drop.
+    pub fn table1_default(chiplets: usize) -> Self {
+        SupplyNetwork::new(chiplets, 1, 0.0)
+    }
+
+    /// Number of chiplet branches.
+    pub fn chiplets(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Propagate the global VR output `v_global` one tick and return the
+    /// voltage delivered at chiplet `idx`, given that chiplet's power draw
+    /// last tick (for the IR-drop term).
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn deliver(&mut self, idx: usize, v_global: Volt, last_power: Watt) -> Volt {
+        let line = &mut self.lines[idx];
+        line.push_back(v_global);
+        if line.len() > self.delay_ticks {
+            self.delivered[idx] = line.pop_front().expect("non-empty line");
+        }
+        let v = self.delivered[idx];
+        if self.branch_resistance > 0.0 && v.value() > 1e-9 {
+            // I = P/V; ΔV = I·R.
+            let current = last_power.value() / v.value();
+            let drop = current * self.branch_resistance;
+            Volt::new((v.value() - drop).max(0.0))
+        } else {
+            v
+        }
+    }
+
+    /// Clear all delay lines.
+    pub fn reset(&mut self) {
+        for line in &mut self.lines {
+            line.clear();
+        }
+        self.delivered.fill(Volt::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcapp_sim_core::assert_close;
+
+    #[test]
+    fn ideal_is_passthrough() {
+        let mut n = SupplyNetwork::ideal(2);
+        let v = n.deliver(0, Volt::new(1.0), Watt::ZERO);
+        assert_close!(v.value(), 1.0, 1e-12);
+        let v = n.deliver(1, Volt::new(0.8), Watt::ZERO);
+        assert_close!(v.value(), 0.8, 1e-12);
+    }
+
+    #[test]
+    fn delay_shifts_voltage() {
+        let mut n = SupplyNetwork::new(1, 2, 0.0);
+        assert_close!(n.deliver(0, Volt::new(1.0), Watt::ZERO).value(), 0.0, 1e-12);
+        assert_close!(n.deliver(0, Volt::new(1.1), Watt::ZERO).value(), 0.0, 1e-12);
+        assert_close!(n.deliver(0, Volt::new(1.2), Watt::ZERO).value(), 1.0, 1e-12);
+        assert_close!(n.deliver(0, Volt::new(1.3), Watt::ZERO).value(), 1.1, 1e-12);
+    }
+
+    #[test]
+    fn branches_are_independent() {
+        let mut n = SupplyNetwork::new(2, 1, 0.0);
+        n.deliver(0, Volt::new(1.0), Watt::ZERO);
+        // Branch 1 has seen nothing yet.
+        assert_close!(n.deliver(1, Volt::new(0.9), Watt::ZERO).value(), 0.0, 1e-12);
+        assert_close!(n.deliver(0, Volt::new(1.0), Watt::ZERO).value(), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn ir_drop_scales_with_power() {
+        let mut n = SupplyNetwork::new(1, 0, 0.001);
+        // 100 W at 1 V = 100 A → 0.1 V drop across 1 mΩ.
+        let v = n.deliver(0, Volt::new(1.0), Watt::new(100.0));
+        assert_close!(v.value(), 0.9, 1e-9);
+        // Idle chiplet sees the full voltage.
+        let v = n.deliver(0, Volt::new(1.0), Watt::ZERO);
+        assert_close!(v.value(), 1.0, 1e-9);
+    }
+
+    #[test]
+    fn ir_drop_never_negative() {
+        let mut n = SupplyNetwork::new(1, 0, 1.0);
+        let v = n.deliver(0, Volt::new(0.5), Watt::new(1000.0));
+        assert!(v.value() >= 0.0);
+    }
+
+    #[test]
+    fn reset_refills_pipeline() {
+        let mut n = SupplyNetwork::new(1, 1, 0.0);
+        n.deliver(0, Volt::new(1.0), Watt::ZERO);
+        n.deliver(0, Volt::new(1.0), Watt::ZERO);
+        n.reset();
+        assert_close!(n.deliver(0, Volt::new(1.2), Watt::ZERO).value(), 0.0, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_chiplets_panics() {
+        let _ = SupplyNetwork::ideal(0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Voltage regulator model.
+//!
+//! Modeled after the Raven switched-capacitor design the paper cites \[16\]:
+//! a new setpoint takes effect after a short response delay and the output
+//! then slews toward it at a finite rate, so a full-range transition
+//! completes within the 36–226 ns the paper quotes. Output is clamped to the
+//! regulator's legal range — the domain regulators use this to normalize the
+//! global voltage into each chiplet's allowable window (§3.2).
+
+use hcapp_sim_core::time::{SimDuration, SimTime};
+use hcapp_sim_core::units::Volt;
+use std::collections::VecDeque;
+
+/// A slew-rate-limited, delay-modelled voltage regulator.
+#[derive(Debug, Clone)]
+pub struct VoltageRegulator {
+    /// Lowest voltage the regulator can output.
+    pub v_min: Volt,
+    /// Highest voltage the regulator can output.
+    pub v_max: Volt,
+    /// Response delay between a setpoint command and the output starting to
+    /// move (Raven: tens of ns).
+    pub response_delay: SimDuration,
+    /// Output slew rate in volts/second.
+    pub slew_volts_per_sec: f64,
+    /// Power conversion efficiency in (0, 1].
+    pub efficiency: f64,
+    output: Volt,
+    target: Volt,
+    /// Pending setpoints not yet past the response delay.
+    pending: VecDeque<(SimTime, Volt)>,
+}
+
+impl VoltageRegulator {
+    /// Create a regulator producing `initial` volts.
+    ///
+    /// # Panics
+    /// Panics on an inverted range, non-positive slew rate, efficiency
+    /// outside (0, 1], or an initial voltage outside the range.
+    pub fn new(
+        v_min: Volt,
+        v_max: Volt,
+        initial: Volt,
+        response_delay: SimDuration,
+        slew_volts_per_sec: f64,
+        efficiency: f64,
+    ) -> Self {
+        assert!(v_min.value() <= v_max.value(), "inverted voltage range");
+        assert!(slew_volts_per_sec > 0.0, "non-positive slew rate");
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency out of (0,1]"
+        );
+        assert!(
+            initial.value() >= v_min.value() && initial.value() <= v_max.value(),
+            "initial voltage {initial} outside [{v_min}, {v_max}]"
+        );
+        VoltageRegulator {
+            v_min,
+            v_max,
+            response_delay,
+            slew_volts_per_sec,
+            efficiency,
+            output: initial,
+            target: initial,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// An idealized regulator (no delay, effectively instant slew) — used by
+    /// unit tests and as the baseline for ablations.
+    pub fn ideal(v_min: Volt, v_max: Volt, initial: Volt) -> Self {
+        VoltageRegulator::new(v_min, v_max, initial, SimDuration::ZERO, 1e9, 1.0)
+    }
+
+    /// A Raven-like regulator: ~100 ns response, full 0.6 V span in ~200 ns.
+    pub fn raven(v_min: Volt, v_max: Volt, initial: Volt) -> Self {
+        VoltageRegulator::new(
+            v_min,
+            v_max,
+            initial,
+            SimDuration::from_nanos(100),
+            3e6, // 0.6 V in 200 ns
+            0.92,
+        )
+    }
+
+    /// Command a new setpoint at time `now`. The setpoint is clamped to the
+    /// regulator range and becomes active after the response delay.
+    pub fn set_target(&mut self, now: SimTime, v: Volt) {
+        let v = v.clamp(self.v_min, self.v_max);
+        self.pending.push_back((now + self.response_delay, v));
+    }
+
+    /// Advance the regulator to time `now` over a step of `dt`, slewing the
+    /// output toward the most recent matured setpoint.
+    pub fn step(&mut self, now: SimTime, dt: SimDuration) {
+        // Adopt every matured setpoint (the newest wins).
+        while let Some(&(t, v)) = self.pending.front() {
+            if t <= now {
+                self.target = v;
+                self.pending.pop_front();
+            } else {
+                break;
+            }
+        }
+        let max_delta = self.slew_volts_per_sec * dt.as_secs_f64();
+        let err = self.target.value() - self.output.value();
+        let delta = err.clamp(-max_delta, max_delta);
+        self.output = Volt::new(self.output.value() + delta).clamp(self.v_min, self.v_max);
+    }
+
+    /// The regulated output voltage.
+    #[inline]
+    pub fn output(&self) -> Volt {
+        self.output
+    }
+
+    /// The currently-active (matured) target.
+    #[inline]
+    pub fn target(&self) -> Volt {
+        self.target
+    }
+
+    /// Input power needed to deliver `output_watts` at the current
+    /// efficiency.
+    #[inline]
+    pub fn input_power(&self, output_watts: f64) -> f64 {
+        output_watts / self.efficiency
+    }
+
+    /// Worst-case time to traverse the full output range at the slew rate
+    /// (plus the response delay) — comparable to Table 1's VR row.
+    pub fn full_transition_time(&self) -> SimDuration {
+        let span = self.v_max.value() - self.v_min.value();
+        self.response_delay + SimDuration::from_secs_f64(span / self.slew_volts_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcapp_sim_core::assert_close;
+
+    fn ns(n: u64) -> SimDuration {
+        SimDuration::from_nanos(n)
+    }
+
+    #[test]
+    fn ideal_tracks_immediately() {
+        let mut vr = VoltageRegulator::ideal(Volt::new(0.6), Volt::new(1.3), Volt::new(0.95));
+        vr.set_target(SimTime::ZERO, Volt::new(1.1));
+        vr.step(SimTime::ZERO, ns(100));
+        assert_close!(vr.output().value(), 1.1, 1e-9);
+    }
+
+    #[test]
+    fn clamps_target_to_range() {
+        let mut vr = VoltageRegulator::ideal(Volt::new(0.6), Volt::new(1.3), Volt::new(0.95));
+        vr.set_target(SimTime::ZERO, Volt::new(2.0));
+        vr.step(SimTime::ZERO, ns(100));
+        assert_close!(vr.output().value(), 1.3, 1e-9);
+        vr.set_target(SimTime::from_nanos(100), Volt::new(0.0));
+        vr.step(SimTime::from_nanos(100), ns(100));
+        assert_close!(vr.output().value(), 0.6, 1e-9);
+    }
+
+    #[test]
+    fn response_delay_holds_output() {
+        let mut vr = VoltageRegulator::new(
+            Volt::new(0.6),
+            Volt::new(1.3),
+            Volt::new(0.9),
+            ns(100),
+            1e9,
+            1.0,
+        );
+        vr.set_target(SimTime::ZERO, Volt::new(1.2));
+        // At t = 50 ns the setpoint has not matured.
+        vr.step(SimTime::from_nanos(50), ns(50));
+        assert_close!(vr.output().value(), 0.9, 1e-9);
+        // At t = 100 ns it has.
+        vr.step(SimTime::from_nanos(100), ns(50));
+        assert_close!(vr.output().value(), 1.2, 1e-9);
+    }
+
+    #[test]
+    fn slew_limits_rate() {
+        // 1 V/µs slew: a 0.3 V move takes 300 ns.
+        let mut vr = VoltageRegulator::new(
+            Volt::new(0.6),
+            Volt::new(1.3),
+            Volt::new(0.9),
+            SimDuration::ZERO,
+            1e6,
+            1.0,
+        );
+        vr.set_target(SimTime::ZERO, Volt::new(1.2));
+        vr.step(SimTime::ZERO, ns(100));
+        assert_close!(vr.output().value(), 1.0, 1e-9);
+        vr.step(SimTime::from_nanos(100), ns(100));
+        assert_close!(vr.output().value(), 1.1, 1e-9);
+        vr.step(SimTime::from_nanos(200), ns(100));
+        assert_close!(vr.output().value(), 1.2, 1e-9);
+        // No overshoot.
+        vr.step(SimTime::from_nanos(300), ns(100));
+        assert_close!(vr.output().value(), 1.2, 1e-9);
+    }
+
+    #[test]
+    fn newest_matured_setpoint_wins() {
+        let mut vr = VoltageRegulator::ideal(Volt::new(0.6), Volt::new(1.3), Volt::new(0.9));
+        vr.set_target(SimTime::ZERO, Volt::new(1.2));
+        vr.set_target(SimTime::ZERO, Volt::new(0.8));
+        vr.step(SimTime::ZERO, ns(10));
+        assert_close!(vr.output().value(), 0.8, 1e-9);
+    }
+
+    #[test]
+    fn raven_transition_within_table1_ballpark() {
+        let vr = VoltageRegulator::raven(Volt::new(0.6), Volt::new(1.2), Volt::new(0.9));
+        let t = vr.full_transition_time();
+        assert!(
+            t.as_nanos() >= 36 && t.as_nanos() <= 452,
+            "transition {t} outside Table 1 range"
+        );
+    }
+
+    #[test]
+    fn efficiency_scales_input_power() {
+        let vr = VoltageRegulator::new(
+            Volt::new(0.6),
+            Volt::new(1.3),
+            Volt::new(0.9),
+            SimDuration::ZERO,
+            1e9,
+            0.9,
+        );
+        assert_close!(vr.input_power(90.0), 100.0, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial voltage")]
+    fn initial_out_of_range_panics() {
+        let _ = VoltageRegulator::ideal(Volt::new(0.6), Volt::new(1.3), Volt::new(1.5));
+    }
+}

@@ -1,0 +1,141 @@
+//! Power sensing circuitry.
+//!
+//! The global controller reads package power through current/voltage sensing
+//! built into the global VR (§3.1), as in commercial VR controllers. Real
+//! sensing has latency (Table 1: 50–60 ns) and finite resolution; both are
+//! modelled here. The sensor is a tick-granular delay line: the controller
+//! always acts on slightly stale power, which the PID tuning has to absorb
+//! (and which the integration tests exercise).
+
+use hcapp_sim_core::units::Watt;
+use std::collections::VecDeque;
+
+/// A delayed, optionally quantized power sensor.
+#[derive(Debug, Clone)]
+pub struct PowerSensor {
+    /// Delay in whole simulation ticks between a sample entering the sensor
+    /// and being visible at the output.
+    delay_ticks: usize,
+    /// Quantization step in watts (0 disables quantization).
+    resolution: f64,
+    line: VecDeque<Watt>,
+    latest_output: Watt,
+}
+
+impl PowerSensor {
+    /// Create a sensor with the given pipeline delay (in simulation ticks)
+    /// and resolution (watts per LSB; 0 = ideal).
+    pub fn new(delay_ticks: usize, resolution: f64) -> Self {
+        assert!(resolution >= 0.0, "negative resolution");
+        PowerSensor {
+            delay_ticks,
+            resolution,
+            line: VecDeque::with_capacity(delay_ticks + 1),
+            latest_output: Watt::ZERO,
+        }
+    }
+
+    /// An ideal sensor: zero delay, infinite resolution.
+    pub fn ideal() -> Self {
+        PowerSensor::new(0, 0.0)
+    }
+
+    /// A Table-1-like sensor for a 100 ns tick: 50–60 ns latency rounds to
+    /// one tick; 0.1 W resolution (12-bit over a ~400 W full scale).
+    pub fn table1_default() -> Self {
+        PowerSensor::new(1, 0.1)
+    }
+
+    /// Feed the instantaneous package power for this tick; returns the
+    /// sensor output visible to the controller this tick.
+    pub fn sample(&mut self, p: Watt) -> Watt {
+        self.line.push_back(p);
+        let out = if self.line.len() > self.delay_ticks {
+            self.line.pop_front().expect("non-empty line")
+        } else {
+            // Pipeline still filling: hold the last output (zero at reset).
+            self.latest_output
+        };
+        self.latest_output = self.quantize(out);
+        self.latest_output
+    }
+
+    /// The most recent sensor output without feeding a new sample.
+    pub fn read(&self) -> Watt {
+        self.latest_output
+    }
+
+    /// Sensor pipeline delay in ticks.
+    pub fn delay_ticks(&self) -> usize {
+        self.delay_ticks
+    }
+
+    /// Clear the pipeline.
+    pub fn reset(&mut self) {
+        self.line.clear();
+        self.latest_output = Watt::ZERO;
+    }
+
+    fn quantize(&self, p: Watt) -> Watt {
+        if self.resolution > 0.0 {
+            Watt::new((p.value() / self.resolution).round() * self.resolution)
+        } else {
+            p
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcapp_sim_core::assert_close;
+
+    #[test]
+    fn ideal_passthrough() {
+        let mut s = PowerSensor::ideal();
+        assert_close!(s.sample(Watt::new(55.5)).value(), 55.5, 1e-12);
+        assert_close!(s.read().value(), 55.5, 1e-12);
+    }
+
+    #[test]
+    fn delay_line_shifts_samples() {
+        let mut s = PowerSensor::new(2, 0.0);
+        assert_close!(s.sample(Watt::new(10.0)).value(), 0.0, 1e-12);
+        assert_close!(s.sample(Watt::new(20.0)).value(), 0.0, 1e-12);
+        assert_close!(s.sample(Watt::new(30.0)).value(), 10.0, 1e-12);
+        assert_close!(s.sample(Watt::new(40.0)).value(), 20.0, 1e-12);
+    }
+
+    #[test]
+    fn quantization_rounds_to_lsb() {
+        let mut s = PowerSensor::new(0, 0.5);
+        assert_close!(s.sample(Watt::new(10.26)).value(), 10.5, 1e-12);
+        assert_close!(s.sample(Watt::new(10.24)).value(), 10.0, 1e-12);
+    }
+
+    #[test]
+    fn quantization_error_bounded() {
+        let mut s = PowerSensor::new(0, 0.1);
+        for i in 0..1000 {
+            let p = i as f64 * 0.0317;
+            let out = s.sample(Watt::new(p)).value();
+            assert!((out - p).abs() <= 0.05 + 1e-12, "error too large at {p}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_pipeline() {
+        let mut s = PowerSensor::new(1, 0.0);
+        s.sample(Watt::new(50.0));
+        s.reset();
+        assert_close!(s.read().value(), 0.0, 1e-12);
+        assert_close!(s.sample(Watt::new(70.0)).value(), 0.0, 1e-12);
+        assert_close!(s.sample(Watt::new(80.0)).value(), 70.0, 1e-12);
+    }
+
+    #[test]
+    fn table1_default_has_one_tick_delay() {
+        let s = PowerSensor::table1_default();
+        assert_eq!(s.delay_ticks(), 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the power-delivery models.
+
+use hcapp_pdn::delays::{BudgetRow, DelayRange, TransitionBudget};
+use hcapp_pdn::ripple::{RippleInjector, RippleSpec};
+use hcapp_pdn::sensing::PowerSensor;
+use hcapp_pdn::regulator::VoltageRegulator;
+use hcapp_sim_core::time::{SimDuration, SimTime};
+use hcapp_sim_core::units::{Volt, Watt};
+use proptest::prelude::*;
+
+proptest! {
+    /// The regulator output never leaves its legal range and never moves
+    /// faster than the slew limit, for any setpoint sequence.
+    #[test]
+    fn regulator_range_and_slew(targets in prop::collection::vec(0.0f64..2.0, 1..200),
+                                slew in 1e5f64..1e7) {
+        let (v_min, v_max) = (Volt::new(0.6), Volt::new(1.3));
+        let mut vr = VoltageRegulator::new(
+            v_min, v_max, Volt::new(0.95),
+            SimDuration::from_nanos(100), slew, 0.9);
+        let dt = SimDuration::from_nanos(100);
+        let mut t = SimTime::ZERO;
+        let mut prev = vr.output().value();
+        let max_step = slew * dt.as_secs_f64();
+        for target in targets {
+            vr.set_target(t, Volt::new(target));
+            for _ in 0..5 {
+                vr.step(t, dt);
+                t += dt;
+                let out = vr.output().value();
+                prop_assert!((v_min.value() - 1e-12..=v_max.value() + 1e-12).contains(&out));
+                prop_assert!((out - prev).abs() <= max_step + 1e-12,
+                    "slew violated: {} -> {} (max {})", prev, out, max_step);
+                prev = out;
+            }
+        }
+    }
+
+    /// The sensor is a pure delay + quantization: after the pipeline fills,
+    /// outputs are the inputs shifted by `delay` with bounded error.
+    #[test]
+    fn sensor_delay_and_quantization(samples in prop::collection::vec(0.0f64..300.0, 5..100),
+                                     delay in 0usize..4,
+                                     resolution in 0.0f64..1.0) {
+        let mut s = PowerSensor::new(delay, resolution);
+        let mut outs = Vec::new();
+        for &p in &samples {
+            outs.push(s.sample(Watt::new(p)).value());
+        }
+        for i in delay..samples.len() {
+            let expect = samples[i - delay];
+            let got = outs[i];
+            let tol = if resolution > 0.0 { resolution / 2.0 + 1e-9 } else { 1e-12 };
+            prop_assert!((got - expect).abs() <= tol,
+                "at {i}: {got} vs {expect} (delay {delay}, res {resolution})");
+        }
+    }
+
+    /// Ripple perturbation is bounded by amplitude + glitch depth and never
+    /// produces a negative voltage.
+    #[test]
+    fn ripple_bounded(v in 0.0f64..1.5, seed in any::<u64>(), n in 1usize..500) {
+        let spec = RippleSpec::severe();
+        let mut inj = RippleInjector::new(spec, seed, 1);
+        let bound = spec.ripple_amplitude + spec.glitch_depth;
+        for i in 0..n {
+            let out = inj.perturb(Volt::new(v), SimTime::from_nanos(i as u64 * 100)).value();
+            prop_assert!(out >= 0.0);
+            prop_assert!(out <= v + spec.ripple_amplitude + 1e-12);
+            prop_assert!(out >= (v - bound).max(0.0) - 1e-12);
+        }
+    }
+
+    /// Delay-budget arithmetic: totals are the sums of the scaled rows, and
+    /// the derived control period always covers the worst case.
+    #[test]
+    fn budget_arithmetic(rows in prop::collection::vec((1u64..500, 1u64..500, 1u64..6), 1..6)) {
+        let rows: Vec<BudgetRow> = rows
+            .into_iter()
+            .map(|(a, b, scale)| BudgetRow {
+                component: "x",
+                simulated: DelayRange::new(a.min(b), a.max(b)),
+                scale,
+            })
+            .collect();
+        let expect_max: u64 = rows.iter().map(|r| r.scaled().max_ns).sum();
+        let budget = TransitionBudget::new(rows);
+        prop_assert_eq!(budget.total().max_ns, expect_max);
+        prop_assert!(budget.control_period().as_nanos() >= expect_max);
+        // Never more than one full extra microsecond of padding.
+        prop_assert!(budget.control_period().as_nanos() < expect_max + 1_000);
+    }
+}

@@ -1,0 +1,95 @@
+//! Energy breakdown by architectural block class.
+//!
+//! McPAT (CPU) and GPUWattch (GPU) both report power split by block; the
+//! chiplet simulators accumulate the same split here so run reports can show
+//! where the budget went and tests can assert the parts sum to the whole.
+
+use crate::energy::EnergyAccount;
+use hcapp_sim_core::time::SimDuration;
+use hcapp_sim_core::units::Watt;
+
+/// Energy split by block class.
+#[derive(Debug, Clone, Default)]
+pub struct PowerBreakdown {
+    /// Core/SM dynamic switching energy.
+    pub unit_dynamic: EnergyAccount,
+    /// Core/SM leakage energy.
+    pub unit_leakage: EnergyAccount,
+    /// Uncore (caches, NoC, memory controller) energy.
+    pub uncore: EnergyAccount,
+}
+
+impl PowerBreakdown {
+    /// A zeroed breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one tick's powers.
+    pub fn record(
+        &mut self,
+        unit_dynamic: Watt,
+        unit_leakage: Watt,
+        uncore: Watt,
+        dt: SimDuration,
+    ) {
+        self.unit_dynamic.accumulate(unit_dynamic, dt);
+        self.unit_leakage.accumulate(unit_leakage, dt);
+        self.uncore.accumulate(uncore, dt);
+    }
+
+    /// Total energy across all blocks in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.unit_dynamic.joules() + self.unit_leakage.joules() + self.uncore.joules()
+    }
+
+    /// Fraction of energy spent in unit dynamic switching (0 when empty).
+    pub fn dynamic_fraction(&self) -> f64 {
+        let total = self.total_joules();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.unit_dynamic.joules() / total
+        }
+    }
+
+    /// Merge a breakdown from another worker (parallel reduction).
+    pub fn merge(&mut self, other: &PowerBreakdown) {
+        self.unit_dynamic.merge(&other.unit_dynamic);
+        self.unit_leakage.merge(&other.unit_leakage);
+        self.uncore.merge(&other.uncore);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcapp_sim_core::assert_close;
+
+    #[test]
+    fn parts_sum_to_total() {
+        let mut b = PowerBreakdown::new();
+        let dt = SimDuration::from_micros(1);
+        for _ in 0..1000 {
+            b.record(Watt::new(40.0), Watt::new(8.0), Watt::new(6.0), dt);
+        }
+        assert_close!(b.total_joules(), (40.0 + 8.0 + 6.0) * 1e-3, 1e-9);
+        assert_close!(b.dynamic_fraction(), 40.0 / 54.0, 1e-9);
+    }
+
+    #[test]
+    fn empty_fraction_is_zero() {
+        assert_eq!(PowerBreakdown::new().dynamic_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_energy() {
+        let mut a = PowerBreakdown::new();
+        let mut b = PowerBreakdown::new();
+        let dt = SimDuration::from_millis(1);
+        a.record(Watt::new(10.0), Watt::new(1.0), Watt::new(2.0), dt);
+        b.record(Watt::new(30.0), Watt::new(3.0), Watt::new(4.0), dt);
+        a.merge(&b);
+        assert_close!(a.total_joules(), 50.0 * 1e-3, 1e-9);
+    }
+}

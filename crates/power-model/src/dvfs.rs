@@ -1,0 +1,153 @@
+//! Discrete DVFS operating points.
+//!
+//! HCAPP's controllers move the voltage continuously, but firmware-style
+//! control (the RAPL-like comparison) and conventional OS governors work
+//! with a discrete table of voltage/frequency pairs. The quantized-control
+//! ablation uses this table to snap controller outputs to realizable points.
+
+use crate::freq::FrequencyModel;
+use hcapp_sim_core::units::{Hertz, Volt};
+
+/// One realizable voltage/frequency pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Supply voltage of the point.
+    pub voltage: Volt,
+    /// Clock frequency of the point.
+    pub frequency: Hertz,
+}
+
+/// An ordered table of operating points (ascending voltage).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatingPointTable {
+    points: Vec<OperatingPoint>,
+}
+
+impl OperatingPointTable {
+    /// Build a table from unordered points; sorts by voltage.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty.
+    pub fn new(mut points: Vec<OperatingPoint>) -> Self {
+        assert!(!points.is_empty(), "empty operating point table");
+        points.sort_by(|a, b| a.voltage.partial_cmp(&b.voltage).expect("NaN voltage"));
+        OperatingPointTable { points }
+    }
+
+    /// Generate `n` evenly spaced points between `v_lo` and `v_hi` using a
+    /// frequency model (the usual way vendor tables are produced).
+    ///
+    /// # Panics
+    /// Panics if `n < 2` or the voltage range is inverted.
+    pub fn from_model(model: &FrequencyModel, v_lo: Volt, v_hi: Volt, n: usize) -> Self {
+        assert!(n >= 2, "need at least two operating points");
+        assert!(v_lo.value() < v_hi.value(), "inverted voltage range");
+        let points = (0..n)
+            .map(|i| {
+                let t = i as f64 / (n - 1) as f64;
+                let v = v_lo + (v_hi - v_lo) * t;
+                OperatingPoint {
+                    voltage: v,
+                    frequency: model.frequency_at(v),
+                }
+            })
+            .collect();
+        OperatingPointTable { points }
+    }
+
+    /// All points, ascending by voltage.
+    pub fn points(&self) -> &[OperatingPoint] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Tables are never empty; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The highest point whose voltage does not exceed `v` (the safe
+    /// quantization direction for a power cap), or the lowest point if `v`
+    /// is below the entire table.
+    pub fn floor(&self, v: Volt) -> OperatingPoint {
+        let mut best = self.points[0];
+        for p in &self.points {
+            if p.voltage.value() <= v.value() + 1e-12 {
+                best = *p;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+
+    /// The point with voltage closest to `v`.
+    pub fn nearest(&self, v: Volt) -> OperatingPoint {
+        *self
+            .points
+            .iter()
+            .min_by(|a, b| {
+                let da = (a.voltage.value() - v.value()).abs();
+                let db = (b.voltage.value() - v.value()).abs();
+                da.partial_cmp(&db).expect("NaN voltage distance")
+            })
+            .expect("non-empty table")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcapp_sim_core::assert_close;
+
+    fn table() -> OperatingPointTable {
+        let model = FrequencyModel::new(
+            Volt::new(0.5),
+            Volt::new(1.25),
+            Hertz::from_mhz(800.0),
+            Hertz::from_ghz(2.0),
+        );
+        OperatingPointTable::from_model(&model, Volt::new(0.7), Volt::new(1.2), 6)
+    }
+
+    #[test]
+    fn generated_table_is_sorted_and_sized() {
+        let t = table();
+        assert_eq!(t.len(), 6);
+        for w in t.points().windows(2) {
+            assert!(w[0].voltage.value() < w[1].voltage.value());
+            assert!(w[0].frequency.value() <= w[1].frequency.value());
+        }
+        assert_close!(t.points()[0].voltage.value(), 0.7, 1e-12);
+        assert_close!(t.points()[5].voltage.value(), 1.2, 1e-12);
+    }
+
+    #[test]
+    fn floor_quantizes_downward() {
+        let t = table();
+        // Points are at 0.7, 0.8, 0.9, 1.0, 1.1, 1.2.
+        assert_close!(t.floor(Volt::new(0.95)).voltage.value(), 0.9, 1e-12);
+        assert_close!(t.floor(Volt::new(0.8)).voltage.value(), 0.8, 1e-12);
+        // Below the table: lowest point.
+        assert_close!(t.floor(Volt::new(0.2)).voltage.value(), 0.7, 1e-12);
+        // Above the table: highest point.
+        assert_close!(t.floor(Volt::new(2.0)).voltage.value(), 1.2, 1e-12);
+    }
+
+    #[test]
+    fn nearest_picks_closest() {
+        let t = table();
+        assert_close!(t.nearest(Volt::new(0.96)).voltage.value(), 1.0, 1e-12);
+        assert_close!(t.nearest(Volt::new(0.94)).voltage.value(), 0.9, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_table_panics() {
+        let _ = OperatingPointTable::new(vec![]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Voltage-to-frequency model (adaptive clocking).
+//!
+//! Under HCAPP the global controller may change the supply voltage at any
+//! time; adaptive clocking (§3.5, Keller \[15\]) keeps every clocked node
+//! functional by deriving its clock from the instantaneous local voltage.
+//! We model the achievable frequency with the α-power law at α ≈ 1:
+//!
+//! ```text
+//! f(V) = f_max · (V − V_th) / (V_fmax − V_th),   clamped to [f_min, f_max]
+//! ```
+//!
+//! This threshold-linear form captures the property the paper's results rely
+//! on: near the operating point, a modest voltage increase buys a
+//! proportionally larger frequency increase (because `V − V_th` is much
+//! smaller than `V`), which is where HCAPP's speedup from power shifting
+//! comes from.
+
+use hcapp_sim_core::units::{Hertz, Volt};
+
+/// Threshold-linear frequency model with clamping.
+///
+/// ```
+/// use hcapp_power_model::FrequencyModel;
+/// use hcapp_sim_core::units::{Hertz, Volt};
+///
+/// // The paper CPU: 2 GHz at 1.25 V, threshold 0.5 V, floor 800 MHz.
+/// let f = FrequencyModel::new(
+///     Volt::new(0.5), Volt::new(1.25),
+///     Hertz::from_mhz(800.0), Hertz::from_ghz(2.0));
+/// assert_eq!(f.frequency_at(Volt::new(1.25)), Hertz::from_ghz(2.0));
+/// // Near the operating point, +16% voltage buys +33% frequency — the
+/// // threshold-linear law behind HCAPP's power-shifting speedups.
+/// let slow = f.frequency_at(Volt::new(0.95));
+/// let fast = f.frequency_at(Volt::new(1.10));
+/// assert!(fast / slow > 1.3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequencyModel {
+    /// Device threshold voltage — no switching below this.
+    pub v_threshold: Volt,
+    /// Voltage at which the maximum frequency is reached; above it, the
+    /// clock stays pinned at `f_max` (timing closure limit).
+    pub v_fmax: Volt,
+    /// Maximum clock frequency (Table 2: 2 GHz CPU, 700 MHz GPU).
+    pub f_max: Hertz,
+    /// Minimum clock frequency (Table 2: 800 MHz CPU, 100 MHz GPU). The
+    /// adaptive clock never drops below this; undervoltage protection in the
+    /// local controller handles anything lower.
+    pub f_min: Hertz,
+}
+
+impl FrequencyModel {
+    /// Create a model, validating parameter sanity.
+    ///
+    /// # Panics
+    /// Panics if the voltage or frequency ranges are inverted.
+    pub fn new(v_threshold: Volt, v_fmax: Volt, f_min: Hertz, f_max: Hertz) -> Self {
+        assert!(
+            v_threshold.value() < v_fmax.value(),
+            "v_threshold {v_threshold} must be below v_fmax {v_fmax}"
+        );
+        assert!(
+            f_min.value() <= f_max.value(),
+            "f_min {f_min} must not exceed f_max {f_max}"
+        );
+        assert!(f_min.value() >= 0.0, "negative f_min");
+        FrequencyModel {
+            v_threshold,
+            v_fmax,
+            f_max,
+            f_min,
+        }
+    }
+
+    /// The frequency the adaptive clock produces at supply voltage `v`.
+    #[inline]
+    pub fn frequency_at(&self, v: Volt) -> Hertz {
+        let span = self.v_fmax - self.v_threshold;
+        let x = (v - self.v_threshold) / span; // dimensionless fraction
+        let f = self.f_max * x.clamp(0.0, 1.0);
+        f.max(self.f_min).min(self.f_max)
+    }
+
+    /// The lowest voltage at which `f` is achievable (inverse of
+    /// [`Self::frequency_at`] on the linear segment). Clamps to the model's
+    /// valid frequency range first.
+    #[inline]
+    pub fn voltage_for(&self, f: Hertz) -> Volt {
+        let f = f.max(self.f_min).min(self.f_max);
+        let x = f / self.f_max;
+        self.v_threshold + (self.v_fmax - self.v_threshold) * x
+    }
+
+    /// Frequency at `v` as a fraction of `f_max` (used by IPC models and
+    /// speedup accounting).
+    #[inline]
+    pub fn speed_fraction(&self, v: Volt) -> f64 {
+        self.frequency_at(v) / self.f_max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcapp_sim_core::assert_close;
+
+    fn cpu_model() -> FrequencyModel {
+        // CPU-like: 2 GHz at 1.25 V, threshold 0.5 V, floor 800 MHz.
+        FrequencyModel::new(
+            Volt::new(0.5),
+            Volt::new(1.25),
+            Hertz::from_mhz(800.0),
+            Hertz::from_ghz(2.0),
+        )
+    }
+
+    #[test]
+    fn endpoints() {
+        let m = cpu_model();
+        assert_close!(m.frequency_at(Volt::new(1.25)).as_ghz(), 2.0, 1e-12);
+        // Below threshold the clock floors at f_min.
+        assert_close!(m.frequency_at(Volt::new(0.3)).as_ghz(), 0.8, 1e-12);
+        // Above v_fmax the clock pins at f_max.
+        assert_close!(m.frequency_at(Volt::new(1.5)).as_ghz(), 2.0, 1e-12);
+    }
+
+    #[test]
+    fn linear_mid_range() {
+        let m = cpu_model();
+        // At V = 0.875 (midpoint of threshold..v_fmax) f = 1 GHz.
+        assert_close!(m.frequency_at(Volt::new(0.875)).as_ghz(), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn threshold_sensitivity_beats_proportionality() {
+        // The key speedup mechanism: +16% voltage gives +33% frequency here.
+        let m = cpu_model();
+        let f1 = m.frequency_at(Volt::new(0.95));
+        let f2 = m.frequency_at(Volt::new(1.10));
+        let v_ratio: f64 = 1.10 / 0.95;
+        let f_ratio = f2 / f1;
+        assert!(
+            f_ratio > v_ratio,
+            "f ratio {f_ratio} should exceed V ratio {v_ratio}"
+        );
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let m = cpu_model();
+        for f_ghz in [0.8, 1.0, 1.5, 2.0] {
+            let f = Hertz::from_ghz(f_ghz);
+            let v = m.voltage_for(f);
+            assert_close!(m.frequency_at(v).as_ghz(), f_ghz, 1e-9);
+        }
+    }
+
+    #[test]
+    fn inverse_clamps() {
+        let m = cpu_model();
+        let v = m.voltage_for(Hertz::from_ghz(5.0));
+        assert_close!(v.value(), 1.25, 1e-12);
+    }
+
+    #[test]
+    fn monotone_nondecreasing() {
+        let m = cpu_model();
+        let mut prev = 0.0;
+        for i in 0..200 {
+            let v = Volt::new(0.2 + i as f64 * 0.01);
+            let f = m.frequency_at(v).value();
+            assert!(f >= prev, "frequency decreased at {v}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn speed_fraction() {
+        let m = cpu_model();
+        assert_close!(m.speed_fraction(Volt::new(1.25)), 1.0, 1e-12);
+        assert_close!(m.speed_fraction(Volt::new(0.875)), 0.5, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "v_threshold")]
+    fn inverted_voltage_range_panics() {
+        let _ = FrequencyModel::new(
+            Volt::new(1.3),
+            Volt::new(1.0),
+            Hertz::from_mhz(100.0),
+            Hertz::from_mhz(700.0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "f_min")]
+    fn inverted_frequency_range_panics() {
+        let _ = FrequencyModel::new(
+            Volt::new(0.5),
+            Volt::new(1.0),
+            Hertz::from_ghz(2.0),
+            Hertz::from_mhz(700.0),
+        );
+    }
+}

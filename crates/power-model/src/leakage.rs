@@ -1,0 +1,105 @@
+//! Static (leakage) power.
+//!
+//! Leakage grows superlinearly with supply voltage; over the narrow voltage
+//! ranges the domains operate in, a quadratic `P_leak = k·V²` is an adequate
+//! fit (McPAT itself uses technology-calibrated curves that are locally
+//! near-quadratic). An optional temperature coefficient supports the thermal
+//! extension.
+
+use hcapp_sim_core::units::{Volt, Watt};
+
+/// Quadratic-in-voltage leakage model with optional temperature dependence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeakageModel {
+    /// Leakage coefficient in W/V².
+    pub k: f64,
+    /// Fractional leakage increase per kelvin above the reference
+    /// temperature (typical silicon: ~1%/K). Zero disables the dependence.
+    pub temp_coeff_per_k: f64,
+    /// Reference temperature in kelvin for the coefficient above.
+    pub t_ref_kelvin: f64,
+}
+
+impl LeakageModel {
+    /// Temperature-independent leakage with coefficient `k` (W/V²).
+    ///
+    /// # Panics
+    /// Panics if `k` is negative or non-finite.
+    pub fn new(k: f64) -> Self {
+        assert!(k.is_finite() && k >= 0.0, "invalid leakage coefficient {k}");
+        LeakageModel {
+            k,
+            temp_coeff_per_k: 0.0,
+            t_ref_kelvin: 330.0,
+        }
+    }
+
+    /// Calibrate from a design point: leakage power `p_leak` at `v_design`.
+    pub fn from_design_point(p_leak: Watt, v_design: Volt) -> Self {
+        let denom = v_design.value() * v_design.value();
+        assert!(denom > 0.0, "degenerate leakage design point");
+        LeakageModel::new(p_leak.value() / denom)
+    }
+
+    /// Enable temperature dependence (builder style).
+    pub fn with_temperature(mut self, coeff_per_k: f64, t_ref_kelvin: f64) -> Self {
+        assert!(coeff_per_k >= 0.0 && t_ref_kelvin > 0.0);
+        self.temp_coeff_per_k = coeff_per_k;
+        self.t_ref_kelvin = t_ref_kelvin;
+        self
+    }
+
+    /// Leakage power at voltage `v` and the reference temperature.
+    #[inline]
+    pub fn power(&self, v: Volt) -> Watt {
+        Watt::new(self.k * v.value() * v.value())
+    }
+
+    /// Leakage power at voltage `v` and temperature `t_kelvin`.
+    #[inline]
+    pub fn power_at_temp(&self, v: Volt, t_kelvin: f64) -> Watt {
+        let scale = 1.0 + self.temp_coeff_per_k * (t_kelvin - self.t_ref_kelvin);
+        self.power(v) * scale.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcapp_sim_core::assert_close;
+
+    #[test]
+    fn quadratic_scaling() {
+        let m = LeakageModel::new(2.0);
+        assert_close!(m.power(Volt::new(1.0)).value(), 2.0, 1e-12);
+        assert_close!(m.power(Volt::new(2.0)).value(), 8.0, 1e-12);
+    }
+
+    #[test]
+    fn design_point() {
+        let m = LeakageModel::from_design_point(Watt::new(3.0), Volt::new(1.2));
+        assert_close!(m.power(Volt::new(1.2)).value(), 3.0, 1e-12);
+    }
+
+    #[test]
+    fn temperature_dependence() {
+        let m = LeakageModel::new(1.0).with_temperature(0.01, 330.0);
+        let cold = m.power_at_temp(Volt::new(1.0), 330.0).value();
+        let hot = m.power_at_temp(Volt::new(1.0), 340.0).value();
+        assert_close!(cold, 1.0, 1e-12);
+        assert_close!(hot, 1.1, 1e-12);
+    }
+
+    #[test]
+    fn temperature_scale_never_negative() {
+        let m = LeakageModel::new(1.0).with_temperature(0.01, 330.0);
+        let p = m.power_at_temp(Volt::new(1.0), 0.0).value();
+        assert!(p >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid leakage")]
+    fn negative_k_panics() {
+        let _ = LeakageModel::new(-0.1);
+    }
+}

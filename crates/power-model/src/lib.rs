@@ -1,0 +1,46 @@
+//! Voltage/frequency/power models for chiplet components.
+//!
+//! The paper's component simulators (Sniper+McPAT for the CPU, GPGPU-Sim +
+//! GPUWattch for the GPU, a LUT model for the SHA accelerator) all reduce, at
+//! the interface HCAPP consumes, to three relationships per component:
+//!
+//! 1. **Frequency from voltage** (adaptive clocking, §3.5 / Keller \[15\]):
+//!    modelled as threshold-linear `f ∝ (V − V_th)` — the α≈1 alpha-power
+//!    law — in [`freq::FrequencyModel`].
+//! 2. **Power from voltage, frequency and activity**: the classic
+//!    `P_dyn = C_eff·V²·f·a` switching model in [`dynamic::DynamicPower`]
+//!    plus a `P_leak ∝ V²` leakage term in [`leakage::LeakageModel`].
+//!    Together these give the approximately *cubic* power-voltage
+//!    relationship that motivates the cube-root error term of the paper's
+//!    Eq. 1.
+//! 3. **Energy over time**: [`energy::EnergyAccount`] integrates power.
+//!
+//! [`model::ComponentPowerModel`] composes the first two into the single
+//! object the CPU/GPU/accelerator simulators use. [`dvfs`] adds discrete
+//! operating points (used by quantized/firmware-style control), and
+//! [`thermal`] an RC thermal model for the local-controller thermal clamp
+//! extension (§3.3; off by default because the paper assumes the power cap
+//! sits below the TDP).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod breakdown;
+pub mod dvfs;
+pub mod dynamic;
+pub mod energy;
+pub mod freq;
+pub mod leakage;
+pub mod memory;
+pub mod model;
+pub mod thermal;
+
+pub use breakdown::PowerBreakdown;
+pub use dvfs::OperatingPointTable;
+pub use dynamic::DynamicPower;
+pub use energy::EnergyAccount;
+pub use freq::FrequencyModel;
+pub use leakage::LeakageModel;
+pub use memory::MemoryStack;
+pub use model::ComponentPowerModel;
+pub use thermal::ThermalModel;

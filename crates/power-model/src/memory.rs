@@ -1,0 +1,119 @@
+//! Memory-stack power model.
+//!
+//! §3.2: "Certain subcomponents, such as memory, need a constant voltage" —
+//! their domain controllers run in [`DomainMode::Fixed`] and ignore the
+//! global voltage entirely. The power model for such a stack (DRAM/HBM on
+//! the interposer) is simple but real: a static floor (refresh, PLLs,
+//! peripheral logic) plus a traffic-proportional dynamic term. Performance
+//! is scheme-independent by construction — the stack always runs at its
+//! fixed voltage — which is exactly why the paper's Eq. 3 speedups cover
+//! only the compute components.
+//!
+//! [`DomainMode::Fixed`]: ../../hcapp/controller/domain/enum.DomainMode.html
+
+use hcapp_sim_core::time::SimDuration;
+use hcapp_sim_core::units::{Volt, Watt};
+
+/// A fixed-voltage memory stack on the interposer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryStack {
+    /// The stack's required constant voltage.
+    pub voltage: Volt,
+    /// Static power (refresh, periphery) at the fixed voltage.
+    pub static_power: Watt,
+    /// Dynamic power at full traffic.
+    pub peak_dynamic: Watt,
+    /// Current traffic utilization in `[0, 1]` (set by the package from the
+    /// compute domains' memory intensity).
+    traffic: f64,
+    /// Serviced traffic integral (GB-equivalents, arbitrary units) — the
+    /// stack's "work", constant-rate under any scheme at fixed traffic.
+    serviced: f64,
+    /// Peak bandwidth in arbitrary units per second at full traffic.
+    pub peak_bandwidth: f64,
+}
+
+impl MemoryStack {
+    /// An HBM-ish default: 1.2 V, 3 W static, 6 W peak dynamic.
+    pub fn hbm_default() -> Self {
+        MemoryStack::new(Volt::new(1.2), Watt::new(3.0), Watt::new(6.0), 100.0)
+    }
+
+    /// Create a stack.
+    ///
+    /// # Panics
+    /// Panics on non-positive voltage or negative powers.
+    pub fn new(voltage: Volt, static_power: Watt, peak_dynamic: Watt, peak_bandwidth: f64) -> Self {
+        assert!(voltage.value() > 0.0, "non-positive memory voltage");
+        assert!(static_power.value() >= 0.0 && peak_dynamic.value() >= 0.0);
+        assert!(peak_bandwidth > 0.0);
+        MemoryStack {
+            voltage,
+            static_power,
+            peak_dynamic,
+            traffic: 0.0,
+            serviced: 0.0,
+            peak_bandwidth,
+        }
+    }
+
+    /// Set the traffic utilization for the next step (clamped to `[0, 1]`).
+    pub fn set_traffic(&mut self, traffic: f64) {
+        self.traffic = traffic.clamp(0.0, 1.0);
+    }
+
+    /// Current traffic utilization.
+    pub fn traffic(&self) -> f64 {
+        self.traffic
+    }
+
+    /// Advance one tick; returns the stack's power. The supplied voltage is
+    /// ignored beyond a sanity clamp — this *is* the fixed-voltage domain.
+    pub fn step(&mut self, dt: SimDuration) -> Watt {
+        self.serviced += self.traffic * self.peak_bandwidth * dt.as_secs_f64();
+        self.static_power + self.peak_dynamic * self.traffic
+    }
+
+    /// Serviced traffic so far (work metric; rate is scheme-independent).
+    pub fn work_done(&self) -> f64 {
+        self.serviced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcapp_sim_core::assert_close;
+
+    #[test]
+    fn idle_stack_draws_static_floor() {
+        let mut m = MemoryStack::hbm_default();
+        let p = m.step(SimDuration::from_micros(1));
+        assert_close!(p.value(), 3.0, 1e-12);
+        assert_eq!(m.work_done(), 0.0);
+    }
+
+    #[test]
+    fn traffic_scales_dynamic_power_and_work() {
+        let mut m = MemoryStack::hbm_default();
+        m.set_traffic(0.5);
+        let p = m.step(SimDuration::from_millis(1));
+        assert_close!(p.value(), 3.0 + 3.0, 1e-12);
+        assert_close!(m.work_done(), 0.5 * 100.0 * 1e-3, 1e-12);
+    }
+
+    #[test]
+    fn traffic_clamped() {
+        let mut m = MemoryStack::hbm_default();
+        m.set_traffic(7.0);
+        assert_eq!(m.traffic(), 1.0);
+        m.set_traffic(-1.0);
+        assert_eq!(m.traffic(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive memory voltage")]
+    fn zero_voltage_panics() {
+        let _ = MemoryStack::new(Volt::ZERO, Watt::new(1.0), Watt::new(1.0), 1.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Lumped RC thermal model.
+//!
+//! §3.3 of the paper: local controllers monitor thermal sensors and would
+//! reduce local voltage on a thermal violation, but the evaluation assumes
+//! the power cap is below the TDP so temperature never constrains the runs.
+//! We implement the model anyway (it backs the thermal-clamp extension and
+//! an integration test that shows the clamp engaging when the assumption is
+//! violated).
+//!
+//! The model is the standard first-order lumped network:
+//!
+//! ```text
+//! C_th · dT/dt = P − (T − T_amb) / R_th
+//! ```
+//!
+//! stepped with the exact exponential update (unconditionally stable for any
+//! tick size).
+
+use hcapp_sim_core::time::SimDuration;
+use hcapp_sim_core::units::Watt;
+
+/// First-order thermal RC node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalModel {
+    /// Thermal resistance junction→ambient in K/W.
+    pub r_th: f64,
+    /// Thermal capacitance in J/K.
+    pub c_th: f64,
+    /// Ambient temperature in kelvin.
+    pub t_ambient: f64,
+    /// Current junction temperature in kelvin.
+    t_junction: f64,
+}
+
+impl ThermalModel {
+    /// Create a node at ambient temperature.
+    ///
+    /// # Panics
+    /// Panics on non-positive `r_th`/`c_th`.
+    pub fn new(r_th: f64, c_th: f64, t_ambient: f64) -> Self {
+        assert!(r_th > 0.0 && c_th > 0.0, "non-positive thermal parameters");
+        ThermalModel {
+            r_th,
+            c_th,
+            t_ambient,
+            t_junction: t_ambient,
+        }
+    }
+
+    /// Current junction temperature in kelvin.
+    #[inline]
+    pub fn temperature(&self) -> f64 {
+        self.t_junction
+    }
+
+    /// Thermal time constant `R·C` in seconds.
+    #[inline]
+    pub fn time_constant_secs(&self) -> f64 {
+        self.r_th * self.c_th
+    }
+
+    /// Steady-state temperature under constant power `p`.
+    #[inline]
+    pub fn steady_state(&self, p: Watt) -> f64 {
+        self.t_ambient + p.value() * self.r_th
+    }
+
+    /// Advance the node by `dt` under constant power `p` (exact exponential
+    /// integration of the linear ODE).
+    pub fn step(&mut self, p: Watt, dt: SimDuration) {
+        let t_inf = self.steady_state(p);
+        let tau = self.time_constant_secs();
+        let alpha = (-dt.as_secs_f64() / tau).exp();
+        self.t_junction = t_inf + (self.t_junction - t_inf) * alpha;
+    }
+
+    /// Reset to ambient.
+    pub fn reset(&mut self) {
+        self.t_junction = self.t_ambient;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcapp_sim_core::assert_close;
+
+    fn node() -> ThermalModel {
+        // tau = 1 ms: fast for a silicon die but keeps tests cheap; the
+        // paper's point (thermal ≫ electrical timescale) still holds since
+        // the electrical control period is 1 µs.
+        ThermalModel::new(0.5, 2e-3, 320.0)
+    }
+
+    #[test]
+    fn starts_at_ambient() {
+        assert_close!(node().temperature(), 320.0, 1e-12);
+    }
+
+    #[test]
+    fn approaches_steady_state() {
+        let mut n = node();
+        let p = Watt::new(40.0);
+        // 10 time constants → within 0.005% of steady state.
+        for _ in 0..10_000 {
+            n.step(p, SimDuration::from_micros(1));
+        }
+        assert_close!(n.temperature(), n.steady_state(p), 0.01);
+        assert_close!(n.steady_state(p), 340.0, 1e-12);
+    }
+
+    #[test]
+    fn heats_monotonically_under_constant_power() {
+        let mut n = node();
+        let mut prev = n.temperature();
+        for _ in 0..100 {
+            n.step(Watt::new(20.0), SimDuration::from_micros(10));
+            assert!(n.temperature() >= prev);
+            prev = n.temperature();
+        }
+    }
+
+    #[test]
+    fn cools_when_power_removed() {
+        let mut n = node();
+        for _ in 0..1000 {
+            n.step(Watt::new(40.0), SimDuration::from_micros(10));
+        }
+        let hot = n.temperature();
+        for _ in 0..1000 {
+            n.step(Watt::ZERO, SimDuration::from_micros(10));
+        }
+        assert!(n.temperature() < hot);
+        // And returns toward ambient.
+        for _ in 0..10_000 {
+            n.step(Watt::ZERO, SimDuration::from_micros(10));
+        }
+        assert_close!(n.temperature(), 320.0, 0.01);
+    }
+
+    #[test]
+    fn step_size_invariance() {
+        // Exact integration: one 1 ms step equals a thousand 1 µs steps.
+        let p = Watt::new(30.0);
+        let mut coarse = node();
+        coarse.step(p, SimDuration::from_millis(1));
+        let mut fine = node();
+        for _ in 0..1000 {
+            fine.step(p, SimDuration::from_micros(1));
+        }
+        assert_close!(coarse.temperature(), fine.temperature(), 1e-9);
+    }
+
+    #[test]
+    fn reset_returns_to_ambient() {
+        let mut n = node();
+        n.step(Watt::new(40.0), SimDuration::from_millis(5));
+        n.reset();
+        assert_close!(n.temperature(), 320.0, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn bad_params_panic() {
+        let _ = ThermalModel::new(0.0, 1.0, 300.0);
+    }
+}

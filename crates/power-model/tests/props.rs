@@ -1,0 +1,100 @@
+//! Property-based tests for the power models.
+
+use hcapp_power_model::{
+    ComponentPowerModel, DynamicPower, FrequencyModel, LeakageModel, OperatingPointTable,
+    ThermalModel,
+};
+use hcapp_sim_core::time::SimDuration;
+use hcapp_sim_core::units::{Hertz, Volt, Watt};
+use proptest::prelude::*;
+
+fn arb_freq_model() -> impl Strategy<Value = FrequencyModel> {
+    (0.3f64..0.6, 0.2f64..0.8, 0.1f64..1.0, 1.0f64..3.0).prop_map(|(vth, span, fmin_r, fmax)| {
+        FrequencyModel::new(
+            Volt::new(vth),
+            Volt::new(vth + span),
+            Hertz::from_ghz(fmax * fmin_r),
+            Hertz::from_ghz(fmax),
+        )
+    })
+}
+
+proptest! {
+    /// Frequency is monotone non-decreasing in voltage and stays in range.
+    #[test]
+    fn frequency_monotone_and_bounded(m in arb_freq_model(), v1 in 0.0f64..2.0, v2 in 0.0f64..2.0) {
+        let (lo, hi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+        let f_lo = m.frequency_at(Volt::new(lo));
+        let f_hi = m.frequency_at(Volt::new(hi));
+        prop_assert!(f_lo.value() <= f_hi.value() + 1e-6);
+        prop_assert!(f_lo.value() >= m.f_min.value() - 1e-6);
+        prop_assert!(f_hi.value() <= m.f_max.value() + 1e-6);
+    }
+
+    /// voltage_for/frequency_at roundtrip on the achievable range.
+    #[test]
+    fn freq_inverse_roundtrip(m in arb_freq_model(), t in 0.0f64..1.0) {
+        let f = Hertz::new(m.f_min.value() + t * (m.f_max.value() - m.f_min.value()));
+        let v = m.voltage_for(f);
+        let back = m.frequency_at(v);
+        prop_assert!((back.value() - f.value()).abs() <= 1e-3 * m.f_max.value(),
+            "f {} -> v {} -> f {}", f.value(), v.value(), back.value());
+    }
+
+    /// Total power is monotone in voltage and in activity.
+    #[test]
+    fn power_monotone(m in arb_freq_model(),
+                      ceff in 1e-10f64..1e-8,
+                      leak in 0.0f64..5.0,
+                      v1 in 0.5f64..1.5, v2 in 0.5f64..1.5,
+                      a1 in 0.0f64..1.0, a2 in 0.0f64..1.0) {
+        let cpm = ComponentPowerModel::new(m, DynamicPower::new(ceff), LeakageModel::new(leak));
+        let (vlo, vhi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+        let (alo, ahi) = if a1 <= a2 { (a1, a2) } else { (a2, a1) };
+        prop_assert!(cpm.power(Volt::new(vlo), alo).value()
+                  <= cpm.power(Volt::new(vhi), alo).value() + 1e-9);
+        prop_assert!(cpm.power(Volt::new(vlo), alo).value()
+                  <= cpm.power(Volt::new(vlo), ahi).value() + 1e-9);
+    }
+
+    /// Power decomposes exactly into dynamic + leakage.
+    #[test]
+    fn power_decomposition(m in arb_freq_model(), ceff in 1e-10f64..1e-8,
+                           leak in 0.0f64..5.0, v in 0.5f64..1.5, a in 0.0f64..1.0) {
+        let cpm = ComponentPowerModel::new(m, DynamicPower::new(ceff), LeakageModel::new(leak));
+        let v = Volt::new(v);
+        let total = cpm.power(v, a).value();
+        let parts = cpm.dynamic_power(v, a).value() + cpm.leakage_power(v).value();
+        prop_assert!((total - parts).abs() < 1e-9 * total.max(1.0));
+    }
+
+    /// Operating-point floor never exceeds the requested voltage (unless the
+    /// request is below the whole table).
+    #[test]
+    fn opp_floor_is_safe(v in 0.0f64..2.0) {
+        let m = FrequencyModel::new(
+            Volt::new(0.5), Volt::new(1.25),
+            Hertz::from_mhz(800.0), Hertz::from_ghz(2.0));
+        let t = OperatingPointTable::from_model(&m, Volt::new(0.7), Volt::new(1.2), 11);
+        let p = t.floor(Volt::new(v));
+        if v >= 0.7 {
+            prop_assert!(p.voltage.value() <= v + 1e-9);
+        } else {
+            prop_assert!((p.voltage.value() - 0.7).abs() < 1e-9);
+        }
+    }
+
+    /// Thermal temperature always lies between ambient and the steady state
+    /// for constant-power heating from ambient.
+    #[test]
+    fn thermal_bounded(p in 0.0f64..100.0, steps in 1usize..500) {
+        let mut n = ThermalModel::new(0.5, 2e-3, 320.0);
+        let power = Watt::new(p);
+        for _ in 0..steps {
+            n.step(power, SimDuration::from_micros(10));
+        }
+        let t = n.temperature();
+        prop_assert!(t >= 320.0 - 1e-9);
+        prop_assert!(t <= n.steady_state(power) + 1e-9);
+    }
+}

@@ -1,0 +1,63 @@
+//! Floating-point comparison helpers shared by tests and calibration code.
+
+/// True when `a` and `b` agree within absolute tolerance `tol`.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// True when `a` and `b` agree within relative tolerance `rel` (falling back
+/// to absolute comparison near zero).
+#[inline]
+pub fn approx_eq_rel(a: f64, b: f64, rel: f64) -> bool {
+    let scale = a.abs().max(b.abs());
+    if scale < 1e-12 {
+        return true;
+    }
+    (a - b).abs() <= rel * scale
+}
+
+/// Assert that two values agree within absolute tolerance, with a useful
+/// message on failure.
+#[macro_export]
+macro_rules! assert_close {
+    ($a:expr, $b:expr, $tol:expr) => {{
+        let (a, b, tol) = ($a, $b, $tol);
+        assert!(
+            $crate::approx::approx_eq(a, b, tol),
+            "assert_close failed: {} = {a}, {} = {b}, |diff| = {} > {tol}",
+            stringify!($a),
+            stringify!($b),
+            (a - b).abs()
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute() {
+        assert!(approx_eq(1.0, 1.0000001, 1e-5));
+        assert!(!approx_eq(1.0, 1.1, 1e-5));
+    }
+
+    #[test]
+    fn relative() {
+        assert!(approx_eq_rel(1000.0, 1001.0, 0.01));
+        assert!(!approx_eq_rel(1000.0, 1100.0, 0.01));
+        assert!(approx_eq_rel(0.0, 1e-13, 0.01));
+    }
+
+    #[test]
+    fn macro_passes() {
+        assert_close!(2.0, 2.0 + 1e-9, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "assert_close failed")]
+    fn macro_fails() {
+        assert_close!(2.0, 3.0, 1e-6);
+    }
+}

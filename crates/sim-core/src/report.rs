@@ -1,0 +1,256 @@
+//! Console tables and CSV emission for the experiment harness.
+//!
+//! Every experiment binary prints the rows/series the paper reports as a
+//! fixed-width console table and also writes a CSV under `results/` so the
+//! numbers can be plotted and diffed across runs.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row of pre-formatted cells.
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the header row.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity {} != header arity {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Render as an aligned console string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let mut line = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(line, "{:<w$}  ", h, w = widths[i]);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(line, "{:<w$}  ", cell, w = widths[i]);
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+
+    /// Render as CSV (headers + rows), quoting cells that need it.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", csv_line(&self.headers));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", csv_line(row));
+        }
+        out
+    }
+
+    /// Write the CSV form to `path`, creating parent directories.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+fn csv_line(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| csv_escape(c))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn csv_escape(cell: &str) -> String {
+    if cell.contains([',', '"', '\n']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Format a ratio as a percentage string like `93.9%`.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Format a speedup ratio like `1.43x`.
+pub fn speedup(x: f64) -> String {
+    format!("{x:.3}x")
+}
+
+/// Format a plain f64 with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Write a multi-series CSV: one `t` column followed by one column per series.
+///
+/// All series must have equal lengths; `t` supplies the time axis values.
+pub fn write_series_csv(
+    path: impl AsRef<Path>,
+    t_label: &str,
+    t: &[f64],
+    series: &[(&str, &[f64])],
+) -> io::Result<()> {
+    for (name, s) in series {
+        assert_eq!(
+            s.len(),
+            t.len(),
+            "series '{name}' length {} != time axis length {}",
+            s.len(),
+            t.len()
+        );
+    }
+    let mut out = String::new();
+    let mut header = vec![t_label.to_string()];
+    header.extend(series.iter().map(|(n, _)| n.to_string()));
+    let _ = writeln!(out, "{}", csv_line(&header));
+    for i in 0..t.len() {
+        let mut row = vec![format!("{:.6}", t[i])];
+        for (_, s) in series {
+            row.push(format!("{:.6}", s[i]));
+        }
+        let _ = writeln!(out, "{}", row.join(","));
+    }
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_alignment() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.add_row(vec!["short".into(), "1".into()]);
+        t.add_row(vec!["a-much-longer-name".into(), "22.5".into()]);
+        let r = t.render();
+        assert!(r.contains("== Demo =="));
+        assert!(r.contains("a-much-longer-name"));
+        // Header and row columns align: "value" starts at the same offset.
+        let lines: Vec<&str> = r.lines().collect();
+        let header_off = lines[1].find("value").unwrap();
+        let row_off = lines[3].find('1').unwrap();
+        assert_eq!(header_off, row_off);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.add_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.add_row(vec!["has,comma".into(), "has\"quote".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn csv_file_roundtrip() {
+        let dir = std::env::temp_dir().join("hcapp_report_test");
+        let path = dir.join("t.csv");
+        let mut t = Table::new("x", &["a"]);
+        t.add_row(vec!["1".into()]);
+        t.write_csv(&path).unwrap();
+        let got = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(got, "a\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.939), "93.9%");
+        assert_eq!(speedup(1.43), "1.430x");
+        assert_eq!(f3(0.12345), "0.123");
+    }
+
+    #[test]
+    fn series_csv() {
+        let dir = std::env::temp_dir().join("hcapp_series_test");
+        let path = dir.join("s.csv");
+        write_series_csv(
+            &path,
+            "t_us",
+            &[0.0, 1.0],
+            &[("a", &[10.0, 20.0][..]), ("b", &[1.0, 2.0][..])],
+        )
+        .unwrap();
+        let got = std::fs::read_to_string(&path).unwrap();
+        let mut lines = got.lines();
+        assert_eq!(lines.next().unwrap(), "t_us,a,b");
+        assert!(lines.next().unwrap().starts_with("0.000000,10.000000"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn series_csv_length_mismatch() {
+        let _ = write_series_csv(
+            std::env::temp_dir().join("never.csv"),
+            "t",
+            &[0.0],
+            &[("a", &[1.0, 2.0][..])],
+        );
+    }
+}

@@ -1,0 +1,379 @@
+//! Nanosecond-resolution simulated time.
+//!
+//! All simulators in the workspace advance on a fixed tick expressed as a
+//! [`SimDuration`]; absolute instants are [`SimTime`]. Both wrap a `u64`
+//! nanosecond count, which covers ~584 years of simulated time — far beyond
+//! the 200 ms runs in the paper — without drift or floating-point rounding.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// One nanosecond, the base unit of simulated time.
+pub const NANOSECOND: SimDuration = SimDuration::from_nanos(1);
+/// One microsecond (1 000 ns). The HCAPP global control period is 1 µs.
+pub const MICROSECOND: SimDuration = SimDuration::from_nanos(1_000);
+/// One millisecond (1 000 000 ns). The software-like control period is 10 ms.
+pub const MILLISECOND: SimDuration = SimDuration::from_nanos(1_000_000);
+/// One second.
+pub const SECOND: SimDuration = SimDuration::from_nanos(1_000_000_000);
+
+/// An absolute instant in simulated time, measured in nanoseconds since the
+/// start of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from a raw nanosecond count.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// The raw nanosecond count since simulation start.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// This instant expressed in (fractional) microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 * 1e-3
+    }
+
+    /// Duration elapsed since an earlier instant.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `earlier` is later than `self`.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(earlier.0 <= self.0, "time went backwards");
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// Whether this instant lies on a boundary of `period` (i.e. `t % period == 0`).
+    ///
+    /// Used by the coordinator to decide when a controller with a given
+    /// control period fires.
+    #[inline]
+    pub fn is_multiple_of(self, period: SimDuration) -> bool {
+        period.0 != 0 && self.0.is_multiple_of(period.0)
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from a raw nanosecond count.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from (fractional) seconds, rounding to the nearest
+    /// nanosecond.
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        debug_assert!(secs >= 0.0, "negative duration");
+        SimDuration((secs * 1e9).round() as u64)
+    }
+
+    /// The raw nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This duration in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// This duration in (fractional) microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 * 1e-3
+    }
+
+    /// Whether this is the zero duration.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Integer number of ticks of length `tick` in this duration.
+    ///
+    /// # Panics
+    /// Panics if `tick` is zero; debug-asserts that `tick` divides `self`
+    /// exactly (simulation schedules are designed so control periods are
+    /// integer multiples of the tick).
+    #[inline]
+    pub fn ticks(self, tick: SimDuration) -> u64 {
+        assert!(tick.0 != 0, "zero tick");
+        debug_assert!(
+            self.0.is_multiple_of(tick.0),
+            "duration {self:?} not an integer multiple of tick {tick:?}"
+        );
+        self.0 / tick.0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The larger of two durations.
+    #[inline]
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two durations.
+    #[inline]
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(rhs.0 <= self.0, "duration underflow");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Div for SimDuration {
+    /// Integer quotient of two durations (how many `rhs` fit in `self`).
+    type Output = u64;
+    #[inline]
+    fn div(self, rhs: SimDuration) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Rem for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn rem(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 % rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ns(self.0, f)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ns(self.0, f)
+    }
+}
+
+fn fmt_ns(ns: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if ns >= 1_000_000_000 && ns.is_multiple_of(1_000_000) {
+        write!(f, "{:.3}s", ns as f64 * 1e-9)
+    } else if ns >= 1_000_000 {
+        write!(f, "{:.3}ms", ns as f64 * 1e-6)
+    } else if ns >= 1_000 {
+        write!(f, "{:.3}us", ns as f64 * 1e-3)
+    } else {
+        write!(f, "{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(SimTime::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimTime::from_millis(2).as_nanos(), 2_000_000);
+        assert_eq!(SimDuration::from_micros(1).as_nanos(), 1_000);
+        assert_eq!(SimDuration::from_millis(10).as_nanos(), 10_000_000);
+        assert_eq!(SimDuration::from_secs_f64(0.5).as_nanos(), 500_000_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_micros(5) + SimDuration::from_micros(7);
+        assert_eq!(t.as_nanos(), 12_000);
+        assert_eq!(
+            (t - SimTime::from_micros(2)).as_nanos(),
+            SimDuration::from_micros(10).as_nanos()
+        );
+        let mut d = SimDuration::from_micros(4);
+        d += SimDuration::from_micros(1);
+        assert_eq!(d, SimDuration::from_micros(5));
+        d -= SimDuration::from_micros(2);
+        assert_eq!(d, SimDuration::from_micros(3));
+        assert_eq!(d * 3, SimDuration::from_micros(9));
+        assert_eq!(SimDuration::from_micros(9) / SimDuration::from_micros(2), 4);
+        assert_eq!(
+            SimDuration::from_micros(9) % SimDuration::from_micros(2),
+            SimDuration::from_micros(1)
+        );
+    }
+
+    #[test]
+    fn tick_counting() {
+        let period = SimDuration::from_micros(1);
+        let tick = SimDuration::from_nanos(100);
+        assert_eq!(period.ticks(tick), 10);
+    }
+
+    #[test]
+    fn boundary_detection() {
+        let period = SimDuration::from_micros(1);
+        assert!(SimTime::ZERO.is_multiple_of(period));
+        assert!(SimTime::from_nanos(2_000).is_multiple_of(period));
+        assert!(!SimTime::from_nanos(2_500).is_multiple_of(period));
+        assert!(!SimTime::from_nanos(500).is_multiple_of(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let t = SimTime::from_millis(200);
+        assert!((t.as_secs_f64() - 0.2).abs() < 1e-12);
+        assert!((t.as_micros_f64() - 200_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_picks_sensible_unit() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(17)), "17ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(20)), "20.000us");
+        assert_eq!(format!("{}", SimDuration::from_millis(10)), "10.000ms");
+        assert_eq!(format!("{}", SimDuration::from_millis(1_500)), "1.500s");
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimDuration::from_micros(1);
+        let b = SimDuration::from_micros(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(b.saturating_sub(a), a);
+        assert_eq!(a.saturating_sub(b), SimDuration::ZERO);
+    }
+}

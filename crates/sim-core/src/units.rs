@@ -1,0 +1,259 @@
+//! Physical-quantity newtypes.
+//!
+//! The controllers and component simulators exchange voltages, powers and
+//! frequencies. Wrapping them in newtypes catches unit mix-ups at compile
+//! time (e.g. feeding a power where a voltage is expected) while keeping the
+//! runtime representation a bare `f64`.
+//!
+//! Only the operations that are physically meaningful are implemented:
+//! same-unit addition/subtraction, scaling by dimensionless `f64`, and
+//! ratios of same-unit quantities (which are dimensionless).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Construct from a raw `f64` value in base units.
+            #[inline]
+            pub const fn new(v: f64) -> Self {
+                $name(v)
+            }
+
+            /// The raw `f64` value in base units.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Clamp into `[lo, hi]`.
+            #[inline]
+            pub fn clamp(self, lo: $name, hi: $name) -> $name {
+                $name(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// The larger of two quantities.
+            #[inline]
+            pub fn max(self, other: $name) -> $name {
+                $name(self.0.max(other.0))
+            }
+
+            /// The smaller of two quantities.
+            #[inline]
+            pub fn min(self, other: $name) -> $name {
+                $name(self.0.min(other.0))
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> $name {
+                $name(self.0.abs())
+            }
+
+            /// True if the underlying value is finite.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            #[inline]
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            /// Ratio of two same-unit quantities (dimensionless).
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|x| x.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*}{}", prec, self.0, $suffix)
+                } else {
+                    write!(f, "{:.4}{}", self.0, $suffix)
+                }
+            }
+        }
+    };
+}
+
+unit!(
+    /// An electric potential in volts.
+    ///
+    /// The global voltage is the "universal language" HCAPP uses to
+    /// communicate across the power supply network (§1 of the paper).
+    Volt,
+    "V"
+);
+
+unit!(
+    /// A power in watts. Package budgets in the paper are 100 W.
+    Watt,
+    "W"
+);
+
+unit!(
+    /// A frequency in hertz. Component clocks are derived from the local
+    /// voltage through adaptive clocking.
+    Hertz,
+    "Hz"
+);
+
+impl Hertz {
+    /// Construct from megahertz.
+    #[inline]
+    pub const fn from_mhz(mhz: f64) -> Self {
+        Hertz(mhz * 1e6)
+    }
+
+    /// Construct from gigahertz.
+    #[inline]
+    pub const fn from_ghz(ghz: f64) -> Self {
+        Hertz(ghz * 1e9)
+    }
+
+    /// This frequency in gigahertz.
+    #[inline]
+    pub fn as_ghz(self) -> f64 {
+        self.0 * 1e-9
+    }
+}
+
+impl Watt {
+    /// Energy (in joules) dissipated at this power over `secs` seconds.
+    #[inline]
+    pub fn joules_over(self, secs: f64) -> f64 {
+        self.0 * secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_ratio() {
+        let a = Watt::new(60.0);
+        let b = Watt::new(40.0);
+        assert_eq!((a + b).value(), 100.0);
+        assert_eq!((a - b).value(), 20.0);
+        assert_eq!((a * 0.5).value(), 30.0);
+        assert_eq!((0.5 * a).value(), 30.0);
+        assert_eq!((a / 2.0).value(), 30.0);
+        assert!((a / b - 1.5).abs() < 1e-12);
+        assert_eq!((-b).value(), -40.0);
+    }
+
+    #[test]
+    fn clamp_minmax() {
+        let v = Volt::new(1.4);
+        assert_eq!(v.clamp(Volt::new(0.6), Volt::new(1.2)), Volt::new(1.2));
+        assert_eq!(Volt::new(0.5).max(Volt::new(0.7)), Volt::new(0.7));
+        assert_eq!(Volt::new(0.5).min(Volt::new(0.7)), Volt::new(0.5));
+        assert_eq!(Volt::new(-0.5).abs(), Volt::new(0.5));
+    }
+
+    #[test]
+    fn sums() {
+        let total: Watt = [Watt::new(1.0), Watt::new(2.5), Watt::new(3.5)]
+            .into_iter()
+            .sum();
+        assert_eq!(total.value(), 7.0);
+    }
+
+    #[test]
+    fn frequency_helpers() {
+        assert_eq!(Hertz::from_ghz(2.0).value(), 2e9);
+        assert_eq!(Hertz::from_mhz(700.0).value(), 7e8);
+        assert!((Hertz::from_mhz(700.0).as_ghz() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Volt::new(0.95)), "0.9500V");
+        assert_eq!(format!("{:.1}", Watt::new(100.0)), "100.0W");
+    }
+
+    #[test]
+    fn energy() {
+        assert!((Watt::new(50.0).joules_over(2.0) - 100.0).abs() < 1e-12);
+    }
+}

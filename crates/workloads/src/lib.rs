@@ -1,0 +1,46 @@
+//! Synthetic phase-based workloads.
+//!
+//! The paper drives its system with a PARSEC subset on the CPU
+//! (blackscholes, fluidanimate, ferret, swaptions), a Rodinia subset on the
+//! GPU (backprop, bfs, myocyte, sradv2) and a modelled SHA stream on the
+//! accelerator, selected for their *power behaviour classes* — the combos in
+//! Table 3 are literally named Low/Mid/Hi/Const/Burst. Since we replace the
+//! trace-driven simulators with interval models (see DESIGN.md), workloads
+//! are expressed as deterministic generators of *phases*: spans of work with
+//! an activity factor (how hard the component switches) and a memory
+//! intensity (how much of the time it stalls, which bounds the benefit of
+//! running faster).
+//!
+//! Phases are **work-indexed**, not time-indexed: a throttled component
+//! takes longer to get through the same phase, so power control feeds back
+//! into the power trace exactly as it does on real hardware (this is what
+//! makes HCAPP's over-throttling of ferret's bursts — the Figure 8
+//! inversion — emerge rather than being scripted).
+//!
+//! * [`phase`] — [`Phase`], [`PhaseSample`] and the progress-rate model.
+//! * [`spec`] — [`PhasePattern`] / [`BenchmarkSpec`]: the generator grammar.
+//! * [`cursor`] — [`PhaseCursor`]: deterministic phase streams.
+//! * [`benchmarks`] — the eight named benchmarks and their calibrated specs.
+//! * [`combos`] — Table 3: the eight benchmark combinations.
+//! * [`sha`] — the accelerator's work model.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod benchmarks;
+pub mod combos;
+pub mod cursor;
+pub mod phase;
+pub mod program;
+pub mod sha;
+pub mod spec;
+pub mod trace;
+
+pub use benchmarks::{Benchmark, PowerClass};
+pub use combos::{combo_suite, Combo};
+pub use cursor::PhaseCursor;
+pub use program::{WorkloadProgram, WorkloadSource};
+pub use phase::{progress_rate, Phase, PhaseSample};
+pub use sha::ShaWorkload;
+pub use spec::{BenchmarkSpec, PhasePattern};
+pub use trace::{PhaseTrace, TracePlayer};

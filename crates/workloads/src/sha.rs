@@ -1,0 +1,130 @@
+//! The SHA accelerator's work model.
+//!
+//! §4.4: "The total work that the accelerator has to complete is modeled as
+//! a fixed number. The work completed on each cycle is linearly proportional
+//! to the maximum usable voltage setting … When the total work is less than
+//! or equal to zero, the accelerator can enter an idle state."
+//!
+//! [`ShaWorkload`] is that model: a backlog of hash work (in gigabits)
+//! drained at the throughput the accelerator's LUT provides for the current
+//! voltage. A `looping` variant refills the backlog — used when the
+//! accelerator should stay busy for the entire test (the paper loops short
+//! workloads, §4).
+
+/// A fixed (or looping) backlog of hashing work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShaWorkload {
+    /// Work remaining in gigabits.
+    remaining_gbits: f64,
+    /// Initial backlog (for refills and progress reporting).
+    initial_gbits: f64,
+    /// Refill the backlog when drained instead of idling.
+    looping: bool,
+    /// Total work completed in gigabits.
+    completed_gbits: f64,
+}
+
+impl ShaWorkload {
+    /// A one-shot backlog of `gbits` gigabits.
+    ///
+    /// # Panics
+    /// Panics if `gbits` is not positive.
+    pub fn fixed(gbits: f64) -> Self {
+        assert!(gbits > 0.0, "non-positive workload");
+        ShaWorkload {
+            remaining_gbits: gbits,
+            initial_gbits: gbits,
+            looping: false,
+            completed_gbits: 0.0,
+        }
+    }
+
+    /// A backlog that refills when drained (runs for the whole test).
+    pub fn looping(gbits: f64) -> Self {
+        let mut w = ShaWorkload::fixed(gbits);
+        w.looping = true;
+        w
+    }
+
+    /// Drain `gbits` of completed work; returns the amount actually drained
+    /// (less than requested only when a one-shot backlog runs out).
+    pub fn drain(&mut self, gbits: f64) -> f64 {
+        debug_assert!(gbits >= 0.0);
+        let mut todo = gbits;
+        let mut done = 0.0;
+        while todo > 0.0 {
+            if self.remaining_gbits <= 0.0 {
+                if self.looping {
+                    self.remaining_gbits = self.initial_gbits;
+                } else {
+                    break;
+                }
+            }
+            let step = todo.min(self.remaining_gbits);
+            self.remaining_gbits -= step;
+            self.completed_gbits += step;
+            done += step;
+            todo -= step;
+        }
+        done
+    }
+
+    /// True when a one-shot backlog is exhausted (the idle state of §4.4).
+    pub fn is_idle(&self) -> bool {
+        !self.looping && self.remaining_gbits <= 0.0
+    }
+
+    /// Work completed so far in gigabits.
+    pub fn completed_gbits(&self) -> f64 {
+        self.completed_gbits
+    }
+
+    /// Work remaining in the current backlog in gigabits.
+    pub fn remaining_gbits(&self) -> f64 {
+        self.remaining_gbits.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcapp_sim_core::assert_close;
+
+    #[test]
+    fn fixed_drains_to_idle() {
+        let mut w = ShaWorkload::fixed(10.0);
+        assert!(!w.is_idle());
+        assert_close!(w.drain(4.0), 4.0, 1e-12);
+        assert_close!(w.remaining_gbits(), 6.0, 1e-12);
+        // Requesting more than remains drains only what's left.
+        assert_close!(w.drain(10.0), 6.0, 1e-12);
+        assert!(w.is_idle());
+        assert_close!(w.completed_gbits(), 10.0, 1e-12);
+        // Further drains are no-ops.
+        assert_close!(w.drain(5.0), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn looping_never_idles() {
+        let mut w = ShaWorkload::looping(3.0);
+        let drained = w.drain(10.0);
+        assert_close!(drained, 10.0, 1e-12);
+        assert!(!w.is_idle());
+        assert_close!(w.completed_gbits(), 10.0, 1e-12);
+        // Backlog refilled mid-drain: 10 = 3 + 3 + 3 + 1, leaving 2.
+        assert_close!(w.remaining_gbits(), 2.0, 1e-12);
+    }
+
+    #[test]
+    fn zero_drain_is_noop() {
+        let mut w = ShaWorkload::fixed(5.0);
+        assert_close!(w.drain(0.0), 0.0, 1e-12);
+        assert_close!(w.remaining_gbits(), 5.0, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn zero_backlog_panics() {
+        let _ = ShaWorkload::fixed(0.0);
+    }
+}

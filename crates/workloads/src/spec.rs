@@ -1,0 +1,306 @@
+//! The workload generator grammar.
+//!
+//! Each benchmark is described by a [`BenchmarkSpec`]: a [`PhasePattern`]
+//! that generates the activity schedule, plus a memory intensity with
+//! per-phase jitter. Three patterns cover the paper's behaviour classes:
+//!
+//! * [`PhasePattern::Steady`] — one activity level with small jitter
+//!   (blackscholes, swaptions, myocyte);
+//! * [`PhasePattern::Oscillating`] — alternates between a low and a high
+//!   level (fluidanimate's frame loop, backprop's layer alternation,
+//!   sradv2's iteration structure);
+//! * [`PhasePattern::Bursty`] — long quiet spans punctuated by short
+//!   high-power bursts (ferret's pipeline, bfs's frontier expansions).
+//!   Burst durations sit *between* HCAPP's 1 µs and the RAPL-like 100 µs
+//!   control periods, which is what separates the schemes in Figures 4/7.
+
+use hcapp_sim_core::rng::DeterministicRng;
+
+use crate::phase::Phase;
+
+/// Range helper: `[lo, hi]` in nominal nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DurRange {
+    /// Shortest duration (nominal ns).
+    pub lo: f64,
+    /// Longest duration (nominal ns).
+    pub hi: f64,
+}
+
+impl DurRange {
+    /// Construct a range in microseconds (nominal).
+    pub const fn micros(lo: f64, hi: f64) -> Self {
+        DurRange {
+            lo: lo * 1_000.0,
+            hi: hi * 1_000.0,
+        }
+    }
+
+    /// Sample uniformly.
+    pub fn sample(&self, rng: &mut DeterministicRng) -> f64 {
+        debug_assert!(self.lo <= self.hi);
+        rng.uniform(self.lo, self.hi)
+    }
+}
+
+/// The activity schedule of a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PhasePattern {
+    /// A single activity level with per-phase jitter.
+    Steady {
+        /// Mean activity factor.
+        activity: f64,
+        /// Uniform jitter half-width applied per phase.
+        jitter: f64,
+        /// Phase duration range.
+        dur: DurRange,
+    },
+    /// Alternating low/high activity levels, with independent duty cycles
+    /// (real iterative programs spend less time in their hot kernels than in
+    /// the surrounding work, which is what gives Figure 1 its peak ≈ 1.6×
+    /// average shape).
+    Oscillating {
+        /// Activity of the low phase.
+        lo: f64,
+        /// Activity of the high phase.
+        hi: f64,
+        /// Duration range of low phases.
+        lo_dur: DurRange,
+        /// Duration range of high phases.
+        hi_dur: DurRange,
+    },
+    /// Quiet baseline with short high bursts.
+    Bursty {
+        /// Baseline activity.
+        base: f64,
+        /// Burst activity.
+        burst: f64,
+        /// Duration range of quiet spans.
+        base_dur: DurRange,
+        /// Duration range of bursts.
+        burst_dur: DurRange,
+    },
+}
+
+/// A complete benchmark description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchmarkSpec {
+    /// Benchmark name (as in the paper).
+    pub name: &'static str,
+    /// Activity schedule.
+    pub pattern: PhasePattern,
+    /// Mean memory intensity in `[0, 1]`.
+    pub mem_intensity: f64,
+    /// Uniform jitter half-width on the memory intensity per phase.
+    pub mem_jitter: f64,
+}
+
+/// Internal generator state for the oscillating/bursty patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) enum PatternState {
+    /// Next phase is the low/base part.
+    #[default]
+    Low,
+    /// Next phase is the high/burst part.
+    High,
+}
+
+impl BenchmarkSpec {
+    /// Generate the next phase, advancing `state` and drawing from `rng`.
+    pub(crate) fn next_phase(
+        &self,
+        rng: &mut DeterministicRng,
+        state: &mut PatternState,
+    ) -> Phase {
+        let mem = (self.mem_intensity + rng.uniform(-self.mem_jitter, self.mem_jitter))
+            .clamp(0.0, 1.0);
+        match self.pattern {
+            PhasePattern::Steady {
+                activity,
+                jitter,
+                dur,
+            } => {
+                let a = activity + rng.uniform(-jitter, jitter);
+                Phase::new(a, mem, dur.sample(rng))
+            }
+            PhasePattern::Oscillating {
+                lo,
+                hi,
+                lo_dur,
+                hi_dur,
+            } => match state {
+                PatternState::Low => {
+                    *state = PatternState::High;
+                    Phase::new(lo, mem, lo_dur.sample(rng))
+                }
+                PatternState::High => {
+                    *state = PatternState::Low;
+                    Phase::new(hi, mem, hi_dur.sample(rng))
+                }
+            },
+            PhasePattern::Bursty {
+                base,
+                burst,
+                base_dur,
+                burst_dur,
+            } => match state {
+                PatternState::Low => {
+                    *state = PatternState::High;
+                    Phase::new(base, mem, base_dur.sample(rng))
+                }
+                PatternState::High => {
+                    *state = PatternState::Low;
+                    Phase::new(burst, mem, burst_dur.sample(rng))
+                }
+            },
+        }
+    }
+
+    /// Long-run mean activity of the pattern (duration-weighted, using range
+    /// midpoints). Used for calibration sanity checks.
+    pub fn mean_activity(&self) -> f64 {
+        match self.pattern {
+            PhasePattern::Steady { activity, .. } => activity,
+            PhasePattern::Oscillating {
+                lo,
+                hi,
+                lo_dur,
+                hi_dur,
+            } => {
+                let tl = 0.5 * (lo_dur.lo + lo_dur.hi);
+                let th = 0.5 * (hi_dur.lo + hi_dur.hi);
+                (lo * tl + hi * th) / (tl + th)
+            }
+            PhasePattern::Bursty {
+                base,
+                burst,
+                base_dur,
+                burst_dur,
+            } => {
+                let tb = 0.5 * (base_dur.lo + base_dur.hi);
+                let tu = 0.5 * (burst_dur.lo + burst_dur.hi);
+                (base * tb + burst * tu) / (tb + tu)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcapp_sim_core::assert_close;
+
+    fn rng() -> DeterministicRng {
+        DeterministicRng::new(7)
+    }
+
+    #[test]
+    fn dur_range_sampling() {
+        let d = DurRange::micros(10.0, 20.0);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = d.sample(&mut r);
+            assert!((10_000.0..=20_000.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn steady_phases_jitter_around_mean() {
+        let spec = BenchmarkSpec {
+            name: "steady",
+            pattern: PhasePattern::Steady {
+                activity: 0.5,
+                jitter: 0.1,
+                dur: DurRange::micros(100.0, 200.0),
+            },
+            mem_intensity: 0.3,
+            mem_jitter: 0.05,
+        };
+        let mut r = rng();
+        let mut st = PatternState::default();
+        let mut sum = 0.0;
+        for _ in 0..2000 {
+            let p = spec.next_phase(&mut r, &mut st);
+            assert!((0.4..=0.6).contains(&p.activity));
+            assert!((0.25..=0.35).contains(&p.mem_intensity));
+            sum += p.activity;
+        }
+        assert_close!(sum / 2000.0, 0.5, 0.01);
+    }
+
+    #[test]
+    fn oscillating_alternates() {
+        let spec = BenchmarkSpec {
+            name: "osc",
+            pattern: PhasePattern::Oscillating {
+                lo: 0.3,
+                hi: 0.9,
+                lo_dur: DurRange::micros(50.0, 50.0),
+                hi_dur: DurRange::micros(50.0, 50.0),
+            },
+            mem_intensity: 0.2,
+            mem_jitter: 0.0,
+        };
+        let mut r = rng();
+        let mut st = PatternState::default();
+        let a: Vec<f64> = (0..6)
+            .map(|_| spec.next_phase(&mut r, &mut st).activity)
+            .collect();
+        assert_eq!(a, vec![0.3, 0.9, 0.3, 0.9, 0.3, 0.9]);
+    }
+
+    #[test]
+    fn bursty_durations_respect_ranges() {
+        let spec = BenchmarkSpec {
+            name: "bursty",
+            pattern: PhasePattern::Bursty {
+                base: 0.2,
+                burst: 0.95,
+                base_dur: DurRange::micros(500.0, 2500.0),
+                burst_dur: DurRange::micros(80.0, 350.0),
+            },
+            mem_intensity: 0.3,
+            mem_jitter: 0.0,
+        };
+        let mut r = rng();
+        let mut st = PatternState::default();
+        for _ in 0..100 {
+            let quiet = spec.next_phase(&mut r, &mut st);
+            assert_eq!(quiet.activity, 0.2);
+            assert!((500_000.0..=2_500_000.0).contains(&quiet.work_ns));
+            let burst = spec.next_phase(&mut r, &mut st);
+            assert_eq!(burst.activity, 0.95);
+            assert!((80_000.0..=350_000.0).contains(&burst.work_ns));
+        }
+    }
+
+    #[test]
+    fn mean_activity_estimates() {
+        let osc = BenchmarkSpec {
+            name: "osc",
+            pattern: PhasePattern::Oscillating {
+                lo: 0.4,
+                hi: 0.8,
+                lo_dur: DurRange::micros(3.0, 3.0),
+                hi_dur: DurRange::micros(1.0, 1.0),
+            },
+            mem_intensity: 0.0,
+            mem_jitter: 0.0,
+        };
+        // Duty-weighted: (0.4*3 + 0.8*1) / 4 = 0.5.
+        assert_close!(osc.mean_activity(), 0.5, 1e-12);
+
+        let bursty = BenchmarkSpec {
+            name: "b",
+            pattern: PhasePattern::Bursty {
+                base: 0.2,
+                burst: 1.0,
+                base_dur: DurRange::micros(300.0, 300.0),
+                burst_dur: DurRange::micros(100.0, 100.0),
+            },
+            mem_intensity: 0.0,
+            mem_jitter: 0.0,
+        };
+        assert_close!(bursty.mean_activity(), 0.4, 1e-12);
+    }
+}

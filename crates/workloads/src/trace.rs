@@ -1,0 +1,303 @@
+//! Recorded workload traces.
+//!
+//! The paper drives its simulators with real benchmark binaries; our
+//! generators reproduce their behaviour classes. For users who *have*
+//! measured phase traces (from performance counters, from Sniper/GPGPU-Sim
+//! runs, or recorded from our own generators), [`PhaseTrace`] is the
+//! interchange format — a list of `(activity, mem_intensity, work_ns)`
+//! phases with CSV round-tripping — and [`TracePlayer`] replays one
+//! cyclically with exactly the [`PhaseCursor`] work-indexed semantics.
+//!
+//! [`PhaseCursor`]: crate::cursor::PhaseCursor
+
+use std::fmt::Write as _;
+
+use crate::phase::{Phase, PhaseSample};
+
+/// A recorded sequence of phases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTrace {
+    name: String,
+    phases: Vec<Phase>,
+}
+
+/// Errors from parsing a trace CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceParseError {
+    /// The header row is missing or wrong.
+    BadHeader(String),
+    /// A data row has the wrong arity or an unparsable field.
+    BadRow {
+        /// 1-based line number.
+        line: usize,
+        /// The offending row.
+        row: String,
+    },
+    /// The trace contains no phases.
+    Empty,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceParseError::BadHeader(h) => {
+                write!(f, "bad header '{h}' (expected activity,mem_intensity,work_ns)")
+            }
+            TraceParseError::BadRow { line, row } => write!(f, "bad row at line {line}: '{row}'"),
+            TraceParseError::Empty => write!(f, "trace has no phases"),
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+impl PhaseTrace {
+    /// Build a trace from phases.
+    ///
+    /// # Panics
+    /// Panics if `phases` is empty or contains a non-positive-work phase.
+    pub fn new(name: impl Into<String>, phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty(), "empty trace");
+        for p in &phases {
+            assert!(p.work_ns > 0.0, "phase with non-positive work");
+        }
+        PhaseTrace {
+            name: name.into(),
+            phases,
+        }
+    }
+
+    /// Record a trace by sampling a generator for `total_work_ns` of nominal
+    /// work — a convenient way to materialize any [`BenchmarkSpec`] as a
+    /// shareable file.
+    ///
+    /// [`BenchmarkSpec`]: crate::spec::BenchmarkSpec
+    pub fn record(
+        spec: crate::spec::BenchmarkSpec,
+        seed: u64,
+        stream_id: u64,
+        total_work_ns: f64,
+    ) -> Self {
+        let mut cursor = crate::cursor::PhaseCursor::new(spec, seed, stream_id);
+        let mut phases = Vec::new();
+        let mut recorded = 0.0;
+        // Walk phase by phase: consume exactly one phase per step by
+        // sampling, then advancing past the current phase boundary.
+        while recorded < total_work_ns {
+            let sample = cursor.sample();
+            let remaining = cursor.remaining_in_phase();
+            let take = remaining.max(1.0);
+            phases.push(Phase::new(sample.activity, sample.mem_intensity, take));
+            cursor.advance(take);
+            recorded += take;
+        }
+        PhaseTrace::new(spec.name, phases)
+    }
+
+    /// The trace name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The phases.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Total nominal work of one pass through the trace.
+    pub fn total_work_ns(&self) -> f64 {
+        self.phases.iter().map(|p| p.work_ns).sum()
+    }
+
+    /// Serialize as CSV (`activity,mem_intensity,work_ns`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("activity,mem_intensity,work_ns\n");
+        for p in &self.phases {
+            let _ = writeln!(out, "{:.6},{:.6},{:.3}", p.activity, p.mem_intensity, p.work_ns);
+        }
+        out
+    }
+
+    /// Parse from CSV produced by [`PhaseTrace::to_csv`] (or by any tool
+    /// emitting the same three columns).
+    pub fn from_csv(name: impl Into<String>, csv: &str) -> Result<Self, TraceParseError> {
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap_or("").trim();
+        if header != "activity,mem_intensity,work_ns" {
+            return Err(TraceParseError::BadHeader(header.to_string()));
+        }
+        let mut phases = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            let parsed: Option<(f64, f64, f64)> = match fields.as_slice() {
+                [a, m, w] => match (a.trim().parse(), m.trim().parse(), w.trim().parse()) {
+                    (Ok(a), Ok(m), Ok(w)) => Some((a, m, w)),
+                    _ => None,
+                },
+                _ => None,
+            };
+            let Some((a, m, w)) = parsed.filter(|&(_, _, w)| w > 0.0) else {
+                return Err(TraceParseError::BadRow {
+                    line: i + 2,
+                    row: line.to_string(),
+                });
+            };
+            phases.push(Phase::new(a, m, w));
+        }
+        if phases.is_empty() {
+            return Err(TraceParseError::Empty);
+        }
+        Ok(PhaseTrace {
+            name: name.into(),
+            phases,
+        })
+    }
+}
+
+/// Cyclic, work-indexed playback of a [`PhaseTrace`] — the recorded
+/// counterpart of [`PhaseCursor`].
+///
+/// [`PhaseCursor`]: crate::cursor::PhaseCursor
+#[derive(Debug, Clone)]
+pub struct TracePlayer {
+    trace: std::sync::Arc<PhaseTrace>,
+    index: usize,
+    remaining: f64,
+    consumed: f64,
+}
+
+impl TracePlayer {
+    /// Start playback at the trace's beginning.
+    pub fn new(trace: std::sync::Arc<PhaseTrace>) -> Self {
+        let remaining = trace.phases[0].work_ns;
+        TracePlayer {
+            trace,
+            index: 0,
+            remaining,
+            consumed: 0.0,
+        }
+    }
+
+    /// The behaviour sample for the current instant.
+    pub fn sample(&self) -> PhaseSample {
+        self.trace.phases[self.index].sample()
+    }
+
+    /// Advance by `work_ns` nominal nanoseconds, wrapping cyclically.
+    pub fn advance(&mut self, work_ns: f64) {
+        debug_assert!(work_ns >= 0.0);
+        self.consumed += work_ns;
+        let mut left = work_ns;
+        while left >= self.remaining {
+            left -= self.remaining;
+            self.index = (self.index + 1) % self.trace.phases.len();
+            self.remaining = self.trace.phases[self.index].work_ns;
+        }
+        self.remaining -= left;
+    }
+
+    /// Total work consumed.
+    pub fn work_done(&self) -> f64 {
+        self.consumed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::Benchmark;
+    use hcapp_sim_core::assert_close;
+    use std::sync::Arc;
+
+    fn small_trace() -> PhaseTrace {
+        PhaseTrace::new(
+            "t",
+            vec![
+                Phase::new(0.2, 0.1, 1_000.0),
+                Phase::new(0.9, 0.5, 500.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let t = small_trace();
+        let csv = t.to_csv();
+        let back = PhaseTrace::from_csv("t", &csv).unwrap();
+        assert_eq!(back.phases().len(), 2);
+        assert_close!(back.phases()[0].activity, 0.2, 1e-9);
+        assert_close!(back.phases()[1].work_ns, 500.0, 1e-9);
+        assert_close!(back.total_work_ns(), 1_500.0, 1e-9);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!(
+            PhaseTrace::from_csv("x", "wrong,header\n1,2"),
+            Err(TraceParseError::BadHeader(_))
+        ));
+        assert!(matches!(
+            PhaseTrace::from_csv("x", "activity,mem_intensity,work_ns\n0.5,oops,10"),
+            Err(TraceParseError::BadRow { line: 2, .. })
+        ));
+        assert!(matches!(
+            PhaseTrace::from_csv("x", "activity,mem_intensity,work_ns\n"),
+            Err(TraceParseError::Empty)
+        ));
+        // Zero-work rows are rejected (they would stall playback).
+        assert!(PhaseTrace::from_csv("x", "activity,mem_intensity,work_ns\n0.5,0.1,0").is_err());
+    }
+
+    #[test]
+    fn player_wraps_cyclically() {
+        let mut p = TracePlayer::new(Arc::new(small_trace()));
+        assert_close!(p.sample().activity, 0.2, 1e-12);
+        p.advance(1_000.0); // exactly into phase 2
+        assert_close!(p.sample().activity, 0.9, 1e-12);
+        p.advance(500.0); // wraps to phase 1
+        assert_close!(p.sample().activity, 0.2, 1e-12);
+        // A huge advance crosses many cycles without hanging.
+        p.advance(1_500_000.0);
+        assert_close!(p.work_done(), 1_501_500.0, 1e-6);
+    }
+
+    #[test]
+    fn record_matches_generator_statistics() {
+        let spec = Benchmark::Swaptions.spec();
+        let trace = PhaseTrace::record(spec, 42, 0, 5_000_000.0);
+        assert!(trace.total_work_ns() >= 5_000_000.0);
+        // Mean activity of the recording tracks the spec's mean.
+        let total = trace.total_work_ns();
+        let mean: f64 = trace
+            .phases()
+            .iter()
+            .map(|p| p.activity * p.work_ns)
+            .sum::<f64>()
+            / total;
+        assert_close!(mean, spec.mean_activity(), 0.05);
+    }
+
+    #[test]
+    fn replay_of_recording_is_faithful() {
+        let spec = Benchmark::Ferret.spec();
+        let trace = Arc::new(PhaseTrace::record(spec, 7, 3, 2_000_000.0));
+        let mut player = TracePlayer::new(trace.clone());
+        // Walking the player phase-exact reproduces the recorded phases.
+        for phase in trace.phases().iter().take(20) {
+            let s = player.sample();
+            assert_close!(s.activity, phase.activity, 1e-12);
+            assert_close!(s.mem_intensity, phase.mem_intensity, 1e-12);
+            player.advance(phase.work_ns);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_panics() {
+        let _ = PhaseTrace::new("x", vec![]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Scenario: choosing a power-control scheme for a pin-constrained package.
+//!
+//! The paper's motivating problem (§1): package pins are budgeted, power
+//! pins are provisioned for the worst case, and every scheme that can't
+//! hold the 20 µs package-pin limit forces the designer to buy more pins.
+//! This example runs all four evaluated schemes on a bursty workload mix —
+//! the hardest case for slow controllers — and prints the §5.1-style
+//! verdict for each.
+//!
+//! ```text
+//! cargo run --release --example capping_showdown
+//! ```
+
+use hcapp_repro::hcapp::coordinator::{RunConfig, Simulation};
+use hcapp_repro::hcapp::limits::PowerLimit;
+use hcapp_repro::hcapp::scheme::ControlScheme;
+use hcapp_repro::hcapp::system::SystemConfig;
+use hcapp_repro::metrics::violation::classify;
+use hcapp_repro::sim_core::report::Table;
+use hcapp_repro::sim_core::time::SimDuration;
+use hcapp_repro::workloads::combos::combo_by_name;
+
+fn main() {
+    let combo = combo_by_name("Burst-Burst").expect("known combo");
+    let limit = PowerLimit::package_pin();
+    let duration = SimDuration::from_millis(40);
+
+    let baseline = Simulation::new(
+        SystemConfig::paper_system(combo, 7),
+        RunConfig::new(duration, ControlScheme::fixed_baseline(), limit.guardbanded_target()),
+    )
+    .run();
+
+    let mut table = Table::new(
+        format!("Power-capping showdown on {} (100 W / 20 us)", combo.name),
+        &["scheme", "max/limit", "verdict", "PPE", "speedup vs fixed"],
+    );
+    for scheme in ControlScheme::all() {
+        let out = Simulation::new(
+            SystemConfig::paper_system(combo, 7),
+            RunConfig::new(duration, scheme, limit.guardbanded_target()),
+        )
+        .run();
+        let ratio = out.max_ratio(&limit).unwrap_or(0.0);
+        table.add_row(vec![
+            scheme.name().to_string(),
+            format!("{ratio:.3}"),
+            classify(ratio).marker().to_string(),
+            format!("{:.1}%", out.ppe(limit.budget) * 100.0),
+            format!("{:.3}x", out.speedup_vs(&baseline)),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nThe ferret/bfs bursts last 50-400 us: far longer than HCAPP's 1 us loop,\n\
+         but at or under the RAPL-like 100 us period and invisible to a 10 ms\n\
+         software loop - which is exactly why only the hardware-speed scheme\n\
+         holds the package-pin limit (paper Fig. 4)."
+    );
+}

@@ -1,0 +1,80 @@
+//! Scenario: drive the simulator with a recorded workload trace.
+//!
+//! The synthetic generators reproduce benchmark *classes*; if you have a
+//! real phase trace — from performance counters, from a Sniper/GPGPU-Sim
+//! run, or recorded from the generators themselves — you can replay it
+//! through the whole HCAPP stack. This example records fluidanimate's
+//! phases to the CSV interchange format, replays them, and shows the
+//! replayed run lands in the same regulation band.
+//!
+//! ```text
+//! cargo run --release --example trace_replay
+//! ```
+
+use std::sync::Arc;
+
+use hcapp_repro::hcapp::coordinator::{RunConfig, Simulation};
+use hcapp_repro::hcapp::limits::PowerLimit;
+use hcapp_repro::hcapp::scheme::ControlScheme;
+use hcapp_repro::hcapp::system::{DomainSpec, SystemConfig};
+use hcapp_repro::sim_core::time::SimDuration;
+use hcapp_repro::workloads::benchmarks::Benchmark;
+use hcapp_repro::workloads::combos::combo_by_name;
+use hcapp_repro::workloads::trace::PhaseTrace;
+
+fn main() {
+    let combo = combo_by_name("Hi-Hi").expect("known combo");
+    let limit = PowerLimit::package_pin();
+    let duration = SimDuration::from_millis(20);
+
+    // 1. Record 20 ms of fluidanimate's phase behaviour to CSV.
+    let trace = PhaseTrace::record(Benchmark::Fluidanimate.spec(), 42, 1000, 20e6);
+    let csv = trace.to_csv();
+    println!(
+        "recorded {} phases of {} ({:.1} ms nominal, {} bytes of CSV)",
+        trace.phases().len(),
+        trace.name(),
+        trace.total_work_ns() * 1e-6,
+        csv.len()
+    );
+
+    // 2. Round-trip through the interchange format (what a user would load
+    //    from disk).
+    let loaded = Arc::new(PhaseTrace::from_csv("fluidanimate", &csv).expect("round trip"));
+
+    // 3. Run the paper system twice: generated workload vs. the recording.
+    let generated = Simulation::new(
+        SystemConfig::paper_system(combo, 42),
+        RunConfig::new(duration, ControlScheme::Hcapp, limit.guardbanded_target()),
+    )
+    .run();
+
+    let mut sys = SystemConfig::paper_system(combo, 42);
+    for d in &mut sys.domains {
+        if let DomainSpec::Cpu { workload, .. } = d {
+            *workload = loaded.clone().into();
+        }
+    }
+    let replayed = Simulation::new(
+        sys,
+        RunConfig::new(duration, ControlScheme::Hcapp, limit.guardbanded_target()),
+    )
+    .run();
+
+    println!("\n{:12} {:>10} {:>10} {:>8}", "workload", "avg power", "max/limit", "PPE");
+    for (name, out) in [("generated", &generated), ("replayed", &replayed)] {
+        println!(
+            "{name:12} {:>10} {:>10.3} {:>7.1}%",
+            format!("{:.1}", out.avg_power),
+            out.max_ratio(&limit).unwrap_or(0.0),
+            out.ppe(limit.budget) * 100.0
+        );
+    }
+    assert!(replayed.respects(&limit).unwrap());
+    let delta = (replayed.ppe(limit.budget) - generated.ppe(limit.budget)).abs();
+    println!(
+        "\nPPE difference between generated and replayed runs: {:.2} points",
+        delta * 100.0
+    );
+    println!("(the recording replays the same phase behaviour through the same controllers)");
+}

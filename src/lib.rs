@@ -1,0 +1,17 @@
+//! Umbrella crate for the HCAPP reproduction.
+//!
+//! Re-exports the workspace crates under one roof so the `examples/` and
+//! `tests/` at the repository root can exercise the whole stack with a single
+//! dependency. See `README.md` for the quickstart and `DESIGN.md` for the
+//! system inventory.
+
+pub use hcapp;
+pub use hcapp_accel_sim as accel_sim;
+pub use hcapp_cpu_sim as cpu_sim;
+pub use hcapp_experiments as experiments;
+pub use hcapp_gpu_sim as gpu_sim;
+pub use hcapp_metrics as metrics;
+pub use hcapp_pdn as pdn;
+pub use hcapp_power_model as power_model;
+pub use hcapp_sim_core as sim_core;
+pub use hcapp_workloads as workloads;

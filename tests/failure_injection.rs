@@ -1,0 +1,123 @@
+//! Failure injection: dirty rails, degraded sensing, adversarial domains.
+//!
+//! §3.5's claim under test: adaptive clocking lets every node tolerate
+//! "temporary voltage-related issues such as voltage glitches in the power
+//! distribution system", and the global controller holds the package limit
+//! through all of it.
+
+use hcapp_repro::hcapp::coordinator::{RunConfig, Simulation};
+use hcapp_repro::hcapp::limits::PowerLimit;
+use hcapp_repro::hcapp::scheme::ControlScheme;
+use hcapp_repro::hcapp::system::SystemConfig;
+use hcapp_repro::pdn::RippleSpec;
+use hcapp_repro::sim_core::time::SimDuration;
+use hcapp_repro::workloads::combos::combo_by_name;
+
+fn run_with(
+    ripple: Option<RippleSpec>,
+    sensor_resolution: f64,
+    sensor_delay_ticks: usize,
+) -> hcapp_repro::hcapp::outcome::RunOutcome {
+    let combo = combo_by_name("Hi-Hi").unwrap();
+    let mut sys = SystemConfig::paper_system(combo, 23);
+    sys.ripple = ripple;
+    sys.sensor_resolution = sensor_resolution;
+    sys.sensor_delay_ticks = sensor_delay_ticks;
+    let limit = PowerLimit::package_pin();
+    let run = RunConfig::new(
+        SimDuration::from_millis(6),
+        ControlScheme::Hcapp,
+        limit.guardbanded_target(),
+    );
+    Simulation::new(sys, run).run()
+}
+
+#[test]
+fn moderate_ripple_keeps_the_package_legal() {
+    let limit = PowerLimit::package_pin();
+    let clean = run_with(None, 0.1, 1);
+    let dirty = run_with(Some(RippleSpec::moderate()), 0.1, 1);
+    assert!(
+        dirty.max_ratio(&limit).unwrap() <= 1.0,
+        "moderate ripple broke the cap: {}",
+        dirty.max_ratio(&limit).unwrap()
+    );
+    // Adaptive clocking absorbs the ripple: throughput within a few percent.
+    let s = dirty.speedup_vs(&clean);
+    assert!(
+        (0.95..=1.05).contains(&s),
+        "ripple changed throughput too much: {s}"
+    );
+}
+
+#[test]
+fn severe_ripple_degrades_gracefully() {
+    let limit = PowerLimit::package_pin();
+    let clean = run_with(None, 0.1, 1);
+    let dirty = run_with(Some(RippleSpec::severe()), 0.1, 1);
+    // Still no catastrophic violation (severe droop mostly *lowers* power;
+    // allow a hair of slack for the sinusoidal upside).
+    assert!(
+        dirty.max_ratio(&limit).unwrap() <= 1.02,
+        "severe ripple: {}",
+        dirty.max_ratio(&limit).unwrap()
+    );
+    // Work degrades but bounded: droops slow the clock, never crash it.
+    let s = dirty.speedup_vs(&clean);
+    assert!(
+        (0.85..=1.02).contains(&s),
+        "severe ripple throughput ratio {s}"
+    );
+}
+
+#[test]
+fn coarse_power_sensor_still_regulates() {
+    let limit = PowerLimit::package_pin();
+    // A 2 W LSB is a terrible sensor; the integral term must still find the
+    // target band.
+    let coarse = run_with(None, 2.0, 1);
+    assert!(coarse.max_ratio(&limit).unwrap() <= 1.0);
+    let ppe = coarse.ppe(limit.budget);
+    assert!((0.70..=0.90).contains(&ppe), "coarse-sensor PPE {ppe}");
+}
+
+#[test]
+fn stale_power_sensor_still_regulates() {
+    let limit = PowerLimit::package_pin();
+    // 10 ticks = a full microsecond of sensing delay (one whole HCAPP
+    // control period late).
+    let stale = run_with(None, 0.1, 10);
+    assert!(
+        stale.max_ratio(&limit).unwrap() <= 1.02,
+        "stale sensor: {}",
+        stale.max_ratio(&limit).unwrap()
+    );
+    let ppe = stale.ppe(limit.budget);
+    assert!(ppe > 0.70, "stale-sensor PPE {ppe}");
+}
+
+#[test]
+fn adversarial_accelerator_cannot_break_the_cap() {
+    let combo = combo_by_name("Burst-Burst").unwrap();
+    let limit = PowerLimit::package_pin();
+    let sys = SystemConfig::paper_system(combo, 23).with_adversarial_accel();
+    let run = RunConfig::new(
+        SimDuration::from_millis(6),
+        ControlScheme::Hcapp,
+        limit.guardbanded_target(),
+    );
+    let out = Simulation::new(sys, run).run();
+    assert!(
+        out.max_ratio(&limit).unwrap() <= 1.0,
+        "adversarial accel broke the cap: {}",
+        out.max_ratio(&limit).unwrap()
+    );
+}
+
+#[test]
+fn ripple_is_deterministic() {
+    let a = run_with(Some(RippleSpec::severe()), 0.1, 1);
+    let b = run_with(Some(RippleSpec::severe()), 0.1, 1);
+    assert_eq!(a.avg_power, b.avg_power);
+    assert_eq!(a.work, b.work);
+}

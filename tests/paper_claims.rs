@@ -1,0 +1,55 @@
+//! Abbreviated checks of the paper's qualitative claims, through the full
+//! stack. Full-scale (200 ms) numbers are recorded in EXPERIMENTS.md; these
+//! run the same code paths at a few milliseconds so `cargo test` exercises
+//! every claim.
+
+use hcapp_repro::experiments::figures::{fig01, fig02, fig04, fig07, fig08, fig09};
+use hcapp_repro::experiments::ExperimentConfig;
+use hcapp_repro::hcapp::scheme::ControlScheme;
+
+#[test]
+fn figure1_claim_static_power_is_volatile() {
+    let fig = fig01::compute(&ExperimentConfig::quick(8));
+    // §1: "the peak power is 60% higher than the average power".
+    assert!(fig.peak_ratio() > 1.25, "peak ratio {}", fig.peak_ratio());
+    assert!(fig.implied_ppe() < 0.80, "implied PPE {}", fig.implied_ppe());
+}
+
+#[test]
+fn figure2_claim_slow_windows_hide_fast_peaks() {
+    let fig = fig02::compute(&ExperimentConfig::quick(8));
+    let p20 = fig.w20us.max().unwrap();
+    let p10m = fig.w10ms.max().unwrap();
+    assert!(
+        p20 > p10m * 1.15,
+        "20us peak {p20} should clearly exceed 10ms peak {p10m}"
+    );
+}
+
+#[test]
+fn section_5_1_claim_only_fast_control_is_viable_at_the_pin_limit() {
+    let sweep = fig04::sweep(&ExperimentConfig::quick(16));
+    let worst = |s: ControlScheme| {
+        sweep
+            .scheme(s)
+            .unwrap()
+            .iter()
+            .map(|(_, o)| o.max_ratio(&sweep.limit).unwrap())
+            .fold(f64::NEG_INFINITY, f64::max)
+    };
+    assert!(worst(ControlScheme::Hcapp) <= 1.0);
+    assert!(worst(ControlScheme::RaplLike) > 1.1);
+}
+
+#[test]
+fn section_5_2_claims_ordering_of_speedup_and_ppe() {
+    let sweep = fig07::sweep(&ExperimentConfig::quick(24));
+    let (_, h_sp, r_sp, s_sp) = fig08::compute(&sweep);
+    let (_, h_ppe, r_ppe, s_ppe, _fixed) = fig09::compute(&sweep);
+    // Speedup: HCAPP > RAPL-like > SW-like.
+    assert!(h_sp > r_sp && r_sp > s_sp, "speedups {h_sp} {r_sp} {s_sp}");
+    // PPE: HCAPP > RAPL-like > SW-like.
+    assert!(h_ppe > r_ppe && r_ppe > s_ppe, "PPEs {h_ppe} {r_ppe} {s_ppe}");
+    // HCAPP beats RAPL-like overall (abstract: 7%).
+    assert!(h_sp / r_sp > 1.0);
+}

@@ -1,0 +1,91 @@
+//! Property-based tests across the full stack.
+
+use hcapp_repro::hcapp::coordinator::{RunConfig, Simulation};
+use hcapp_repro::hcapp::limits::PowerLimit;
+use hcapp_repro::hcapp::scheme::ControlScheme;
+use hcapp_repro::hcapp::system::SystemConfig;
+use hcapp_repro::sim_core::time::SimDuration;
+use hcapp_repro::sim_core::units::{Volt, Watt};
+use hcapp_repro::workloads::combos::combo_suite;
+use proptest::prelude::*;
+
+fn run_once(combo_idx: usize, seed: u64, target_w: f64, scheme: ControlScheme) -> hcapp_repro::hcapp::outcome::RunOutcome {
+    let combo = combo_suite()[combo_idx % 8];
+    let sys = SystemConfig::paper_system(combo, seed);
+    let run = RunConfig::new(
+        SimDuration::from_millis(1),
+        scheme,
+        Watt::new(target_w),
+    );
+    Simulation::new(sys, run).run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any combo/seed/target, the simulation produces physical results:
+    /// positive finite power bounded by the package ceiling, non-negative
+    /// work for every domain.
+    #[test]
+    fn runs_are_physical(combo in 0usize..8, seed in 0u64..1_000, target in 40.0f64..120.0) {
+        let out = run_once(combo, seed, target, ControlScheme::Hcapp);
+        prop_assert!(out.avg_power.value() > 0.0);
+        prop_assert!(out.avg_power.is_finite());
+        let ceiling = SystemConfig::paper_system(combo_suite()[combo % 8], seed)
+            .peak_power_at(Volt::new(1.3))
+            .value();
+        prop_assert!(out.avg_power.value() <= ceiling);
+        for (_, w) in &out.work {
+            prop_assert!(*w >= 0.0 && w.is_finite());
+        }
+    }
+
+    /// Determinism holds for arbitrary seeds and targets.
+    #[test]
+    fn replays_are_identical(combo in 0usize..8, seed in 0u64..1_000, target in 40.0f64..120.0) {
+        let a = run_once(combo, seed, target, ControlScheme::Hcapp);
+        let b = run_once(combo, seed, target, ControlScheme::Hcapp);
+        prop_assert_eq!(a.avg_power, b.avg_power);
+        prop_assert_eq!(a.work, b.work);
+    }
+
+    /// A higher power target never reduces the regulated average power
+    /// (same workload, same seed) — the controller is monotone in its
+    /// setpoint.
+    #[test]
+    fn target_monotonicity(combo in 0usize..8, seed in 0u64..100) {
+        let lo = run_once(combo, seed, 60.0, ControlScheme::Hcapp);
+        let hi = run_once(combo, seed, 95.0, ControlScheme::Hcapp);
+        prop_assert!(
+            hi.avg_power.value() >= lo.avg_power.value() - 1.5,
+            "target 95 W gave {} but 60 W gave {}",
+            hi.avg_power, lo.avg_power
+        );
+    }
+
+    /// The windowed max never falls below the run average for any window
+    /// (max of a window-average ≥ global average, once a window fits).
+    #[test]
+    fn windowed_max_dominates_average(combo in 0usize..8, seed in 0u64..100) {
+        let out = run_once(combo, seed, 84.0, ControlScheme::fixed_baseline());
+        for (w, max) in &out.windowed_max {
+            if *w <= out.duration {
+                prop_assert!(
+                    max.value() >= out.avg_power.value() - 1e-6,
+                    "window {w}: max {max} below average {}",
+                    out.avg_power
+                );
+            }
+        }
+    }
+
+    /// PPE is the average power over the budget — consistent across any
+    /// budget value.
+    #[test]
+    fn ppe_definition_consistent(combo in 0usize..8, budget in 50.0f64..150.0) {
+        let out = run_once(combo, 7, 84.0, ControlScheme::Hcapp);
+        let limit = PowerLimit::new(Watt::new(budget), SimDuration::from_micros(20));
+        let ppe = out.ppe(limit.budget);
+        prop_assert!((ppe * budget - out.avg_power.value()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,81 @@
+//! Integration tests for the §3.3 thermal extension.
+//!
+//! The paper assumes the power cap sits below the TDP so thermal effects
+//! never trigger; these tests check both that assumption (guards stay idle
+//! at the paper's operating point) and the extension (guards engage and
+//! contain temperature when the assumption is violated).
+
+use hcapp_repro::hcapp::controller::thermal_guard::ThermalConfig;
+use hcapp_repro::hcapp::coordinator::{RunConfig, Simulation};
+use hcapp_repro::hcapp::limits::PowerLimit;
+use hcapp_repro::hcapp::scheme::ControlScheme;
+use hcapp_repro::hcapp::system::SystemConfig;
+use hcapp_repro::sim_core::time::SimDuration;
+use hcapp_repro::workloads::combos::combo_by_name;
+
+fn run(thermal: Option<ThermalConfig>, scheme: ControlScheme) -> hcapp_repro::hcapp::outcome::RunOutcome {
+    let combo = combo_by_name("Hi-Hi").unwrap();
+    let mut sys = SystemConfig::paper_system(combo, 31);
+    sys.thermal = thermal;
+    let limit = PowerLimit::package_pin();
+    let runc = RunConfig::new(
+        SimDuration::from_millis(6),
+        scheme,
+        limit.guardbanded_target(),
+    );
+    Simulation::new(sys, runc).run()
+}
+
+#[test]
+fn guards_stay_idle_below_tdp() {
+    // The paper's operating point: with a sane package (85 °C limit,
+    // 1.2 K/W), HCAPP's ~27 W per chiplet stays well below the limit, so
+    // the guarded run is identical in spirit to the unguarded one.
+    let unguarded = run(None, ControlScheme::Hcapp);
+    let guarded = run(Some(ThermalConfig::default_package()), ControlScheme::Hcapp);
+    let ratio = guarded.speedup_vs(&unguarded);
+    assert!(
+        (0.999..=1.001).contains(&ratio),
+        "idle guard changed throughput: {ratio}"
+    );
+    assert_eq!(guarded.avg_power, unguarded.avg_power);
+}
+
+#[test]
+fn guards_throttle_an_underprovisioned_package() {
+    // Violate the paper's assumption: a hot, badly-cooled package (limit
+    // only 12 K above ambient, 3 K/W). The guard must engage and cut power.
+    let hot = ThermalConfig {
+        r_th: 3.0,
+        c_th: 2e-4, // fast thermal node so a 6 ms run reaches steady state
+        t_ambient: 320.0,
+        t_limit: 332.0,
+        derate_per_kelvin: 0.05,
+        derate_floor: 0.70,
+    };
+    let unguarded = run(None, ControlScheme::Hcapp);
+    let guarded = run(Some(hot), ControlScheme::Hcapp);
+    assert!(
+        guarded.avg_power.value() < unguarded.avg_power.value() * 0.9,
+        "thermal throttle should cut power: {} vs {}",
+        guarded.avg_power,
+        unguarded.avg_power
+    );
+    // And the throttled package is slower — heat is a real constraint.
+    assert!(guarded.speedup_vs(&unguarded) < 1.0);
+}
+
+#[test]
+fn thermal_throttle_never_breaks_the_power_cap() {
+    let hot = ThermalConfig {
+        r_th: 3.0,
+        c_th: 2e-4,
+        t_ambient: 320.0,
+        t_limit: 332.0,
+        derate_per_kelvin: 0.05,
+        derate_floor: 0.70,
+    };
+    let limit = PowerLimit::package_pin();
+    let out = run(Some(hot), ControlScheme::Hcapp);
+    assert!(out.max_ratio(&limit).unwrap() <= 1.0);
+}
