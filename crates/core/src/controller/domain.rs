@@ -10,7 +10,8 @@
 
 use hcapp_sim_core::units::Volt;
 
-/// How a domain derives its voltage from the global voltage.
+/// How a domain derives its voltage from the global voltage (§3.2's two
+/// domain classes: tracking and constant).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DomainMode {
     /// `V_dom = clamp(V_global · priority · scale)` — tracking domains
@@ -26,7 +27,8 @@ pub enum DomainMode {
     },
 }
 
-/// Level-2 controller: global voltage → chiplet domain voltage.
+/// Level-2 controller of the HCAPP hierarchy (§3.2): global voltage →
+/// chiplet domain voltage.
 #[derive(Debug, Clone)]
 pub struct DomainController {
     mode: DomainMode,
@@ -38,7 +40,8 @@ pub struct DomainController {
 }
 
 impl DomainController {
-    /// Create a tracking domain with the given scale and legal range.
+    /// Create a tracking domain with the given scale and legal range
+    /// (§3.2; the paper system uses scale 1.0 for CPU, 0.75 for GPU/SHA).
     pub fn scaled(scale: f64, v_min: Volt, v_max: Volt) -> Self {
         assert!(scale > 0.0, "non-positive domain scale");
         assert!(v_min.value() <= v_max.value(), "inverted domain range");
@@ -50,7 +53,7 @@ impl DomainController {
         }
     }
 
-    /// Create a fixed-voltage domain (memory-style).
+    /// Create a fixed-voltage domain (memory-style, §3.2).
     pub fn fixed(voltage: Volt) -> Self {
         DomainController {
             mode: DomainMode::Fixed { voltage },
@@ -60,24 +63,25 @@ impl DomainController {
         }
     }
 
-    /// The domain's derivation mode.
+    /// The domain's derivation mode (§3.2).
     pub fn mode(&self) -> DomainMode {
         self.mode
     }
 
-    /// Current priority register value.
+    /// Current value of the software priority register (§3.2).
     pub fn priority(&self) -> f64 {
         self.priority
     }
 
-    /// Software interface: write the priority register. Values are clamped
-    /// to a sane `[0.5, 1.5]` band (a register implementation would have a
-    /// bounded field).
+    /// Software interface: write the priority register (§3.2 — the paper's
+    /// de-prioritization hook). Values are clamped to a sane `[0.5, 1.5]`
+    /// band (a register implementation would have a bounded field).
     pub fn set_priority(&mut self, priority: f64) {
         self.priority = priority.clamp(0.5, 1.5);
     }
 
-    /// The domain voltage for the given (delivered) global voltage.
+    /// The domain voltage for the given (delivered) global voltage:
+    /// `V_dom = clamp(V_global · priority · scale)` per §3.2.
     pub fn domain_voltage(&self, v_global: Volt) -> Volt {
         match self.mode {
             DomainMode::Scaled { scale } => {
@@ -87,7 +91,8 @@ impl DomainController {
         }
     }
 
-    /// Legal output range.
+    /// Legal output range of the domain VR (§3.2's per-chiplet voltage
+    /// constraints).
     pub fn range(&self) -> (Volt, Volt) {
         (self.v_min, self.v_max)
     }

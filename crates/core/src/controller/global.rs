@@ -16,7 +16,8 @@ use hcapp_sim_core::units::{Volt, Watt};
 
 use crate::pid::{PidController, PidGains};
 
-/// Level-1 controller: package power → global voltage setpoint.
+/// Level-1 controller of the HCAPP hierarchy (§3.1): package power →
+/// global voltage setpoint via the cube-root error (Eq. 1) and PID (Eq. 2).
 #[derive(Debug, Clone)]
 pub struct GlobalController {
     pid: PidController,
@@ -24,7 +25,8 @@ pub struct GlobalController {
 }
 
 impl GlobalController {
-    /// Create a controller regulating to `target` watts.
+    /// Create a controller regulating to `target` watts (`P_SPEC` of
+    /// Eq. 1).
     pub fn new(gains: PidGains, target: Watt) -> Self {
         assert!(target.value() > 0.0, "non-positive power target");
         GlobalController {
@@ -33,7 +35,7 @@ impl GlobalController {
         }
     }
 
-    /// The regulated power target (`P_SPEC`).
+    /// The regulated power target (`P_SPEC` of Eq. 1).
     pub fn target(&self) -> Watt {
         self.target
     }
@@ -53,18 +55,19 @@ impl GlobalController {
         err.signum() * err.abs().cbrt()
     }
 
-    /// One control step: sensed power in, next global voltage setpoint out.
+    /// One control step (§3.1): sensed power in, next global voltage
+    /// setpoint out — Eq. 1's error through Eq. 2's feed-forward PID.
     pub fn update(&mut self, p_now: Watt, period: SimDuration) -> Volt {
         let v_err = self.voltage_error(p_now);
         Volt::new(self.pid.update(v_err, period))
     }
 
-    /// Reset controller dynamics (integral state).
+    /// Reset controller dynamics (the integral state of Eq. 2).
     pub fn reset(&mut self) {
         self.pid.reset();
     }
 
-    /// Access the inner PID (diagnostics, tuning).
+    /// Access the inner PID of Eq. 2 (diagnostics, tuning).
     pub fn pid(&self) -> &PidController {
         &self.pid
     }

@@ -23,7 +23,8 @@
 
 use hcapp_sim_core::units::Volt;
 
-/// A level-3 controller for the units of one domain.
+/// A level-3 controller of the HCAPP hierarchy (§3.3) for the units of one
+/// domain.
 pub trait LocalController: Send + std::fmt::Debug {
     /// Update the per-unit ratios from the units' measured IPC fractions
     /// and the current domain voltage. Called once per control period.
@@ -45,7 +46,7 @@ const RATIO_MIN: f64 = 0.70;
 const RATIO_MAX: f64 = 1.00;
 const RATIO_STEP: f64 = 0.05;
 
-/// CAPP's static-threshold IPC controller (one ratio per core).
+/// CAPP's static-threshold IPC controller (§3.3.1), one ratio per core.
 #[derive(Debug, Clone)]
 pub struct CpuIpcStaticController {
     ratios: Vec<f64>,
@@ -61,7 +62,8 @@ impl CpuIpcStaticController {
         Self::with_thresholds(units, 0.6, 0.3)
     }
 
-    /// Custom thresholds (used by the threshold ablation).
+    /// Custom thresholds around §3.3.1's rule (used by the threshold
+    /// ablation).
     pub fn with_thresholds(units: usize, up: f64, down: f64) -> Self {
         assert!(units > 0, "need at least one unit");
         assert!(down < up, "down threshold must be below up threshold");
@@ -98,8 +100,8 @@ impl LocalController for CpuIpcStaticController {
     }
 }
 
-/// GPU-CAPP's dynamic-IPC controller (one ratio per SM, shared moving
-/// thresholds).
+/// GPU-CAPP's dynamic-IPC controller (§3.3.2), one ratio per SM with
+/// shared moving thresholds.
 #[derive(Debug, Clone)]
 pub struct GpuIpcDynamicController {
     ratios: Vec<f64>,
@@ -127,7 +129,7 @@ impl GpuIpcDynamicController {
         }
     }
 
-    /// The current (moving) thresholds, `(up, down)`.
+    /// The current (moving) thresholds of §3.3.2's adaptation, `(up, down)`.
     pub fn thresholds(&self) -> (f64, f64) {
         (self.up_threshold, self.down_threshold)
     }
@@ -185,7 +187,8 @@ pub struct PassThroughController {
 }
 
 impl PassThroughController {
-    /// Create a pass-through controller (chiplet-granular: one ratio).
+    /// Create a pass-through controller (§3.3.3; chiplet-granular: one
+    /// ratio).
     pub fn new() -> Self {
         PassThroughController { ratios: [1.0] }
     }
@@ -221,7 +224,7 @@ pub struct AdversarialController {
 }
 
 impl AdversarialController {
-    /// Create an adversarial controller.
+    /// Create an adversarial controller (§3.3.3's thought experiment).
     pub fn new() -> Self {
         AdversarialController { ratios: [RATIO_MAX] }
     }

@@ -16,7 +16,8 @@ use hcapp_power_model::ThermalModel;
 use hcapp_sim_core::time::SimDuration;
 use hcapp_sim_core::units::Watt;
 
-/// Thermal-guard parameters for a domain.
+/// Thermal-guard parameters for a domain (§3.3's local thermal-sensor
+/// extension).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermalConfig {
     /// Thermal resistance junction→ambient in K/W.
@@ -35,7 +36,9 @@ pub struct ThermalConfig {
 
 impl ThermalConfig {
     /// A laptop-class package: 1.2 K/W to ambient at 320 K, limit 358 K
-    /// (85 °C), 2%/K derate.
+    /// (85 °C), 2%/K derate. The paper's evaluation (§5) keeps power limits
+    /// below TDP so this never engages there; these defaults make the
+    /// extension observable.
     pub fn default_package() -> Self {
         ThermalConfig {
             r_th: 1.2,
@@ -47,7 +50,7 @@ impl ThermalConfig {
         }
     }
 
-    /// Validate invariants.
+    /// Validate invariants of the §3.3 thermal extension's parameters.
     ///
     /// # Panics
     /// Panics on non-physical parameters.
@@ -59,7 +62,8 @@ impl ThermalConfig {
     }
 }
 
-/// Per-domain thermal sensor + proportional throttle.
+/// Per-domain thermal sensor + proportional throttle implementing §3.3's
+/// "local thermal sensors" clause.
 #[derive(Debug, Clone)]
 pub struct ThermalGuard {
     cfg: ThermalConfig,
@@ -68,7 +72,7 @@ pub struct ThermalGuard {
 }
 
 impl ThermalGuard {
-    /// Create a guard at ambient temperature.
+    /// Create a guard at ambient temperature (§3.3 extension).
     pub fn new(cfg: ThermalConfig) -> Self {
         cfg.validate();
         ThermalGuard {
@@ -79,7 +83,8 @@ impl ThermalGuard {
     }
 
     /// Feed one interval of domain power; returns the voltage derate factor
-    /// to apply next interval (1.0 = no throttle).
+    /// to apply next interval (1.0 = no throttle). This is §3.3's "reduce
+    /// the local voltage at the affected component to prevent failure".
     pub fn update(&mut self, domain_power: Watt, dt: SimDuration) -> f64 {
         self.node.step(domain_power, dt);
         let excess = self.node.temperature() - self.cfg.t_limit;
@@ -91,17 +96,18 @@ impl ThermalGuard {
         self.derate
     }
 
-    /// Current junction temperature in kelvin.
+    /// Current junction temperature in kelvin (the §3.3 local thermal
+    /// sensor reading).
     pub fn temperature(&self) -> f64 {
         self.node.temperature()
     }
 
-    /// Current derate factor.
+    /// Current derate factor applied by the §3.3 thermal throttle.
     pub fn derate(&self) -> f64 {
         self.derate
     }
 
-    /// Whether the throttle is currently engaged.
+    /// Whether the §3.3 thermal throttle is currently engaged.
     pub fn throttling(&self) -> bool {
         self.derate < 1.0
     }

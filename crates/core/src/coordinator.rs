@@ -352,9 +352,13 @@ pub(crate) fn run_loop<E: DomainExecutor>(
     let mut quantum_index = 0u64;
     let mut peak_hold = 0.0f64;
     let mut retargets = run.retargets.iter().peekable();
+    let mut prev_t0: Option<SimTime> = None;
+    let (v_floor, v_ceil) = (Volt::new(sys.pid.out_min), Volt::new(sys.pid.out_max));
     while done < total_ticks {
         let n = quantum_ticks.min(total_ticks - done);
         let t0 = SimTime::from_nanos(done as u64 * tick.as_nanos());
+        crate::invariants::check_time_monotonic("run_loop quantum", prev_t0, t0);
+        prev_t0 = Some(t0);
 
         if dynamic {
             // Apply any scheduled power-target changes that have matured.
@@ -403,11 +407,20 @@ pub(crate) fn run_loop<E: DomainExecutor>(
         for (i, v) in v_sched[..n].iter_mut().enumerate() {
             vr.step(t0 + tick * i as u64, tick);
             *v = vr.output().value();
+            crate::invariants::check_voltage_in_range(
+                "run_loop voltage schedule",
+                Volt::new(*v),
+                v_floor,
+                v_ceil,
+            );
         }
 
         // Advance every domain through the quantum.
         power_acc[..n].fill(0.0);
         executor.run_quantum(t0, &v_sched[..n], dynamic, &priorities, tick, &mut power_acc[..n]);
+        for &p in &power_acc[..n] {
+            crate::invariants::check_power_sane("run_loop package power", Watt::new(p));
+        }
 
         // Aggregate package-level signals.
         for i in 0..n {

@@ -1,0 +1,126 @@
+//! Runtime invariant checks (debug builds only).
+//!
+//! simlint (the static layer) keeps panic sites and raw-unit arithmetic out
+//! of the library crates; this module is the *dynamic* complement: cheap
+//! `debug_assert!`-based checks wired into the hot control paths that catch
+//! physically-impossible states the moment they appear instead of letting
+//! them propagate into a sweep's CSV output. All helpers compile to nothing
+//! with `debug-assertions` off (`cargo build --release`), so the release
+//! simulation pays zero cost.
+//!
+//! The checked invariants mirror the paper's physical model:
+//!
+//! * voltages stay inside the legal VR output range (§3.1/§3.2 — the global
+//!   and domain VRs have bounded ranges),
+//! * package/domain power is finite and non-negative (the P ∝ V³ model of
+//!   Eq. 3 can never go negative),
+//! * simulation time is strictly monotonic across control quanta (§4.1's
+//!   central controller advances quantum by quantum),
+//! * the PID integral honours its anti-windup bound (Eq. 2's integral term
+//!   is clamped so saturation cannot poison later transients).
+
+use hcapp_sim_core::time::SimTime;
+use hcapp_sim_core::units::{Volt, Watt};
+
+/// Tolerance for floating-point boundary comparisons: the checks guard
+/// against *violations*, not representation noise at the clamp edge.
+const EPS: f64 = 1e-9;
+
+/// Debug-assert that `v` lies in the legal `[v_min, v_max]` VR range
+/// (§3.1's global VR / §3.2's domain VR output bounds).
+#[inline]
+pub fn check_voltage_in_range(context: &str, v: Volt, v_min: Volt, v_max: Volt) {
+    debug_assert!(
+        v.value() >= v_min.value() - EPS && v.value() <= v_max.value() + EPS,
+        "invariant violated [{context}]: voltage {v} outside legal range [{v_min}, {v_max}]"
+    );
+}
+
+/// Debug-assert that a power reading is finite and non-negative (Eq. 3's
+/// P ∝ V³ model cannot produce a negative draw).
+#[inline]
+pub fn check_power_sane(context: &str, p: Watt) {
+    debug_assert!(
+        p.value().is_finite() && p.value() >= 0.0,
+        "invariant violated [{context}]: non-physical power {p}"
+    );
+}
+
+/// Debug-assert that simulated time advances strictly monotonically across
+/// control quanta (§4.1's central controller never revisits a quantum).
+#[inline]
+pub fn check_time_monotonic(context: &str, prev: Option<SimTime>, now: SimTime) {
+    debug_assert!(
+        prev.is_none_or(|p| now > p),
+        "invariant violated [{context}]: sim time went backwards ({prev:?} -> {now})"
+    );
+}
+
+/// Debug-assert that the PID integral contribution respects the anti-windup
+/// clamp of Eq. 2 (`|K_I · ∫V_err dt| ≤ integral_limit`).
+#[inline]
+pub fn check_integral_bounded(context: &str, contribution_v: f64, limit_v: f64) {
+    debug_assert!(
+        contribution_v.abs() <= limit_v + EPS,
+        "invariant violated [{context}]: integral contribution {contribution_v} V exceeds \
+         anti-windup limit {limit_v} V"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_values_pass() {
+        check_voltage_in_range("test", Volt::new(0.9), Volt::new(0.6), Volt::new(1.3));
+        // Representation noise at the clamp edge is tolerated.
+        check_voltage_in_range(
+            "test",
+            Volt::new(1.3 + 1e-12),
+            Volt::new(0.6),
+            Volt::new(1.3),
+        );
+        check_power_sane("test", Watt::new(0.0));
+        check_power_sane("test", Watt::new(95.5));
+        check_time_monotonic("test", None, SimTime::ZERO);
+        check_time_monotonic("test", Some(SimTime::ZERO), SimTime::from_nanos(1));
+        check_integral_bounded("test", 0.399, 0.40);
+        check_integral_bounded("test", -0.40, 0.40);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "checks compile out in release")]
+    #[should_panic(expected = "outside legal range")]
+    fn out_of_range_voltage_panics() {
+        check_voltage_in_range("test", Volt::new(1.5), Volt::new(0.6), Volt::new(1.3));
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "checks compile out in release")]
+    #[should_panic(expected = "non-physical power")]
+    fn negative_power_panics() {
+        check_power_sane("test", Watt::new(-1.0));
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "checks compile out in release")]
+    #[should_panic(expected = "non-physical power")]
+    fn nan_power_panics() {
+        check_power_sane("test", Watt::new(f64::NAN));
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "checks compile out in release")]
+    #[should_panic(expected = "went backwards")]
+    fn backwards_time_panics() {
+        check_time_monotonic("test", Some(SimTime::from_nanos(5)), SimTime::from_nanos(5));
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "checks compile out in release")]
+    #[should_panic(expected = "anti-windup")]
+    fn integral_over_limit_panics() {
+        check_integral_bounded("test", 0.5, 0.40);
+    }
+}

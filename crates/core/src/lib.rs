@@ -30,6 +30,7 @@
 
 pub mod controller;
 pub mod coordinator;
+pub mod invariants;
 pub mod limits;
 pub mod outcome;
 pub mod parallel;

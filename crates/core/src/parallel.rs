@@ -1,11 +1,16 @@
 //! Parallel execution.
 //!
-//! Two levels of parallelism, both deterministic:
+//! Two levels of parallelism, both deterministic, both built on the standard
+//! library only (`std::sync::mpsc` channels, `std::thread::scope`,
+//! `std::sync::Mutex`) so the workspace stays hermetic — simlint rule L4
+//! forbids registry dependencies, and rule L3 plus the determinism
+//! regression tests in this module keep the parallel paths bit-identical to
+//! the serial ones:
 //!
 //! 1. **Run-level** ([`run_all`]) — the experiment sweeps (8 combos × 4
-//!    schemes × limits) are embarrassingly parallel: a crossbeam work queue
-//!    feeds system/run configs to scoped worker threads; results land in
-//!    input order. This is the workhorse for regenerating the figures.
+//!    schemes × limits) are embarrassingly parallel: a mutex-guarded work
+//!    queue feeds system/run configs to scoped worker threads; results land
+//!    in input order. This is the workhorse for regenerating the figures.
 //!
 //! 2. **Chiplet-level** ([`Simulation::run_parallel`]) — inside one run,
 //!    domains are independent within a control quantum (the global voltage
@@ -18,9 +23,11 @@
 //!    a 1 µs quantum the channel traffic outweighs the win, which the
 //!    `scaling` bench quantifies.
 
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use hcapp_sim_core::time::{SimDuration, SimTime};
 
 use crate::coordinator::{run_loop, DomainExecutor, RunConfig, Simulation};
@@ -32,24 +39,30 @@ use crate::system::{Domain, SystemConfig};
 /// order in the result.
 pub fn run_all(jobs: Vec<(SystemConfig, RunConfig)>, workers: usize) -> Vec<RunOutcome> {
     let workers = workers.max(1).min(jobs.len().max(1));
-    let (job_tx, job_rx) = unbounded::<(usize, SystemConfig, RunConfig)>();
-    let (res_tx, res_rx) = unbounded::<(usize, RunOutcome)>();
     let n = jobs.len();
-    for (i, (sys, run)) in jobs.into_iter().enumerate() {
-        job_tx.send((i, sys, run)).expect("queue open");
-    }
-    drop(job_tx);
+    // Shared pull queue: cheaper than one channel per worker and keeps the
+    // dynamic load balancing crossbeam's shared receiver used to provide.
+    let queue: Arc<Mutex<VecDeque<(usize, SystemConfig, RunConfig)>>> = Arc::new(Mutex::new(
+        jobs.into_iter()
+            .enumerate()
+            .map(|(i, (sys, run))| (i, sys, run))
+            .collect(),
+    ));
+    let (res_tx, res_rx) = channel::<(usize, RunOutcome)>();
 
     thread::scope(|scope| {
         for _ in 0..workers {
-            let job_rx = job_rx.clone();
+            let queue = Arc::clone(&queue);
             let res_tx = res_tx.clone();
-            scope.spawn(move || {
-                while let Ok((i, sys, run)) = job_rx.recv() {
-                    let outcome = Simulation::new(sys, run).run();
-                    if res_tx.send((i, outcome)).is_err() {
-                        return;
-                    }
+            scope.spawn(move || loop {
+                let job = {
+                    let mut q = queue.lock().expect("invariant: no worker panics while holding the job-queue lock");
+                    q.pop_front()
+                };
+                let Some((i, sys, run)) = job else { return };
+                let outcome = Simulation::new(sys, run).run();
+                if res_tx.send((i, outcome)).is_err() {
+                    return;
                 }
             });
         }
@@ -60,7 +73,7 @@ pub fn run_all(jobs: Vec<(SystemConfig, RunConfig)>, workers: usize) -> Vec<RunO
         }
         slots
             .into_iter()
-            .map(|s| s.expect("worker returned every job"))
+            .map(|s| s.expect("invariant: every queued job sends exactly one result before its worker exits"))
             .collect()
     })
 }
@@ -70,13 +83,13 @@ struct QuantumCmd {
     /// Start time of the quantum.
     t0: SimTime,
     /// Global voltage per tick of the quantum.
-    v_sched: std::sync::Arc<Vec<f64>>,
+    v_sched: Arc<Vec<f64>>,
     /// Number of valid ticks in `v_sched`.
     n: usize,
     /// Whether local controllers update at this boundary.
     update_local: bool,
     /// Software priorities, one per domain (global indexing).
-    priorities: std::sync::Arc<Vec<f64>>,
+    priorities: Arc<Vec<f64>>,
     tick: SimDuration,
 }
 
@@ -115,10 +128,14 @@ impl DomainExecutor for PooledExecutor<'_> {
 
     fn work_done(&mut self) -> Vec<f64> {
         for tx in &self.cmd_txs {
-            tx.send(WorkerMsg::ReportWork).expect("worker alive");
+            tx.send(WorkerMsg::ReportWork)
+                .expect("invariant: workers outlive the executor inside the thread scope");
         }
         for _ in 0..self.n_domains {
-            let r = self.reply_rx.recv().expect("worker alive");
+            let r = self
+                .reply_rx
+                .recv()
+                .expect("invariant: each worker replies once per domain it owns");
             self.last_work[r.domain_idx] = r.work_done;
         }
         self.last_work.clone()
@@ -133,8 +150,8 @@ impl DomainExecutor for PooledExecutor<'_> {
         tick: SimDuration,
         power_acc: &mut [f64],
     ) {
-        let v = std::sync::Arc::new(v_sched.to_vec());
-        let p = std::sync::Arc::new(priorities.to_vec());
+        let v = Arc::new(v_sched.to_vec());
+        let p = Arc::new(priorities.to_vec());
         for tx in &self.cmd_txs {
             tx.send(WorkerMsg::Quantum(QuantumCmd {
                 t0,
@@ -144,13 +161,16 @@ impl DomainExecutor for PooledExecutor<'_> {
                 priorities: p.clone(),
                 tick,
             }))
-            .expect("worker alive");
+            .expect("invariant: workers outlive the executor inside the thread scope");
         }
         // Collect one reply per domain, then merge in domain order so the
         // floating-point sums match the serial executor exactly.
         let mut replies: Vec<Option<QuantumReply>> = (0..self.n_domains).map(|_| None).collect();
         for _ in 0..self.n_domains {
-            let r = self.reply_rx.recv().expect("worker alive");
+            let r = self
+                .reply_rx
+                .recv()
+                .expect("invariant: each worker replies once per domain it owns");
             self.last_work[r.domain_idx] = r.work_done;
             let idx = r.domain_idx;
             replies[idx] = Some(r);
@@ -191,10 +211,10 @@ impl Simulation {
         }
 
         thread::scope(|scope| {
-            let (reply_tx, reply_rx) = unbounded::<QuantumReply>();
+            let (reply_tx, reply_rx) = channel::<QuantumReply>();
             let mut cmd_txs = Vec::with_capacity(workers);
             for part in partitions {
-                let (cmd_tx, cmd_rx) = unbounded::<WorkerMsg>();
+                let (cmd_tx, cmd_rx) = channel::<WorkerMsg>();
                 cmd_txs.push(cmd_tx);
                 let reply_tx = reply_tx.clone();
                 scope.spawn(move || {
@@ -253,10 +273,9 @@ impl Simulation {
                 n_domains,
                 _marker: std::marker::PhantomData,
             };
-            let outcome = run_loop(sys, run, global_ctl, vr, sensor, policy, executor);
             // Workers exit when their command channels drop with the
             // executor at the end of run_loop.
-            outcome
+            run_loop(sys, run, global_ctl, vr, sensor, policy, executor)
         })
     }
 }
@@ -266,7 +285,7 @@ mod tests {
     use super::*;
     use crate::limits::PowerLimit;
     use crate::scheme::ControlScheme;
-    
+
     use hcapp_workloads::combos::combo_suite;
 
     fn job(seed: u64) -> (SystemConfig, RunConfig) {
@@ -300,6 +319,15 @@ mod tests {
         let out = run_all(vec![job(9)], 1);
         assert_eq!(out.len(), 1);
         assert!(out[0].avg_power.value() > 0.0);
+    }
+
+    #[test]
+    fn run_all_with_more_workers_than_jobs() {
+        let out = run_all(vec![job(3), job(5)], 16);
+        assert_eq!(out.len(), 2);
+        for o in &out {
+            assert!(o.avg_power.value() > 0.0);
+        }
     }
 
     #[test]

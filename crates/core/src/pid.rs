@@ -171,6 +171,11 @@ impl PidController {
         out = out.clamp(prev - self.gains.max_step, prev + self.gains.max_step);
         let out = out.clamp(self.gains.out_min, self.gains.out_max);
         self.prev_output = Some(out);
+        crate::invariants::check_integral_bounded(
+            "PidController::update",
+            self.integral_contribution(),
+            self.gains.integral_limit,
+        );
         out
     }
 

@@ -1,0 +1,58 @@
+//! Determinism regression tests backing simlint rule L3: the property the
+//! static rule protects (bit-identical reruns, serial == parallel) checked
+//! end-to-end on the paper system. If someone allowlists their way past L3
+//! with something genuinely nondeterministic, these fail.
+
+use hcapp::coordinator::{RunConfig, Simulation};
+use hcapp::scheme::ControlScheme;
+use hcapp::system::SystemConfig;
+use hcapp_sim_core::time::SimDuration;
+use hcapp_sim_core::units::Watt;
+use hcapp_workloads::combos::combo_suite;
+
+fn sim() -> Simulation {
+    let sys = SystemConfig::paper_system(combo_suite()[3], 7); // Hi-Hi
+    let run = RunConfig::new(
+        SimDuration::from_millis(2),
+        ControlScheme::Hcapp,
+        Watt::new(84.0),
+    )
+    .with_trace()
+    .with_voltage_trace();
+    Simulation::new(sys, run)
+}
+
+#[test]
+fn serial_equals_parallel_bitwise() {
+    let serial = sim().run();
+    for workers in [1, 2, 4] {
+        let parallel = sim().run_parallel(workers);
+        assert_eq!(serial.avg_power, parallel.avg_power, "{workers} workers");
+        assert_eq!(serial.energy_j, parallel.energy_j, "{workers} workers");
+        assert_eq!(serial.work, parallel.work, "{workers} workers");
+        assert_eq!(serial.windowed_max, parallel.windowed_max);
+        assert_eq!(
+            serial.mean_global_voltage,
+            parallel.mean_global_voltage
+        );
+        let ts = serial.trace.as_ref().expect("trace requested");
+        let tp = parallel.trace.as_ref().expect("trace requested");
+        assert_eq!(ts.values(), tp.values(), "{workers} workers");
+        let vs = serial.voltage_trace.as_ref().expect("trace requested");
+        let vp = parallel.voltage_trace.as_ref().expect("trace requested");
+        assert_eq!(vs.values(), vp.values(), "{workers} workers");
+    }
+}
+
+#[test]
+fn rerun_is_bit_identical() {
+    let a = sim().run();
+    let b = sim().run();
+    assert_eq!(a.avg_power, b.avg_power);
+    assert_eq!(a.energy_j, b.energy_j);
+    assert_eq!(a.work, b.work);
+    assert_eq!(
+        a.trace.expect("trace").values(),
+        b.trace.expect("trace").values()
+    );
+}

@@ -70,6 +70,9 @@ impl SupplyNetwork {
             self.delivered[idx] = line.pop_front().expect("non-empty line");
         }
         let v = self.delivered[idx];
+        // Numerical-stability epsilon, not a physical threshold: guards the
+        // I = P/V division below against a (transiently) zero rail.
+        // simlint: allow(unit-safety)
         if self.branch_resistance > 0.0 && v.value() > 1e-9 {
             // I = P/V; ΔV = I·R.
             let current = last_power.value() / v.value();

@@ -1,4 +1,9 @@
 //! Property-based tests for the power models.
+//!
+//! Compiled only with `--features proptest` so the default `cargo test -q`
+//! stays lean; the suite runs against the local proptest shim
+//! (`crates/proptest-shim`), so no registry access is needed either way.
+#![cfg(feature = "proptest")]
 
 use hcapp_power_model::{
     ComponentPowerModel, DynamicPower, FrequencyModel, LeakageModel, OperatingPointTable,

@@ -1,0 +1,115 @@
+//! CLI for simlint: `cargo run -p simlint -- [--deny-all] [--rule L2]...
+//! [--json] [ROOT]`.
+//!
+//! Exit status: 0 when no findings (the acceptance gate for the workspace),
+//! 1 when findings exist, 2 on usage or I/O errors. `--deny-all` is the
+//! explicit "treat everything as an error" mode used by `scripts/check.sh`;
+//! since every rule already denies by default it is an alias for the
+//! default behaviour, kept as a stable flag so CI invocations read clearly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use simlint::{check_workspace, find_workspace_root, LoadedWorkspace, Rule};
+
+const USAGE: &str = "\
+simlint — static analysis for the HCAPP workspace
+
+USAGE: simlint [OPTIONS] [ROOT]
+
+OPTIONS:
+  --deny-all        fail on any finding from any rule (default behaviour)
+  --rule <R>        run only rule R (repeatable); R is L1..L5 or a rule name
+  --json            machine-readable output (one JSON object per line)
+  --list-rules      print the rule table and exit
+  -h, --help        this text
+
+ROOT defaults to the enclosing cargo workspace of the current directory.";
+
+fn main() -> ExitCode {
+    let mut rules: Vec<Rule> = Vec::new();
+    let mut json = false;
+    let mut root_arg: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => { /* default; accepted for explicit CI use */ }
+            "--json" => json = true,
+            "--list-rules" => {
+                for r in Rule::ALL {
+                    println!("{}  {}", r.code(), r.name());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--rule" => match args.next().as_deref().and_then(Rule::parse) {
+                Some(r) => rules.push(r),
+                None => {
+                    eprintln!("error: --rule needs L1..L5 or a rule name\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => root_arg = Some(PathBuf::from(other)),
+            other => {
+                eprintln!("error: unknown option {other}\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root_arg.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("error: no cargo workspace found; pass ROOT explicitly");
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = if rules.is_empty() {
+        check_workspace(&root)
+    } else {
+        LoadedWorkspace::load(&root).map(|ws| ws.check(&rules))
+    };
+    let findings = match findings {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        for f in &findings {
+            println!(
+                "{{\"rule\":\"{}\",\"name\":\"{}\",\"file\":\"{}\",\"line\":{},\"excerpt\":\"{}\"}}",
+                f.rule.code(),
+                f.rule.name(),
+                f.file,
+                f.line,
+                f.excerpt.replace('\\', "\\\\").replace('"', "\\\"")
+            );
+        }
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+    }
+
+    if findings.is_empty() {
+        if !json {
+            println!("simlint: workspace clean (rules: all deny)");
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("simlint: {} violation(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

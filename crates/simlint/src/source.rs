@@ -1,0 +1,442 @@
+//! Source-file model for the line rules.
+//!
+//! simlint deliberately avoids a full parser (`syn` would be a registry
+//! dependency, which rule L4 forbids): it works on a *masked* view of each
+//! file in which string-literal contents and comments are blanked out, plus
+//! per-line metadata — whether the line sits inside a `#[cfg(test)]` region
+//! and which rules an inline `// simlint: allow(...)` directive suppresses.
+//! That is enough to make substring rules precise: a `panic!` inside a
+//! string or a doc comment never fires, and test code is exempt where a rule
+//! says so.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::Rule;
+
+/// One analyzed line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The raw text as read from disk.
+    pub raw: String,
+    /// The text with comments blanked and string interiors replaced by
+    /// spaces (delimiting quotes are kept, so `.expect("...")` still shows
+    /// its literal-ness). Columns line up with `raw`.
+    pub masked: String,
+    /// True when the line is inside a `#[cfg(test)]` item's braces (or the
+    /// whole file is a test/bench/example target).
+    pub in_test: bool,
+    /// Rules suppressed on this line by an allow directive on it or on the
+    /// directly preceding line.
+    pub allowed: Vec<Rule>,
+}
+
+/// A loaded, masked source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root (always with `/` separators).
+    pub rel_path: String,
+    /// The crate directory name under `crates/` (e.g. `"sim-core"`), or
+    /// `""` for the workspace-root package.
+    pub crate_name: String,
+    /// Analyzed lines, 0-indexed (`lines[0]` is line 1).
+    pub lines: Vec<Line>,
+    /// Rules suppressed for the whole file via `simlint: allow-file(...)`.
+    pub file_allowed: Vec<Rule>,
+}
+
+impl fmt::Display for SourceFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.rel_path)
+    }
+}
+
+/// Lexer carry-state across lines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    /// Inside `/* ... */`, tracking nesting depth.
+    BlockComment(u32),
+    /// Inside a raw string literal with `n` terminating hashes.
+    RawString(u32),
+}
+
+/// Directives found in comment text.
+#[derive(Debug, Default)]
+struct Directives {
+    line_allowed: Vec<Rule>,
+    file_allowed: Vec<Rule>,
+}
+
+fn parse_directives(comment: &str, out: &mut Directives) {
+    for (needle, is_file) in [("simlint: allow-file(", true), ("simlint: allow(", false)] {
+        let mut rest = comment;
+        while let Some(pos) = rest.find(needle) {
+            let tail = &rest[pos + needle.len()..];
+            if let Some(end) = tail.find(')') {
+                for token in tail[..end].split(',') {
+                    if let Some(rule) = Rule::parse(token.trim()) {
+                        if is_file {
+                            out.file_allowed.push(rule);
+                        } else {
+                            out.line_allowed.push(rule);
+                        }
+                    }
+                }
+                rest = &tail[end..];
+            } else {
+                break;
+            }
+        }
+        // `allow-file(` also contains `allow(`? No: the search above uses
+        // distinct needles and `simlint: allow(` does not occur inside
+        // `simlint: allow-file(`, so no double-count is possible.
+    }
+}
+
+/// Mask one line, updating `mode`, collecting comment text into `comments`.
+fn mask_line(raw: &str, mode: &mut Mode, comments: &mut String) -> String {
+    let bytes = raw.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match *mode {
+            Mode::BlockComment(depth) => {
+                if bytes[i..].starts_with(b"*/") {
+                    comments.push(' ');
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    *mode = if depth > 1 {
+                        Mode::BlockComment(depth - 1)
+                    } else {
+                        Mode::Code
+                    };
+                } else if bytes[i..].starts_with(b"/*") {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    *mode = Mode::BlockComment(depth + 1);
+                } else {
+                    comments.push(bytes[i] as char);
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            Mode::RawString(hashes) => {
+                let mut close = Vec::with_capacity(1 + hashes as usize);
+                close.push(b'"');
+                close.extend(std::iter::repeat(b'#').take(hashes as usize));
+                if bytes[i..].starts_with(&close) {
+                    out.extend_from_slice(&close);
+                    i += close.len();
+                    *mode = Mode::Code;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            Mode::Code => {
+                if bytes[i..].starts_with(b"//") {
+                    // Line comment (incl. doc comments): blank the rest,
+                    // keep its text for directive parsing.
+                    comments.push_str(&raw[i..]);
+                    out.extend(std::iter::repeat(b' ').take(bytes.len() - i));
+                    i = bytes.len();
+                } else if bytes[i..].starts_with(b"/*") {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    *mode = Mode::BlockComment(1);
+                } else if bytes[i] == b'"' {
+                    // Ordinary string: blank interior, keep the quotes.
+                    out.push(b'"');
+                    i += 1;
+                    while i < bytes.len() {
+                        if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                            out.extend_from_slice(b"  ");
+                            i += 2;
+                        } else if bytes[i] == b'"' {
+                            out.push(b'"');
+                            i += 1;
+                            break;
+                        } else {
+                            out.push(b' ');
+                            i += 1;
+                        }
+                    }
+                    // An unterminated ordinary string continuing onto the
+                    // next line (multi-line string literal): approximate by
+                    // treating the remainder as a raw string with 0 hashes.
+                    if i >= bytes.len() && !raw[..i].ends_with('"') {
+                        *mode = Mode::RawString(0);
+                    }
+                } else if bytes[i] == b'r'
+                    && (bytes[i + 1..].first() == Some(&b'"') || bytes[i + 1..].first() == Some(&b'#'))
+                    && !prev_is_ident(&out)
+                {
+                    // Raw string: r"..." or r#"..."# etc.
+                    let mut j = i + 1;
+                    let mut hashes = 0u32;
+                    while j < bytes.len() && bytes[j] == b'#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j] == b'"' {
+                        out.extend(std::iter::repeat(b' ').take(j - i));
+                        out.push(b'"');
+                        i = j + 1;
+                        *mode = Mode::RawString(hashes);
+                    } else {
+                        out.push(bytes[i]);
+                        i += 1;
+                    }
+                } else if bytes[i] == b'\'' {
+                    // Char literal vs lifetime. `'x'` / `'\n'` are literals;
+                    // `'a` (no closing quote nearby) is a lifetime.
+                    let lit_len = char_literal_len(&bytes[i..]);
+                    if let Some(len) = lit_len {
+                        out.push(b'\'');
+                        out.extend(std::iter::repeat(b' ').take(len - 2));
+                        out.push(b'\'');
+                        i += len;
+                    } else {
+                        out.push(b'\'');
+                        i += 1;
+                    }
+                } else {
+                    out.push(bytes[i]);
+                    i += 1;
+                }
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn prev_is_ident(out: &[u8]) -> bool {
+    out.last()
+        .is_some_and(|&b| b.is_ascii_alphanumeric() || b == b'_')
+}
+
+/// Length in bytes of a char literal starting at `bytes[0] == b'\''`, or
+/// `None` if this is a lifetime.
+fn char_literal_len(bytes: &[u8]) -> Option<usize> {
+    if bytes.len() < 3 {
+        return None;
+    }
+    if bytes[1] == b'\\' {
+        // Escape: '\n', '\'', '\u{...}', '\x41'.
+        let mut j = 2;
+        while j < bytes.len() && bytes[j] != b'\'' {
+            j += 1;
+        }
+        (j < bytes.len()).then_some(j + 1)
+    } else if bytes[2] == b'\'' && bytes[1] != b'\'' {
+        Some(3)
+    } else {
+        // Multi-byte UTF-8 char literal: find the closing quote within a
+        // small window.
+        let limit = bytes.len().min(6);
+        (2..limit).find(|&j| bytes[j] == b'\'').map(|j| j + 1)
+    }
+}
+
+impl SourceFile {
+    /// Load and analyze `abs_path`. `whole_file_is_test` marks every line as
+    /// test code (integration tests, benches, examples).
+    pub fn load(
+        abs_path: &Path,
+        rel_path: String,
+        crate_name: String,
+        whole_file_is_test: bool,
+    ) -> std::io::Result<SourceFile> {
+        let text = std::fs::read_to_string(abs_path)?;
+        Ok(Self::from_text(
+            &text,
+            rel_path,
+            crate_name,
+            whole_file_is_test,
+        ))
+    }
+
+    /// Analyze in-memory source (used by the fixture tests).
+    pub fn from_text(
+        text: &str,
+        rel_path: String,
+        crate_name: String,
+        whole_file_is_test: bool,
+    ) -> SourceFile {
+        let mut mode = Mode::Code;
+        let mut lines: Vec<Line> = Vec::new();
+        let mut file_allowed: Vec<Rule> = Vec::new();
+        let mut prev_allowed: Vec<Rule> = Vec::new();
+
+        // Brace-depth tracking for `#[cfg(test)]` regions.
+        let mut depth: i64 = 0;
+        let mut pending_cfg_test = false;
+        // Depth *outside* each active test region; region ends when depth
+        // returns to it.
+        let mut test_region_stack: Vec<i64> = Vec::new();
+
+        for raw in text.lines() {
+            let mut comments = String::new();
+            let masked = mask_line(raw, &mut mode, &mut comments);
+
+            let mut directives = Directives::default();
+            parse_directives(&comments, &mut directives);
+            file_allowed.extend(directives.file_allowed.iter().copied());
+
+            let starts_in_test = whole_file_is_test || !test_region_stack.is_empty();
+
+            if masked.contains("#[cfg(test)") || masked.contains("#[cfg(all(test") {
+                pending_cfg_test = true;
+            }
+
+            // Walk braces; if a pending cfg(test) attribute reaches its
+            // item's opening brace, a test region begins there.
+            for b in masked.bytes() {
+                match b {
+                    b'{' => {
+                        if pending_cfg_test {
+                            test_region_stack.push(depth);
+                            pending_cfg_test = false;
+                        }
+                        depth += 1;
+                    }
+                    b'}' => {
+                        depth -= 1;
+                        if test_region_stack.last().is_some_and(|&d| depth <= d) {
+                            test_region_stack.pop();
+                        }
+                    }
+                    _ => {}
+                }
+            }
+
+            // A line is test code if it starts or ends inside a region (so
+            // the `#[cfg(test)]`/`mod tests {` opener and the closing `}`
+            // count too once pending).
+            let in_test = starts_in_test || !test_region_stack.is_empty() || pending_cfg_test;
+
+            let mut allowed = directives.line_allowed.clone();
+            allowed.extend(prev_allowed.iter().copied());
+            // Only a comment-only line's directive extends to the next
+            // line; a trailing directive covers just its own line.
+            prev_allowed = if masked.trim().is_empty() {
+                directives.line_allowed
+            } else {
+                Vec::new()
+            };
+
+            lines.push(Line {
+                raw: raw.to_string(),
+                masked,
+                in_test,
+                allowed,
+            });
+        }
+
+        file_allowed.sort_by_key(|r| r.code());
+        file_allowed.dedup();
+        SourceFile {
+            rel_path,
+            crate_name,
+            lines,
+            file_allowed,
+        }
+    }
+
+    /// Whether `rule` is suppressed at `line_idx` (0-based) by an inline or
+    /// file-level allow directive.
+    pub fn is_allowed(&self, rule: Rule, line_idx: usize) -> bool {
+        self.file_allowed.contains(&rule)
+            || self
+                .lines
+                .get(line_idx)
+                .is_some_and(|l| l.allowed.contains(&rule))
+    }
+}
+
+/// Relative-path helper used by the workspace walker.
+pub fn rel_to(root: &Path, abs: &Path) -> String {
+    abs.strip_prefix(root)
+        .unwrap_or(abs)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Build a `PathBuf` from a workspace-relative string.
+pub fn abs_from(root: &Path, rel: &str) -> PathBuf {
+    root.join(rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(text: &str) -> SourceFile {
+        SourceFile::from_text(text, "crates/x/src/lib.rs".into(), "x".into(), false)
+    }
+
+    #[test]
+    fn strings_and_comments_are_masked() {
+        let f = file("let x = \"panic!()\"; // unwrap()\nlet y = 1; /* Instant::now */");
+        assert!(!f.lines[0].masked.contains("panic"));
+        assert!(!f.lines[0].masked.contains("unwrap"));
+        assert!(f.lines[0].masked.contains("let x = "));
+        assert!(!f.lines[1].masked.contains("Instant"));
+    }
+
+    #[test]
+    fn multiline_block_comment_masked() {
+        let f = file("/* one\nunwrap()\n*/ let z = 3;");
+        assert!(!f.lines[1].masked.contains("unwrap"));
+        assert!(f.lines[2].masked.contains("let z = 3;"));
+    }
+
+    #[test]
+    fn raw_string_masked() {
+        let f = file("let s = r#\"thread_rng\"#; let t = 5;");
+        assert!(!f.lines[0].masked.contains("thread_rng"));
+        assert!(f.lines[0].masked.contains("let t = 5;"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let f = file("fn f<'a>(x: &'a str) { let c = '\"'; let d = x.find('}'); }");
+        // The double-quote char literal must not open a string.
+        assert!(f.lines[0].masked.contains("let d = x.find("));
+    }
+
+    #[test]
+    fn expect_keeps_quote_delimiters() {
+        let f = file("foo.expect(\"queue open\");");
+        assert!(f.lines[0].masked.contains(".expect(\""));
+    }
+
+    #[test]
+    fn cfg_test_region_tracked() {
+        let f = file(
+            "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn live2() {}",
+        );
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test, "attribute line counts as test");
+        assert!(f.lines[3].in_test);
+        assert!(!f.lines[5].in_test, "region must close");
+    }
+
+    #[test]
+    fn allow_directive_covers_same_and_next_line() {
+        let f = file(
+            "// simlint: allow(L2)\nfoo.unwrap();\nbar.unwrap(); // simlint: allow(no-panic)\nbaz.unwrap();",
+        );
+        assert!(f.is_allowed(Rule::NoPanic, 1));
+        assert!(f.is_allowed(Rule::NoPanic, 2));
+        assert!(!f.is_allowed(Rule::NoPanic, 3));
+    }
+
+    #[test]
+    fn allow_file_directive() {
+        let f = file("//! simlint: allow-file(L3)\nuse std::collections::HashMap;");
+        assert!(f.is_allowed(Rule::Determinism, 1));
+        assert!(!f.is_allowed(Rule::NoPanic, 1));
+    }
+}

@@ -1,0 +1,143 @@
+//! Fixture tests: every rule must trip on its dedicated fixture under
+//! `tests/fixtures/`, and the allowlist must silence it. The fixtures are
+//! plain text (never compiled, and the workspace scanner skips the
+//! `tests/fixtures/` path), so they can contain arbitrarily bad code.
+
+use std::path::Path;
+
+use simlint::manifest::{l4_dep_layering, Manifest};
+use simlint::rules;
+use simlint::source::SourceFile;
+use simlint::{Finding, Rule};
+
+fn fixture_text(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+/// Load a fixture as if it lived at `rel_path` in crate `crate_name`.
+fn fixture_as(name: &str, rel_path: &str, crate_name: &str) -> SourceFile {
+    SourceFile::from_text(&fixture_text(name), rel_path.into(), crate_name.into(), false)
+}
+
+fn run_rule(rule: fn(&SourceFile, &mut Vec<Finding>), file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    rule(file, &mut out);
+    out
+}
+
+#[test]
+fn l1_fixture_trips_unit_safety() {
+    let f = fixture_as("l1_unit.rs", "crates/core/src/fixture.rs", "core");
+    let findings = run_rule(rules::l1_unit_safety, &f);
+    assert_eq!(findings.len(), 4, "{findings:#?}");
+    assert!(findings.iter().all(|f| f.rule == Rule::UnitSafety));
+}
+
+#[test]
+fn l2_fixture_trips_no_panic() {
+    let f = fixture_as("l2_panic.rs", "crates/core/src/fixture.rs", "core");
+    let findings = run_rule(rules::l2_no_panic, &f);
+    assert_eq!(findings.len(), 5, "{findings:#?}");
+    assert!(findings.iter().all(|f| f.rule == Rule::NoPanic));
+}
+
+#[test]
+fn l3_fixture_trips_determinism() {
+    let f = fixture_as("l3_nondet.rs", "crates/core/src/fixture.rs", "core");
+    let findings = run_rule(rules::l3_determinism, &f);
+    // Instant::now, SystemTime (×2: return type + body), thread_rng,
+    // HashMap (×2: return type + body).
+    assert!(findings.len() >= 4, "{findings:#?}");
+    assert!(findings.iter().all(|f| f.rule == Rule::Determinism));
+}
+
+#[test]
+fn l4_fixture_trips_dep_layering() {
+    let root = Manifest::parse(
+        "[workspace]\n[workspace.dependencies]\nhcapp = { path = \"crates/core\" }\n",
+        "Cargo.toml".into(),
+    );
+    let bad = Manifest::parse(&fixture_text("l4_bad.toml"), "crates/sim-core/Cargo.toml".into());
+    let mut findings = Vec::new();
+    l4_dep_layering(&[root, bad], &mut findings);
+    let excerpts: Vec<&str> = findings.iter().map(|f| f.excerpt.as_str()).collect();
+    assert!(
+        excerpts.iter().any(|e| e.contains("registry")),
+        "{excerpts:#?}"
+    );
+    assert!(
+        excerpts.iter().any(|e| e.contains("criterion")),
+        "{excerpts:#?}"
+    );
+    assert!(
+        excerpts.iter().any(|e| e.contains("hierarchy")),
+        "{excerpts:#?}"
+    );
+}
+
+#[test]
+fn l5_fixture_trips_doc_coverage() {
+    let f = fixture_as(
+        "l5_uncited.rs",
+        "crates/core/src/controller/fixture.rs",
+        "core",
+    );
+    let findings = run_rule(rules::l5_doc_coverage, &f);
+    assert_eq!(findings.len(), 2, "{findings:#?}");
+    assert!(findings.iter().all(|f| f.rule == Rule::DocCoverage));
+}
+
+#[test]
+fn rules_stay_in_scope() {
+    // The same bad code outside a simulation crate is not simlint's
+    // business (the cli/experiments hosts may use HashMap etc.).
+    let f = fixture_as("l3_nondet.rs", "crates/experiments/src/fixture.rs", "experiments");
+    assert!(run_rule(rules::l3_determinism, &f).is_empty());
+    // And L5 only applies under crates/core/src/controller/.
+    let f = fixture_as("l5_uncited.rs", "crates/core/src/fixture.rs", "core");
+    assert!(run_rule(rules::l5_doc_coverage, &f).is_empty());
+}
+
+#[test]
+fn allow_directives_silence_fixture_findings() {
+    // Prefix every offending line with an allow comment line.
+    let raw = fixture_text("l2_panic.rs");
+    let patched: String = raw
+        .lines()
+        .map(|l| {
+            if l.contains("unwrap")
+                || l.contains("panic!")
+                || l.contains("todo!")
+                || l.contains("unreachable!")
+                || l.contains(".expect(")
+            {
+                format!("    // simlint: allow(no-panic)\n{l}\n")
+            } else {
+                format!("{l}\n")
+            }
+        })
+        .collect();
+    let f = SourceFile::from_text(&patched, "crates/core/src/fixture.rs".into(), "core".into(), false);
+    assert!(run_rule(rules::l2_no_panic, &f).is_empty());
+}
+
+#[test]
+fn allow_file_directive_silences_whole_fixture() {
+    let raw = format!("//! simlint: allow-file(L3)\n{}", fixture_text("l3_nondet.rs"));
+    let f = SourceFile::from_text(&raw, "crates/core/src/fixture.rs".into(), "core".into(), false);
+    assert!(run_rule(rules::l3_determinism, &f).is_empty());
+}
+
+#[test]
+fn cfg_test_code_is_exempt_from_l2_and_l3() {
+    let wrapped = format!(
+        "#[cfg(test)]\nmod tests {{\n{}\n}}\n",
+        fixture_text("l2_panic.rs")
+    );
+    let f = SourceFile::from_text(&wrapped, "crates/core/src/x.rs".into(), "core".into(), false);
+    assert!(run_rule(rules::l2_no_panic, &f).is_empty());
+}

@@ -1,0 +1,18 @@
+// Fixture: every function here trips L1 (unit-safety) when placed in a
+// simulation crate. Not compiled — read as text by tests/fixtures.rs.
+
+pub fn scale_without_units(cap: Watt) -> f64 {
+    cap.value() * 1.2
+}
+
+pub fn literal_on_the_left(v: Volt) -> f64 {
+    0.9 + v.value()
+}
+
+pub fn compare_unit_ident(voltage: f64) -> bool {
+    voltage < 0.54
+}
+
+pub fn compare_watts(total_watts: f64) -> bool {
+    total_watts >= 120.0
+}

@@ -1,0 +1,22 @@
+// Fixture: every function here trips L2 (no-panic) when placed in a
+// library crate. Not compiled — read as text by tests/fixtures.rs.
+
+pub fn bare_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn explicit_panic() {
+    panic!("boom");
+}
+
+pub fn not_done() {
+    todo!()
+}
+
+pub fn cant_happen() {
+    unreachable!("but it did")
+}
+
+pub fn expect_without_message(x: Option<u32>, msg: &str) -> u32 {
+    x.expect(msg)
+}

@@ -1,0 +1,18 @@
+// Fixture: every line of code here trips L3 (determinism) when placed in a
+// simulation crate. Not compiled — read as text by tests/fixtures.rs.
+
+pub fn wall_clock() -> Instant {
+    Instant::now()
+}
+
+pub fn os_time() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn entropy_rng() -> f64 {
+    thread_rng().gen()
+}
+
+pub fn unordered_map() -> HashMap<u32, f64> {
+    HashMap::new()
+}

@@ -1,0 +1,10 @@
+// Fixture: both items trip L5 (doc-coverage) when placed under
+// crates/core/src/controller/. Not compiled — read as text by
+// tests/fixtures.rs.
+
+pub fn undocumented_entry_point() {}
+
+/// Documented, but cites nothing from the source material.
+pub struct UncitedController {
+    gain: f64,
+}

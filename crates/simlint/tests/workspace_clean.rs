@@ -1,0 +1,16 @@
+//! The acceptance gate: the workspace itself must be clean under every rule
+//! (fixtures under `tests/fixtures/` are excluded by path).
+
+#[test]
+fn workspace_is_clean_under_all_rules() {
+    simlint::assert_workspace_clean(env!("CARGO_MANIFEST_DIR"));
+}
+
+#[test]
+fn workspace_findings_are_deterministic() {
+    let root = simlint::find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let a = simlint::check_workspace(&root).expect("scan");
+    let b = simlint::check_workspace(&root).expect("scan");
+    assert_eq!(a, b);
+}

@@ -1,0 +1,17 @@
+#!/bin/sh
+# The full local gate: build, test, lint. Mirrors what tier-1 CI runs.
+# Usage: scripts/check.sh   (from anywhere inside the repo)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo run -p simlint -- --deny-all"
+cargo run -p simlint -q -- --deny-all
+
+echo "==> all checks passed"
