@@ -6,6 +6,7 @@ pub mod record;
 pub mod run;
 pub mod shared;
 pub mod sweep;
+pub mod trace;
 pub mod tune;
 
 use hcapp::scheme::ControlScheme;
@@ -39,8 +40,12 @@ COMMANDS:
     compare two schemes side by side (run flags + --a SCHEME --b SCHEME)
     hist    power histogram of one run (run flags + --bins N)
     tune    §3.1 PID tuning recipe (--ms N (20) --seed N)
-    record  record a benchmark's phase trace to CSV
-            --bench NAME --work-ms N (50) --seed N --out PATH
+    trace   run with the structured tracer and export JSONL events
+            (run flags) --out PATH (results/trace.jsonl)
+            --events N (65536)    tracer ring capacity
+            --check PATH          validate an existing trace instead
+    record  record a benchmark's phase trace (JSONL; --legacy for CSV)
+            --bench NAME --work-ms N (50) --seed N --out PATH --legacy
     list    available combos, benchmarks and schemes
     help    this text
 "

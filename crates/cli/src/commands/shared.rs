@@ -1,4 +1,6 @@
-//! Flag decoding shared by the run-like commands.
+//! Flag decoding shared by the run-like commands, plus the small
+//! file-interchange helpers (output paths under `results/`, phase-trace
+//! JSONL) that more than one subcommand needs.
 
 use hcapp::controller::thermal_guard::ThermalConfig;
 use hcapp::coordinator::{RunConfig, SoftwareConfig};
@@ -10,7 +12,9 @@ use hcapp_pdn::RippleSpec;
 use hcapp_sim_core::time::SimDuration;
 use hcapp_sim_core::units::Watt;
 use hcapp_workloads::benchmarks::Benchmark;
+use hcapp_telemetry::json::{self, JsonValue, Obj};
 use hcapp_workloads::combos::{combo_by_name, Combo};
+use hcapp_workloads::phase::Phase;
 use hcapp_workloads::trace::PhaseTrace;
 
 use crate::args::{ArgError, Args};
@@ -111,16 +115,23 @@ pub fn build(args: &Args) -> Result<(SystemConfig, RunConfig, PowerLimit), ArgEr
     } else {
         SystemConfig::paper_system(combo, seed)
     };
-    // Recorded-trace overrides for the compute sides.
+    // Recorded-trace overrides for the compute sides. Both interchange
+    // formats replay bit-exactly: the JSONL form `hcapp record` writes by
+    // default (first byte `{`) and the legacy CSV.
     let load_trace = |flag: &str, path: &str| -> Result<std::sync::Arc<PhaseTrace>, ArgError> {
-        let csv = std::fs::read_to_string(path).map_err(|e| bad(
+        let text = std::fs::read_to_string(path).map_err(|e| bad(
             flag,
             format!("{path}: {e}"),
-            "a readable trace CSV",
+            "a readable trace file (JSONL or CSV)",
         ))?;
-        PhaseTrace::from_csv(path.to_string(), &csv)
+        let parsed = if text.trim_start().starts_with('{') {
+            phase_trace_from_jsonl(path, &text)
+        } else {
+            PhaseTrace::from_csv(path.to_string(), &text).map_err(|e| e.to_string())
+        };
+        parsed
             .map(std::sync::Arc::new)
-            .map_err(|e| bad(flag, format!("{path}: {e}"), "activity,mem_intensity,work_ns rows"))
+            .map_err(|e| bad(flag, format!("{path}: {e}"), "a recorded phase trace"))
     };
     if let Some(path) = args.opt_string("cpu-trace")? {
         let trace = load_trace("cpu-trace", &path)?;
@@ -177,6 +188,80 @@ pub fn build(args: &Args) -> Result<(SystemConfig, RunConfig, PowerLimit), ArgEr
     Ok((sys, run, limit))
 }
 
+/// Write a command's output file, creating parent directories (the CLI
+/// defaults its artifacts to `results/`, which need not exist yet).
+pub fn write_output(path: &str, contents: &str) -> std::io::Result<()> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, contents)
+}
+
+/// Schema tag for recorded phase traces in JSONL form.
+pub const PHASE_TRACE_SCHEMA: &str = "hcapp.phase-trace";
+/// Current phase-trace schema version.
+pub const PHASE_TRACE_VERSION: u64 = 1;
+
+/// Serialize a phase trace as self-describing JSONL: a header line naming
+/// the schema, then one object per phase.
+pub fn phase_trace_to_jsonl(trace: &PhaseTrace) -> String {
+    let mut out = Obj::new()
+        .str("schema", PHASE_TRACE_SCHEMA)
+        .int("version", PHASE_TRACE_VERSION)
+        .str("bench", trace.name())
+        .int("phases", trace.phases().len() as u64)
+        .finish();
+    out.push('\n');
+    for p in trace.phases() {
+        out.push_str(
+            &Obj::new()
+                .num("activity", p.activity)
+                .num("mem_intensity", p.mem_intensity)
+                .num("work_ns", p.work_ns)
+                .finish(),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a phase trace from the JSONL form written by
+/// [`phase_trace_to_jsonl`]. `name` labels the resulting trace.
+pub fn phase_trace_from_jsonl(name: &str, text: &str) -> Result<PhaseTrace, String> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, first) = lines.next().ok_or("empty phase trace")?;
+    let head = json::parse(first).map_err(|e| format!("header: {e}"))?;
+    match head.get("schema").and_then(JsonValue::as_str) {
+        Some(s) if s == PHASE_TRACE_SCHEMA => {}
+        Some(s) => return Err(format!("unknown schema {s:?} (expected {PHASE_TRACE_SCHEMA:?})")),
+        None => return Err("header missing \"schema\"".into()),
+    }
+    match head.get("version").and_then(JsonValue::as_f64) {
+        Some(v) if v == PHASE_TRACE_VERSION as f64 => {}
+        other => return Err(format!("unsupported phase-trace version {other:?}")),
+    }
+    let mut phases = Vec::new();
+    for (i, line) in lines {
+        let row = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let field = |k: &str| {
+            row.get(k)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("line {}: missing numeric {k:?}", i + 1))
+        };
+        let work_ns = field("work_ns")?;
+        if !(work_ns > 0.0) {
+            return Err(format!("line {}: non-positive work_ns {work_ns}", i + 1));
+        }
+        phases.push(Phase::new(field("activity")?, field("mem_intensity")?, work_ns));
+    }
+    if phases.is_empty() {
+        return Err("phase trace has no phases".into());
+    }
+    Ok(PhaseTrace::new(name, phases))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,5 +316,42 @@ mod tests {
             run.software,
             SoftwareConfig::StaticPriority(ComponentKind::Gpu)
         );
+    }
+
+    #[test]
+    fn phase_trace_jsonl_round_trips() {
+        let trace = PhaseTrace::new(
+            "rt",
+            vec![Phase::new(0.8, 0.1, 1000.0), Phase::new(0.25, 0.9, 2500.5)],
+        );
+        let text = phase_trace_to_jsonl(&trace);
+        assert!(text.starts_with('{'));
+        assert!(text.contains(PHASE_TRACE_SCHEMA));
+        let back = phase_trace_from_jsonl("rt", &text).unwrap();
+        assert_eq!(back.phases(), trace.phases());
+    }
+
+    #[test]
+    fn phase_trace_jsonl_rejects_bad_input() {
+        assert!(phase_trace_from_jsonl("x", "").is_err());
+        assert!(phase_trace_from_jsonl("x", "{\"schema\":\"other\"}\n").is_err());
+        let no_rows = format!(
+            "{{\"schema\":\"{PHASE_TRACE_SCHEMA}\",\"version\":1}}\n"
+        );
+        assert!(phase_trace_from_jsonl("x", &no_rows).is_err());
+        let bad_work = format!(
+            "{{\"schema\":\"{PHASE_TRACE_SCHEMA}\",\"version\":1}}\n{{\"activity\":1,\"mem_intensity\":0,\"work_ns\":0}}\n"
+        );
+        assert!(phase_trace_from_jsonl("x", &bad_work).is_err());
+    }
+
+    #[test]
+    fn write_output_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join("hcapp_shared_write_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.txt");
+        write_output(path.to_str().unwrap(), "hello").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "hello");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -6,6 +6,7 @@
 //! hcapp sweep --ms 50 --window-us 1000                    # whole suite
 //! hcapp hist  --combo Burst-Burst --scheme fixed          # power histogram
 //! hcapp tune  --ms 20                                     # §3.1 PID tuning
+//! hcapp trace --combo Hi-Hi --scheme hcapp --ms 2         # JSONL event trace
 //! hcapp list                                              # combos/benchmarks/schemes
 //! ```
 //!
@@ -33,6 +34,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "hist" => commands::hist::execute(&args).map_err(|e| e.to_string()),
         "compare" => commands::compare::execute(&args).map_err(|e| e.to_string()),
         "tune" => commands::tune::execute(&args).map_err(|e| e.to_string()),
+        "trace" => commands::trace::execute(&args).map_err(|e| e.to_string()),
         "record" => commands::record::execute(&args).map_err(|e| e.to_string()),
         "list" => Ok(commands::list()),
         "help" | "--help" | "-h" => Ok(commands::help()),

@@ -39,6 +39,13 @@ pub trait LocalController: Send + std::fmt::Debug {
 
     /// Controller name for reports.
     fn name(&self) -> &'static str;
+
+    /// The `(up, down)` IPC thresholds the §3.3 ratio rule currently
+    /// compares against, for telemetry. `None` for controllers without an
+    /// IPC rule (pass-through, adversarial).
+    fn decision_thresholds(&self) -> Option<(f64, f64)> {
+        None
+    }
 }
 
 /// Bounds shared by the ratio-stepping controllers.
@@ -97,6 +104,10 @@ impl LocalController for CpuIpcStaticController {
 
     fn name(&self) -> &'static str {
         "cpu-ipc-static"
+    }
+
+    fn decision_thresholds(&self) -> Option<(f64, f64)> {
+        Some((self.up_threshold, self.down_threshold))
     }
 }
 
@@ -176,6 +187,10 @@ impl LocalController for GpuIpcDynamicController {
 
     fn name(&self) -> &'static str {
         "gpu-ipc-dynamic"
+    }
+
+    fn decision_thresholds(&self) -> Option<(f64, f64)> {
+        Some(self.thresholds())
     }
 }
 

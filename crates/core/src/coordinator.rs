@@ -14,11 +14,14 @@
 //! and produce bit-identical results (per-domain powers are merged in domain
 //! order in both).
 
+use std::sync::Arc;
+
 use hcapp_pdn::{PowerSensor, VoltageRegulator};
 use hcapp_sim_core::series::TimeSeries;
 use hcapp_sim_core::time::{SimDuration, SimTime};
 use hcapp_sim_core::units::{Volt, Watt};
 use hcapp_sim_core::window::WindowedMaxTracker;
+use hcapp_telemetry::{Profiler, SharedTracer, TraceEvent};
 
 use crate::controller::global::GlobalController;
 use crate::outcome::RunOutcome;
@@ -75,6 +78,16 @@ pub struct RunConfig {
     pub trace_interval: SimDuration,
     /// Software policy.
     pub software: SoftwareConfig,
+    /// Structured-telemetry sink. `None` (the default) keeps the run loop on
+    /// its zero-cost path: the hook's `enabled()` is read once per run, and
+    /// no event is ever constructed when it is absent or disabled. Events
+    /// are buffered per quantum and recorded with one lock acquisition, in
+    /// an order independent of the executor (serial == parallel).
+    pub tracer: Option<SharedTracer>,
+    /// Wall-clock phase profiler. Strictly observational: its readings never
+    /// feed back into simulated time or control decisions (see simlint L3),
+    /// so attaching one cannot perturb a run's results.
+    pub profiler: Option<Arc<Profiler>>,
 }
 
 impl RunConfig {
@@ -95,6 +108,8 @@ impl RunConfig {
             record_voltage_trace: false,
             trace_interval: SimDuration::from_micros(1),
             software: SoftwareConfig::None,
+            tracer: None,
+            profiler: None,
         }
     }
 
@@ -113,6 +128,19 @@ impl RunConfig {
     /// Select a software policy (builder style).
     pub fn with_software(mut self, sw: SoftwareConfig) -> Self {
         self.software = sw;
+        self
+    }
+
+    /// Attach a structured-telemetry sink (builder style). Keep a clone of
+    /// the handle to read the trace back after the run.
+    pub fn with_tracer(mut self, tracer: SharedTracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Attach a wall-clock phase profiler (builder style).
+    pub fn with_profiler(mut self, profiler: Arc<Profiler>) -> Self {
+        self.profiler = Some(profiler);
         self
     }
 
@@ -167,7 +195,9 @@ pub(crate) trait DomainExecutor {
     fn work_done(&mut self) -> Vec<f64>;
     /// Advance all domains through a quantum starting at `t0`, adding
     /// per-tick powers into `power_acc` in domain order. `priorities`
-    /// carries the current software priority per domain.
+    /// carries the current software priority per domain. When `events` is
+    /// `Some`, per-domain trace events are appended *in domain order*
+    /// regardless of execution order, so traces are executor-independent.
     #[allow(clippy::too_many_arguments)]
     fn run_quantum(
         &mut self,
@@ -177,6 +207,7 @@ pub(crate) trait DomainExecutor {
         priorities: &[f64],
         tick: SimDuration,
         power_acc: &mut [f64],
+        events: Option<&mut Vec<TraceEvent>>,
     );
 }
 
@@ -206,10 +237,12 @@ impl DomainExecutor for SerialExecutor {
         priorities: &[f64],
         tick: SimDuration,
         power_acc: &mut [f64],
+        mut events: Option<&mut Vec<TraceEvent>>,
     ) {
+        // Iterating in domain order appends events in domain order.
         for (d, &p) in self.domains.iter_mut().zip(priorities) {
             d.ctl.set_priority(p);
-            d.run_quantum(t0, v_sched, update_local, tick, power_acc);
+            d.run_quantum(t0, v_sched, update_local, tick, power_acc, events.as_deref_mut());
         }
     }
 }
@@ -343,6 +376,29 @@ pub(crate) fn run_loop<E: DomainExecutor>(
     let mut priorities: Vec<f64> = vec![1.0; kinds.len()];
     let mut last_policy_tick = 0usize;
 
+    // Telemetry: resolve the hooks once per run. Without a tracer (or with
+    // a disabled one, e.g. NullTracer) `tracing` stays false and no event
+    // is ever constructed on the quantum path below.
+    let tracer = run.tracer.clone();
+    let tracing = tracer
+        .as_ref()
+        .map(|t| {
+            t.lock()
+                .expect("invariant: tracer mutex never poisoned")
+                .enabled()
+        })
+        .unwrap_or(false);
+    let profiler = run.profiler.clone();
+    let mut ev_buf: Vec<TraceEvent> = Vec::new();
+    if tracing {
+        // Make every trace self-contained: the initial target is emitted as
+        // a retarget at t = 0, so a reader sees all target changes.
+        ev_buf.push(TraceEvent::Retarget {
+            t: SimTime::ZERO,
+            target: run.power_target,
+        });
+    }
+
     // Fixed baseline: pin the VR target once.
     if let ControlScheme::FixedVoltage(v) = run.scheme {
         vr.set_target(SimTime::ZERO, v);
@@ -361,10 +417,14 @@ pub(crate) fn run_loop<E: DomainExecutor>(
         prev_t0 = Some(t0);
 
         if dynamic {
+            let _span = profiler.as_deref().map(|p| p.span("control"));
             // Apply any scheduled power-target changes that have matured.
             while let Some(&&(at, target)) = retargets.peek() {
                 if at <= t0 {
                     global_ctl.set_target(target);
+                    if tracing {
+                        ev_buf.push(TraceEvent::Retarget { t: t0, target });
+                    }
                     retargets.next();
                 } else {
                     break;
@@ -401,28 +461,74 @@ pub(crate) fn run_loop<E: DomainExecutor>(
             peak_hold = 0.0;
             let v_next = global_ctl.update(Watt::new(sensed), period);
             vr.set_target(t0, v_next);
+            if tracing {
+                let terms = global_ctl.pid().last_terms();
+                ev_buf.push(TraceEvent::GlobalPidStep {
+                    t: t0,
+                    p_now: Watt::new(sensed),
+                    setpoint: global_ctl.target(),
+                    v_err: terms.error,
+                    p_term: terms.p,
+                    i_term: terms.i,
+                    d_term: terms.d,
+                    v_next,
+                });
+            }
         }
 
         // Precompute the global voltage schedule for this quantum.
-        for (i, v) in v_sched[..n].iter_mut().enumerate() {
-            vr.step(t0 + tick * i as u64, tick);
-            *v = vr.output().value();
-            crate::invariants::check_voltage_in_range(
-                "run_loop voltage schedule",
-                Volt::new(*v),
-                v_floor,
-                v_ceil,
-            );
+        {
+            let _span = profiler.as_deref().map(|p| p.span("vr-schedule"));
+            for (i, v) in v_sched[..n].iter_mut().enumerate() {
+                vr.step(t0 + tick * i as u64, tick);
+                *v = vr.output().value();
+                crate::invariants::check_voltage_in_range(
+                    "run_loop voltage schedule",
+                    Volt::new(*v),
+                    v_floor,
+                    v_ceil,
+                );
+            }
+        }
+        if tracing {
+            ev_buf.push(TraceEvent::VrSlew {
+                t: t0,
+                setpoint: vr.target(),
+                start: Volt::new(v_sched[0]),
+                end: Volt::new(v_sched[n - 1]),
+            });
         }
 
         // Advance every domain through the quantum.
         power_acc[..n].fill(0.0);
-        executor.run_quantum(t0, &v_sched[..n], dynamic, &priorities, tick, &mut power_acc[..n]);
+        {
+            let _span = profiler.as_deref().map(|p| p.span("domains"));
+            executor.run_quantum(
+                t0,
+                &v_sched[..n],
+                dynamic,
+                &priorities,
+                tick,
+                &mut power_acc[..n],
+                tracing.then_some(&mut ev_buf),
+            );
+        }
         for &p in &power_acc[..n] {
             crate::invariants::check_power_sane("run_loop package power", Watt::new(p));
         }
+        // Flush the quantum's events with a single lock acquisition. The
+        // buffer holds global events first, then per-domain events in
+        // domain order — identical for the serial and parallel executors.
+        if tracing {
+            if let Some(t) = tracer.as_ref() {
+                t.lock()
+                    .expect("invariant: tracer mutex never poisoned")
+                    .record_all(&mut ev_buf);
+            }
+        }
 
         // Aggregate package-level signals.
+        let _agg_span = profiler.as_deref().map(|p| p.span("aggregate"));
         for i in 0..n {
             let p = power_acc[i];
             let seen = sensor.sample(Watt::new(p)).value();

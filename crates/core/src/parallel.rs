@@ -29,6 +29,7 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 
 use hcapp_sim_core::time::{SimDuration, SimTime};
+use hcapp_telemetry::TraceEvent;
 
 use crate::coordinator::{run_loop, DomainExecutor, RunConfig, Simulation};
 use crate::outcome::RunOutcome;
@@ -91,6 +92,8 @@ struct QuantumCmd {
     /// Software priorities, one per domain (global indexing).
     priorities: Arc<Vec<f64>>,
     tick: SimDuration,
+    /// Whether workers should collect trace events this quantum.
+    collect_events: bool,
 }
 
 /// One domain's reply for a quantum.
@@ -98,6 +101,8 @@ struct QuantumReply {
     domain_idx: usize,
     powers: Vec<f64>,
     work_done: f64,
+    /// Trace events this domain emitted (empty unless collecting).
+    events: Vec<TraceEvent>,
 }
 
 enum WorkerMsg {
@@ -149,6 +154,7 @@ impl DomainExecutor for PooledExecutor<'_> {
         priorities: &[f64],
         tick: SimDuration,
         power_acc: &mut [f64],
+        events: Option<&mut Vec<TraceEvent>>,
     ) {
         let v = Arc::new(v_sched.to_vec());
         let p = Arc::new(priorities.to_vec());
@@ -160,11 +166,13 @@ impl DomainExecutor for PooledExecutor<'_> {
                 update_local,
                 priorities: p.clone(),
                 tick,
+                collect_events: events.is_some(),
             }))
             .expect("invariant: workers outlive the executor inside the thread scope");
         }
         // Collect one reply per domain, then merge in domain order so the
-        // floating-point sums match the serial executor exactly.
+        // floating-point sums — and the event stream — match the serial
+        // executor exactly, whatever order the workers finished in.
         let mut replies: Vec<Option<QuantumReply>> = (0..self.n_domains).map(|_| None).collect();
         for _ in 0..self.n_domains {
             let r = self
@@ -175,9 +183,13 @@ impl DomainExecutor for PooledExecutor<'_> {
             let idx = r.domain_idx;
             replies[idx] = Some(r);
         }
+        let mut events = events;
         for r in replies.into_iter().flatten() {
             for (acc, p) in power_acc.iter_mut().zip(&r.powers) {
                 *acc += p;
+            }
+            if let Some(buf) = events.as_deref_mut() {
+                buf.extend(r.events);
             }
         }
     }
@@ -225,18 +237,21 @@ impl Simulation {
                                 for (idx, d) in part.iter_mut() {
                                     d.ctl.set_priority(cmd.priorities[*idx]);
                                     let mut powers = vec![0.0f64; cmd.n];
+                                    let mut events = Vec::new();
                                     d.run_quantum(
                                         cmd.t0,
                                         &cmd.v_sched[..cmd.n],
                                         cmd.update_local,
                                         cmd.tick,
                                         &mut powers,
+                                        cmd.collect_events.then_some(&mut events),
                                     );
                                     if reply_tx
                                         .send(QuantumReply {
                                             domain_idx: *idx,
                                             powers,
                                             work_done: d.sim.work_done(),
+                                            events,
                                         })
                                         .is_err()
                                     {
@@ -251,6 +266,7 @@ impl Simulation {
                                             domain_idx: *idx,
                                             powers: Vec::new(),
                                             work_done: d.sim.work_done(),
+                                            events: Vec::new(),
                                         })
                                         .is_err()
                                     {

@@ -92,6 +92,23 @@ impl PidGains {
     }
 }
 
+/// Breakdown of the most recent control action into its Eq. 2 terms, in
+/// output units (volts for the global controller). Telemetry reads this to
+/// expose *why* the controller moved, not just where it moved to.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PidTerms {
+    /// The error the action was computed from.
+    pub error: f64,
+    /// Proportional contribution `K_P·V_err` (overshoot boost included).
+    pub p: f64,
+    /// Integral contribution `K_I·∫V_err dt` (after anti-windup clamping).
+    pub i: f64,
+    /// Derivative contribution `K_D·dV_err/dt`.
+    pub d: f64,
+    /// The final output after the step ladder and range clamps.
+    pub output: f64,
+}
+
 /// Discrete PID controller state.
 ///
 /// ```
@@ -114,6 +131,7 @@ pub struct PidController {
     integral: f64,
     prev_error: Option<f64>,
     prev_output: Option<f64>,
+    last_terms: PidTerms,
 }
 
 impl PidController {
@@ -125,6 +143,7 @@ impl PidController {
             integral: 0.0,
             prev_error: None,
             prev_output: None,
+            last_terms: PidTerms::default(),
         }
     }
 
@@ -171,6 +190,13 @@ impl PidController {
         out = out.clamp(prev - self.gains.max_step, prev + self.gains.max_step);
         let out = out.clamp(self.gains.out_min, self.gains.out_max);
         self.prev_output = Some(out);
+        self.last_terms = PidTerms {
+            error,
+            p: kp * error,
+            i: self.gains.ki * self.integral,
+            d: self.gains.kd * derivative,
+            output: out,
+        };
         crate::invariants::check_integral_bounded(
             "PidController::update",
             self.integral_contribution(),
@@ -184,6 +210,16 @@ impl PidController {
         self.integral = 0.0;
         self.prev_error = None;
         self.prev_output = None;
+        self.last_terms = PidTerms::default();
+    }
+
+    /// Term-by-term breakdown of the most recent [`update`] call (all zeros
+    /// before the first call and after a [`reset`]).
+    ///
+    /// [`update`]: PidController::update
+    /// [`reset`]: PidController::reset
+    pub fn last_terms(&self) -> PidTerms {
+        self.last_terms
     }
 
     /// Current integral contribution in volts (for diagnostics/tests).
@@ -377,6 +413,19 @@ mod tests {
             slow.integral_contribution(),
             1e-9
         );
+    }
+
+    #[test]
+    fn last_terms_decompose_output() {
+        let mut pid = PidController::new(gains());
+        let out = pid.update(2.0, us(1));
+        let t = pid.last_terms();
+        assert_eq!(t.output, out);
+        assert_close!(t.error, 2.0, 1e-12);
+        // No clamp engaged for this small move: output = offset + P + I + D.
+        assert_close!(out, 1.0 + t.p + t.i + t.d, 1e-12);
+        pid.reset();
+        assert_eq!(pid.last_terms(), PidTerms::default());
     }
 
     #[test]

@@ -20,6 +20,7 @@ use hcapp_gpu_sim::{GpuChiplet, GpuConfig};
 use hcapp_pdn::{RippleInjector, RippleSpec, SupplyNetwork};
 use hcapp_sim_core::time::SimDuration;
 use hcapp_sim_core::units::{Volt, Watt};
+use hcapp_telemetry::TraceEvent;
 use hcapp_workloads::combos::Combo;
 use hcapp_workloads::program::WorkloadSource;
 use hcapp_workloads::spec::BenchmarkSpec;
@@ -326,6 +327,8 @@ impl ChipletSim {
 /// A runtime domain: chiplet + controllers + supply branch.
 #[derive(Debug)]
 pub struct Domain {
+    /// Position in the system's domain list (stable id for telemetry).
+    pub index: usize,
     /// Component kind (for reports and software policies).
     pub kind: ComponentKind,
     /// Level-2 controller.
@@ -438,6 +441,7 @@ impl Domain {
         };
         let units = sim.units();
         Domain {
+            index,
             kind,
             ctl,
             local,
@@ -462,6 +466,11 @@ impl Domain {
     /// fractions of the previous quantum, matching the paper's control
     /// ordering). Per-tick chiplet powers are *added into* `power_acc`
     /// (which the coordinators pre-zero or share across domains).
+    ///
+    /// When `events` is `Some`, the boundary-time level-2/level-3 control
+    /// observations (`DomainScale`, `LocalDecision`) are appended to it —
+    /// the coordinators then merge per-domain buffers in domain order so
+    /// serial and parallel traces are identical.
     pub fn run_quantum(
         &mut self,
         t0: hcapp_sim_core::time::SimTime,
@@ -469,11 +478,46 @@ impl Domain {
         update_local: bool,
         tick: SimDuration,
         power_acc: &mut [f64],
+        events: Option<&mut Vec<TraceEvent>>,
     ) {
         debug_assert_eq!(v_global.len(), power_acc.len());
         if update_local {
             let v_dom = self.ctl.domain_voltage(self.last_delivered);
+            let pre_mean_ipc = if events.is_some() {
+                mean(self.sim.ipc_fractions())
+            } else {
+                0.0
+            };
             self.local.update(self.sim.ipc_fractions(), v_dom);
+            if let Some(buf) = events {
+                let delivered = self.last_delivered;
+                let normalized = if delivered.value() > 0.0 {
+                    v_dom.value() / delivered.value()
+                } else {
+                    f64::NAN
+                };
+                buf.push(TraceEvent::DomainScale {
+                    t: t0,
+                    domain: self.index as u32,
+                    kind: self.kind.name(),
+                    v_domain: v_dom,
+                    normalized_v: normalized,
+                    priority: self.ctl.priority(),
+                });
+                let (up, down) = self
+                    .local
+                    .decision_thresholds()
+                    .unwrap_or((f64::NAN, f64::NAN));
+                buf.push(TraceEvent::LocalDecision {
+                    t: t0,
+                    domain: self.index as u32,
+                    controller: self.local.name(),
+                    mean_ipc: pre_mean_ipc,
+                    up_threshold: up,
+                    down_threshold: down,
+                    mean_ratio: mean(self.local.ratios()),
+                });
+            }
         }
         // §3.3 thermal extension: the guard integrates last quantum's power
         // and derates this quantum's domain voltage while over-temperature.
@@ -505,6 +549,15 @@ impl Domain {
             power_acc[i] += p.value();
         }
     }
+}
+
+/// Arithmetic mean of a slice (NaN for an empty slice, which telemetry
+/// serializes as null).
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
 }
 
 #[cfg(test)]
@@ -555,7 +608,7 @@ mod tests {
         let mut d = Domain::build(&c.domains[0], &c, 0);
         let v_global = vec![0.95; 10];
         let mut acc = vec![0.0; 10];
-        d.run_quantum(hcapp_sim_core::time::SimTime::ZERO, &v_global, true, c.tick, &mut acc);
+        d.run_quantum(hcapp_sim_core::time::SimTime::ZERO, &v_global, true, c.tick, &mut acc, None);
         assert!(acc.iter().all(|&p| p > 0.0));
         assert!(d.sim.work_done() > 0.0);
     }
@@ -568,11 +621,11 @@ mod tests {
         let mut split = Domain::build(&c.domains[1], &c, 1);
         let v = vec![0.92; 20];
         let mut acc_whole = vec![0.0; 20];
-        whole.run_quantum(hcapp_sim_core::time::SimTime::ZERO, &v, false, c.tick, &mut acc_whole);
+        whole.run_quantum(hcapp_sim_core::time::SimTime::ZERO, &v, false, c.tick, &mut acc_whole, None);
         let mut acc_a = vec![0.0; 10];
         let mut acc_b = vec![0.0; 10];
-        split.run_quantum(hcapp_sim_core::time::SimTime::ZERO, &v[..10], false, c.tick, &mut acc_a);
-        split.run_quantum(hcapp_sim_core::time::SimTime::from_nanos(1_000), &v[10..], false, c.tick, &mut acc_b);
+        split.run_quantum(hcapp_sim_core::time::SimTime::ZERO, &v[..10], false, c.tick, &mut acc_a, None);
+        split.run_quantum(hcapp_sim_core::time::SimTime::from_nanos(1_000), &v[10..], false, c.tick, &mut acc_b, None);
         let rejoined: Vec<f64> = acc_a.into_iter().chain(acc_b).collect();
         assert_eq!(acc_whole, rejoined);
         assert_eq!(whole.sim.work_done(), split.sim.work_done());

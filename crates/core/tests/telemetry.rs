@@ -1,0 +1,131 @@
+//! End-to-end telemetry tests: the traced event stream must be a pure
+//! function of the simulation inputs — identical across reruns and across
+//! serial vs. parallel execution — and the default (no tracer / disabled
+//! tracer) path must emit nothing at all.
+
+use std::sync::{Arc, Mutex};
+
+use hcapp::coordinator::{RunConfig, Simulation};
+use hcapp::scheme::ControlScheme;
+use hcapp::system::SystemConfig;
+use hcapp_sim_core::time::SimDuration;
+use hcapp_sim_core::units::Watt;
+use hcapp_telemetry::{NullTracer, RingTracer, SharedTracer, TraceEvent, Tracer, EVENT_KINDS};
+use hcapp_workloads::combos::combo_suite;
+
+fn sim(tracer: Option<SharedTracer>) -> Simulation {
+    let sys = SystemConfig::paper_system(combo_suite()[3], 7); // Hi-Hi
+    let mut run = RunConfig::new(
+        SimDuration::from_millis(2),
+        ControlScheme::Hcapp,
+        Watt::new(84.0),
+    );
+    if let Some(t) = tracer {
+        run = run.with_tracer(t);
+    }
+    Simulation::new(sys, run)
+}
+
+/// Run serially (`workers == None`) or with a worker pool, returning the
+/// full traced event stream from a large ring (nothing dropped).
+fn traced_events(workers: Option<usize>) -> Vec<TraceEvent> {
+    let ring = Arc::new(Mutex::new(RingTracer::new(1 << 16)));
+    let s = sim(Some(ring.clone() as SharedTracer));
+    match workers {
+        None => {
+            s.run();
+        }
+        Some(w) => {
+            s.run_parallel(w);
+        }
+    }
+    let mut guard = ring.lock().expect("ring lock");
+    assert_eq!(guard.dropped(), 0, "ring must be large enough for the run");
+    guard.drain()
+}
+
+/// Canonical byte form of an event stream. `TraceEvent` derives `PartialEq`,
+/// but controllers without IPC thresholds report `NaN`, and `NaN != NaN`;
+/// the JSONL export canonicalizes non-finite values to `null`, so comparing
+/// the exported bytes is the right notion of "bitwise identical traces".
+fn canonical(events: &[TraceEvent]) -> String {
+    hcapp_telemetry::jsonl::export(events, &[])
+}
+
+#[test]
+fn serial_and_parallel_traces_are_identical() {
+    let serial = traced_events(None);
+    assert!(!serial.is_empty());
+    for workers in [1, 2, 4] {
+        let parallel = traced_events(Some(workers));
+        assert_eq!(canonical(&serial), canonical(&parallel), "{workers} workers");
+    }
+}
+
+#[test]
+fn traced_stream_is_time_ordered_and_covers_all_kinds() {
+    let events = traced_events(None);
+    let mut last = 0u64;
+    for e in &events {
+        let t = e.time().as_nanos();
+        assert!(t >= last, "events out of order at t={t}");
+        last = t;
+    }
+    for kind in EVENT_KINDS {
+        assert!(
+            events.iter().any(|e| e.kind() == *kind),
+            "no {kind} event in an hcapp run"
+        );
+    }
+}
+
+#[test]
+fn rerun_traces_are_identical() {
+    let a = traced_events(None);
+    let b = traced_events(None);
+    assert_eq!(canonical(&a), canonical(&b));
+}
+
+/// A disabled tracer that fails the test if the run loop ever hands it an
+/// event: proves the `NullTracer`-style `enabled() == false` path really is
+/// event-free, not merely event-discarding.
+#[derive(Debug)]
+struct RejectingTracer;
+
+impl Tracer for RejectingTracer {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn record(&mut self, e: TraceEvent) {
+        panic!("disabled tracer received an event: {e:?}");
+    }
+    fn record_all(&mut self, events: &mut Vec<TraceEvent>) {
+        assert!(events.is_empty(), "disabled tracer received {events:?}");
+    }
+}
+
+#[test]
+fn disabled_tracer_sees_no_events_and_does_not_perturb_results() {
+    let baseline = sim(None).run();
+    let with_null = sim(Some(hcapp_telemetry::shared(NullTracer))).run();
+    let with_rejecting = sim(Some(hcapp_telemetry::shared(RejectingTracer))).run();
+    for out in [&with_null, &with_rejecting] {
+        assert_eq!(baseline.avg_power, out.avg_power);
+        assert_eq!(baseline.energy_j, out.energy_j);
+        assert_eq!(baseline.work, out.work);
+    }
+}
+
+#[test]
+fn saturated_ring_counts_drops_and_keeps_newest() {
+    let ring = Arc::new(Mutex::new(RingTracer::new(8)));
+    sim(Some(ring.clone() as SharedTracer)).run();
+    let guard = ring.lock().expect("ring lock");
+    assert_eq!(guard.len(), 8);
+    assert!(guard.dropped() > 0, "a 2 ms hcapp run must overflow 8 slots");
+    // Stats see every event, including the dropped ones.
+    assert_eq!(guard.stats().total(), 8 + guard.dropped());
+    // Survivors are the newest events, still time-ordered.
+    let times: Vec<u64> = guard.events().map(|e| e.time().as_nanos()).collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]));
+}

@@ -1,0 +1,7 @@
+//! Run-loop wall-clock profile: serial vs. worker-pool executors.
+fn main() {
+    let cfg = hcapp_experiments::ExperimentConfig::from_env();
+    std::fs::create_dir_all(&cfg.out_dir).expect("create results dir");
+    let table = hcapp_experiments::profile::run(&cfg);
+    print!("{}", table.render());
+}

@@ -19,6 +19,7 @@
 //! | `ablations` | guardband / control-period / local-controller / overshoot-protection / adversarial-accelerator studies |
 //! | `scaling` | chiplet-count scaling: HCAPP vs a centralized-aggregation model |
 //! | `robustness` | seed-sensitivity of the §5.1 aggregates |
+//! | `profile` | run-loop wall-clock profile: serial vs. worker-pool executors |
 //! | `all` | everything above in sequence |
 //!
 //! Run e.g. `cargo run --release -p hcapp-experiments --bin fig04`.
@@ -32,6 +33,7 @@ pub mod ablations;
 pub mod config;
 pub mod figures;
 pub mod plot;
+pub mod profile;
 pub mod robustness;
 pub mod runner;
 pub mod scaling;

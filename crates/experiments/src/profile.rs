@@ -1,0 +1,100 @@
+//! Wall-clock profiling study: where does the host spend its time when
+//! simulating a quantum, serially vs. with the worker pool?
+//!
+//! The ROADMAP's performance work needs per-stage timing of the run loop
+//! before any hot path can be attacked. This experiment attaches the
+//! telemetry profiler (`hcapp_telemetry::Profiler`) to a Hi-Hi run under
+//! both executors and reports each phase's call count and wall-clock cost
+//! side by side. Timings are host measurements and vary run to run; the
+//! *structure* (phases, call counts) is deterministic and is what the
+//! test asserts.
+
+use std::sync::Arc;
+
+use hcapp::coordinator::{RunConfig, Simulation};
+use hcapp::limits::PowerLimit;
+use hcapp::scheme::ControlScheme;
+use hcapp::system::SystemConfig;
+use hcapp_sim_core::report::Table;
+use hcapp_telemetry::{PhaseStat, Profiler};
+use hcapp_workloads::combos::combo_by_name;
+
+use crate::config::ExperimentConfig;
+
+/// Run one profiled Hi-Hi simulation and return the per-phase stats in
+/// first-seen order. `workers <= 1` uses the serial executor.
+pub fn profile_run(cfg: &ExperimentConfig, workers: usize) -> Vec<(&'static str, PhaseStat)> {
+    let combo = combo_by_name("Hi-Hi").expect("combo");
+    let sys = SystemConfig::paper_system(combo, cfg.seed);
+    let target = PowerLimit::package_pin().guardbanded_target();
+    let profiler = Arc::new(Profiler::new());
+    let run = RunConfig::new(cfg.duration, ControlScheme::Hcapp, target)
+        .with_profiler(profiler.clone());
+    let sim = Simulation::new(sys, run);
+    if workers > 1 {
+        sim.run_parallel(workers);
+    } else {
+        sim.run();
+    }
+    profiler.phases()
+}
+
+/// Execute both executors, render the comparison and write CSV.
+pub fn run(cfg: &ExperimentConfig) -> Table {
+    let workers = cfg.workers.max(2);
+    let serial = profile_run(cfg, 1);
+    let pooled = profile_run(cfg, workers);
+    let mut t = Table::new(
+        format!("Run-loop wall-clock profile: serial vs. {workers}-worker pool (Hi-Hi, hcapp)"),
+        &[
+            "phase",
+            "calls",
+            "serial total (ms)",
+            "pool total (ms)",
+            "pool/serial",
+        ],
+    );
+    for (name, s) in &serial {
+        let p = pooled
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| *p)
+            .unwrap_or_default();
+        let s_ms = s.total.as_secs_f64() * 1e3;
+        let p_ms = p.total.as_secs_f64() * 1e3;
+        let ratio = if s_ms > 0.0 { p_ms / s_ms } else { 0.0 };
+        t.add_row(vec![
+            name.to_string(),
+            s.calls.to_string(),
+            format!("{s_ms:.2}"),
+            format!("{p_ms:.2}"),
+            format!("{ratio:.2}"),
+        ]);
+    }
+    t.write_csv(cfg.csv_path("profile")).expect("write csv");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_executors_record_the_same_phases() {
+        let cfg = ExperimentConfig::quick(2);
+        let serial = profile_run(&cfg, 1);
+        let pooled = profile_run(&cfg, 3);
+        let names: Vec<&str> = serial.iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"control"), "phases: {names:?}");
+        assert!(names.contains(&"domains"), "phases: {names:?}");
+        assert!(names.contains(&"aggregate"), "phases: {names:?}");
+        // Same phases in the same first-seen order, executor-independent.
+        let pooled_names: Vec<&str> = pooled.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, pooled_names);
+        // Call counts are simulated-time-driven, hence identical too.
+        for ((n, s), (_, p)) in serial.iter().zip(&pooled) {
+            assert_eq!(s.calls, p.calls, "phase {n}");
+            assert!(s.calls > 0, "phase {n} never ran");
+        }
+    }
+}

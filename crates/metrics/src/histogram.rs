@@ -20,6 +20,9 @@ pub struct PowerHistogram {
     /// Samples below `lo` / above `hi`.
     under: u64,
     over: u64,
+    /// Running sum of every pushed sample, so [`PowerHistogram::mean`] is
+    /// exact rather than bin-quantized.
+    sum: f64,
 }
 
 impl PowerHistogram {
@@ -37,12 +40,14 @@ impl PowerHistogram {
             total: 0,
             under: 0,
             over: 0,
+            sum: 0.0,
         }
     }
 
     /// Add one sample.
     pub fn push(&mut self, x: f64) {
         self.total += 1;
+        self.sum += x;
         if x < self.lo {
             self.under += 1;
         } else if x >= self.hi {
@@ -66,6 +71,16 @@ impl PowerHistogram {
     /// Total samples.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Exact mean of every pushed sample (under- and overflow included);
+    /// `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
     }
 
     /// Fraction of samples in bin `i`.
@@ -166,6 +181,9 @@ mod tests {
         h.push(30.0);
         assert_close!(h.overflow_fraction(), 0.5, 1e-12);
         assert_close!(h.fraction_at_or_above(15.0), 0.75, 1e-12);
+        // Mean is exact, not bin-quantized, and counts the outliers.
+        assert_close!(h.mean(), 18.75, 1e-12);
+        assert_eq!(PowerHistogram::new(0.0, 1.0, 1).mean(), 0.0);
     }
 
     #[test]

@@ -117,6 +117,11 @@ impl VoltageRegulator {
     }
 
     /// The currently-active (matured) target.
+    ///
+    /// Telemetry's per-quantum `vr_slew` event records this as
+    /// `setpoint_v`, alongside the quantum's first/last scheduled outputs
+    /// (`start_v`/`end_v`), so a trace shows both where the VR is heading
+    /// and how far the slew actually got.
     #[inline]
     pub fn target(&self) -> Volt {
         self.target

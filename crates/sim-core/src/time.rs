@@ -49,6 +49,10 @@ impl SimTime {
     }
 
     /// The raw nanosecond count since simulation start.
+    ///
+    /// This is the unit of the `t_ns` key in exported `hcapp.trace` JSONL
+    /// (`hcapp-telemetry`); changing it is a schema version bump, not just
+    /// an internal refactor.
     #[inline]
     pub const fn as_nanos(self) -> u64 {
         self.0

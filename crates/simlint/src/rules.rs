@@ -17,6 +17,7 @@ pub const LIB_CRATES: &[&str] = &[
     "gpu-sim",
     "accel-sim",
     "metrics",
+    "telemetry",
     "workloads",
 ];
 

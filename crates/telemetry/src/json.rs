@@ -1,0 +1,455 @@
+//! Hand-rolled JSON: a tiny writer and a tiny recursive-descent parser.
+//!
+//! The workspace is hermetic (simlint L4 forbids registry dependencies), so
+//! there is no serde here — the exporter emits JSON by hand and the
+//! validator re-parses it with the reader below. The subset is full JSON
+//! minus nothing: objects, arrays, strings (with escapes), numbers, bools
+//! and null all round-trip. Objects preserve key order in a `Vec` (a
+//! `HashMap` would violate simlint L3's determinism rule anyway).
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Object members keep their source order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null` (also what non-finite floats serialize to).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object as ordered `(key, value)` pairs.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Look up a key in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+/// A JSON parse error with its byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset the parser stopped at.
+    pub pos: usize,
+    /// What went wrong.
+    pub msg: &'static str,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.pos)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+// ---- writer ----
+
+/// Append `v` as a JSON number; non-finite values become `null` (JSON has
+/// no NaN/Infinity, and the schema documents null as "not applicable").
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Append `s` as a quoted, escaped JSON string.
+pub fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builder for a single-line JSON object (the unit of a JSONL stream).
+#[derive(Debug)]
+pub struct Obj {
+    out: String,
+    first: bool,
+}
+
+impl Obj {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        Obj {
+            out: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        push_str(&mut self.out, k);
+        self.out.push(':');
+    }
+
+    /// Add a float member (non-finite → `null`).
+    pub fn num(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        push_f64(&mut self.out, v);
+        self
+    }
+
+    /// Add an unsigned integer member.
+    pub fn int(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    /// Add a string member.
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        push_str(&mut self.out, v);
+        self
+    }
+
+    /// Add a pre-serialized JSON fragment (caller guarantees validity).
+    pub fn raw(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.out.push_str(v);
+        self
+    }
+
+    /// Close the object and return the line.
+    pub fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+impl Default for Obj {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ---- parser ----
+
+/// Maximum nesting depth accepted (the trace schema is depth ≤ 3; the cap
+/// only guards the recursive parser against pathological input).
+const MAX_DEPTH: u32 = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parse one complete JSON value; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after value"));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &'static str) -> JsonError {
+        JsonError { pos: self.pos, msg }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, msg: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(msg))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: u32) -> Result<JsonValue, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self, depth: u32) -> Result<JsonValue, JsonError> {
+        self.eat(b'{', "expected '{'")?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':' after object key")?;
+            let val = self.value(depth + 1)?;
+            members.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: u32) -> Result<JsonValue, JsonError> {
+        self.eat(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let end = self.pos + 4;
+                            if end > self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32);
+                            let Some(c) = hex else {
+                                return Err(self.err("invalid \\u escape"));
+                            };
+                            out.push(c);
+                            self.pos = end;
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting at `b`.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let Ok(s) = std::str::from_utf8(&self.bytes[start..end]) else {
+                        return Err(self.err("invalid UTF-8 in string"));
+                    };
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let Ok(text) = std::str::from_utf8(&self.bytes[start..self.pos]) else {
+            return Err(self.err("invalid number"));
+        };
+        match text.parse::<f64>() {
+            Ok(n) => Ok(JsonValue::Num(n)),
+            Err(_) => Err(self.err("invalid number")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_escapes_and_nulls() {
+        let line = Obj::new()
+            .str("name", "a\"b\\c\nd")
+            .num("x", 1.5)
+            .num("bad", f64::NAN)
+            .int("n", 42)
+            .finish();
+        assert_eq!(line, r#"{"name":"a\"b\\c\nd","x":1.5,"bad":null,"n":42}"#);
+    }
+
+    #[test]
+    fn roundtrip_through_parser() {
+        let line = Obj::new()
+            .str("kind", "global_pid")
+            .num("v", 0.95)
+            .raw("arr", "[1,2,3]")
+            .finish();
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("kind").and_then(|k| k.as_str()), Some("global_pid"));
+        assert_eq!(v.get("v").and_then(|k| k.as_f64()), Some(0.95));
+        assert_eq!(
+            v.get("arr"),
+            Some(&JsonValue::Arr(vec![
+                JsonValue::Num(1.0),
+                JsonValue::Num(2.0),
+                JsonValue::Num(3.0)
+            ]))
+        );
+    }
+
+    #[test]
+    fn parses_nested_and_literals() {
+        let v = parse(r#"{"a":{"b":[true,false,null]},"c":-1.5e3}"#).unwrap();
+        let inner = v.get("a").and_then(|a| a.get("b")).unwrap();
+        assert_eq!(
+            inner,
+            &JsonValue::Arr(vec![
+                JsonValue::Bool(true),
+                JsonValue::Bool(false),
+                JsonValue::Null
+            ])
+        );
+        assert_eq!(v.get("c").and_then(|c| c.as_f64()), Some(-1500.0));
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse(r#"{"a":}"#).is_err());
+        assert!(parse(r#"{"a":1} extra"#).is_err());
+        assert!(parse("[1,2").is_err());
+        assert!(parse(r#""unterminated"#).is_err());
+        let e = parse("nope").unwrap_err();
+        assert!(e.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn unicode_roundtrip() {
+        let mut s = String::new();
+        push_str(&mut s, "héllo → wörld");
+        let v = parse(&s).unwrap();
+        assert_eq!(v.as_str(), Some("héllo → wörld"));
+        let v = parse(r#""é→""#).unwrap();
+        assert_eq!(v.as_str(), Some("é→"));
+    }
+
+    #[test]
+    fn deep_nesting_rejected() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&deep).is_err());
+    }
+}

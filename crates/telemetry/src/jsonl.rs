@@ -1,0 +1,329 @@
+//! The self-describing JSONL trace format and its validator.
+//!
+//! A trace file is one JSON object per line. The **first line is a schema
+//! header** naming the format ([`SCHEMA`]), its version ([`VERSION`]), the
+//! time unit, and the canonical event kinds; every following line is one
+//! event with a `t_ns` key (simulated nanoseconds) and a `kind` tag. Events
+//! are non-decreasing in `t_ns` — the coordinator emits global events before
+//! per-domain events within a quantum and merges domain events in domain
+//! order, so the same run traced serially and in parallel produces the same
+//! bytes.
+//!
+//! Example:
+//!
+//! ```text
+//! {"schema":"hcapp.trace","version":1,"t_unit":"ns","kinds":["retarget",...]}
+//! {"t_ns":0,"kind":"retarget","target_w":84}
+//! {"t_ns":0,"kind":"global_pid","p_now_w":0,"setpoint_w":84,...}
+//! ```
+
+use crate::event::{TraceEvent, EVENT_KINDS};
+use crate::json::{self, JsonValue, Obj};
+
+/// Schema identifier carried in the header line.
+pub const SCHEMA: &str = "hcapp.trace";
+
+/// Current schema version.
+pub const VERSION: u64 = 1;
+
+/// Build the header line. `extra` adds run metadata (scheme, combo, seed…)
+/// as string members after the fixed schema fields.
+pub fn header(extra: &[(&str, &str)]) -> String {
+    let mut kinds = String::from("[");
+    for (i, k) in EVENT_KINDS.iter().enumerate() {
+        if i > 0 {
+            kinds.push(',');
+        }
+        json::push_str(&mut kinds, k);
+    }
+    kinds.push(']');
+    let mut o = Obj::new()
+        .str("schema", SCHEMA)
+        .int("version", VERSION)
+        .str("t_unit", "ns")
+        .raw("kinds", &kinds);
+    for (k, v) in extra {
+        o = o.str(k, v);
+    }
+    o.finish()
+}
+
+/// Serialize one event as a JSONL line (no trailing newline).
+pub fn event_line(e: &TraceEvent) -> String {
+    let base = Obj::new().int("t_ns", e.time().as_nanos()).str("kind", e.kind());
+    match e {
+        TraceEvent::Retarget { target, .. } => base.num("target_w", target.value()).finish(),
+        TraceEvent::GlobalPidStep {
+            p_now,
+            setpoint,
+            v_err,
+            p_term,
+            i_term,
+            d_term,
+            v_next,
+            ..
+        } => base
+            .num("p_now_w", p_now.value())
+            .num("setpoint_w", setpoint.value())
+            .num("v_err", *v_err)
+            .num("p_term_v", *p_term)
+            .num("i_term_v", *i_term)
+            .num("d_term_v", *d_term)
+            .num("v_next_v", v_next.value())
+            .finish(),
+        TraceEvent::VrSlew {
+            setpoint,
+            start,
+            end,
+            ..
+        } => base
+            .num("setpoint_v", setpoint.value())
+            .num("start_v", start.value())
+            .num("end_v", end.value())
+            .finish(),
+        TraceEvent::DomainScale {
+            domain,
+            kind,
+            v_domain,
+            normalized_v,
+            priority,
+            ..
+        } => base
+            .int("domain", u64::from(*domain))
+            .str("component", kind)
+            .num("v_domain_v", v_domain.value())
+            .num("normalized_v", *normalized_v)
+            .num("priority", *priority)
+            .finish(),
+        TraceEvent::LocalDecision {
+            domain,
+            controller,
+            mean_ipc,
+            up_threshold,
+            down_threshold,
+            mean_ratio,
+            ..
+        } => base
+            .int("domain", u64::from(*domain))
+            .str("controller", controller)
+            .num("mean_ipc", *mean_ipc)
+            .num("up_threshold", *up_threshold)
+            .num("down_threshold", *down_threshold)
+            .num("mean_ratio", *mean_ratio)
+            .finish(),
+    }
+}
+
+/// Serialize a full trace: header line plus one line per event, each
+/// `\n`-terminated.
+pub fn export<'a, I>(events: I, extra: &[(&str, &str)]) -> String
+where
+    I: IntoIterator<Item = &'a TraceEvent>,
+{
+    let mut out = header(extra);
+    out.push('\n');
+    for e in events {
+        out.push_str(&event_line(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// What [`validate`] learned about a well-formed trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// Schema version from the header.
+    pub version: u64,
+    /// Number of event lines (header excluded).
+    pub events: u64,
+    /// Per-kind event counts, indexed like [`EVENT_KINDS`].
+    pub kind_counts: [u64; EVENT_KINDS.len()],
+    /// Final (largest) `t_ns` seen, if any events were present.
+    pub last_t_ns: Option<u64>,
+}
+
+impl ValidationReport {
+    /// Count for one of the canonical kinds.
+    pub fn count(&self, kind: &str) -> u64 {
+        EVENT_KINDS
+            .iter()
+            .position(|k| *k == kind)
+            .map_or(0, |i| self.kind_counts[i])
+    }
+}
+
+/// Check a JSONL trace end to end: the header names [`SCHEMA`]/[`VERSION`],
+/// every line parses as a JSON object, every event carries a known `kind`
+/// and a numeric `t_ns`, and timestamps never decrease.
+pub fn validate(text: &str) -> Result<ValidationReport, String> {
+    let mut lines = text.lines().enumerate();
+    let Some((_, first)) = lines.next() else {
+        return Err("empty trace: missing schema header".into());
+    };
+    let head = json::parse(first).map_err(|e| format!("header: {e}"))?;
+    match head.get("schema").and_then(JsonValue::as_str) {
+        Some(s) if s == SCHEMA => {}
+        Some(s) => return Err(format!("unknown schema {s:?} (expected {SCHEMA:?})")),
+        None => return Err("header missing \"schema\"".into()),
+    }
+    let version = match head.get("version").and_then(JsonValue::as_f64) {
+        Some(v) if v == VERSION as f64 => VERSION,
+        Some(v) => return Err(format!("unsupported schema version {v}")),
+        None => return Err("header missing \"version\"".into()),
+    };
+
+    let mut report = ValidationReport {
+        version,
+        events: 0,
+        kind_counts: [0; EVENT_KINDS.len()],
+        last_t_ns: None,
+    };
+    for (lineno, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let kind = v
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("line {}: missing \"kind\"", lineno + 1))?;
+        let Some(ki) = EVENT_KINDS.iter().position(|k| *k == kind) else {
+            return Err(format!("line {}: unknown kind {kind:?}", lineno + 1));
+        };
+        let t = v
+            .get("t_ns")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("line {}: missing numeric \"t_ns\"", lineno + 1))?;
+        if !(t.is_finite() && t >= 0.0) {
+            return Err(format!("line {}: invalid t_ns {t}", lineno + 1));
+        }
+        let t = t as u64;
+        if let Some(prev) = report.last_t_ns {
+            if t < prev {
+                return Err(format!(
+                    "line {}: t_ns {t} goes backwards (previous {prev})",
+                    lineno + 1
+                ));
+            }
+        }
+        report.last_t_ns = Some(t);
+        report.kind_counts[ki] += 1;
+        report.events += 1;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcapp_sim_core::time::SimTime;
+    use hcapp_sim_core::units::{Volt, Watt};
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Retarget {
+                t: SimTime::ZERO,
+                target: Watt::new(84.0),
+            },
+            TraceEvent::GlobalPidStep {
+                t: SimTime::ZERO,
+                p_now: Watt::new(0.0),
+                setpoint: Watt::new(84.0),
+                v_err: 4.38,
+                p_term: 0.05,
+                i_term: 0.0,
+                d_term: 0.0,
+                v_next: Volt::new(1.0),
+            },
+            TraceEvent::VrSlew {
+                t: SimTime::ZERO,
+                setpoint: Volt::new(1.0),
+                start: Volt::new(0.95),
+                end: Volt::new(0.96),
+            },
+            TraceEvent::DomainScale {
+                t: SimTime::from_micros(100),
+                domain: 0,
+                kind: "CPU",
+                v_domain: Volt::new(0.96),
+                normalized_v: 1.0,
+                priority: 1.0,
+            },
+            TraceEvent::LocalDecision {
+                t: SimTime::from_micros(100),
+                domain: 0,
+                controller: "cpu-ipc-static",
+                mean_ipc: 0.4,
+                up_threshold: 0.6,
+                down_threshold: 0.3,
+                mean_ratio: 0.9,
+            },
+        ]
+    }
+
+    #[test]
+    fn export_validates_with_all_kinds() {
+        let events = sample_events();
+        let text = export(events.iter(), &[("scheme", "hcapp"), ("combo", "Hi-Hi")]);
+        let report = validate(&text).unwrap();
+        assert_eq!(report.version, VERSION);
+        assert_eq!(report.events, 5);
+        for k in EVENT_KINDS {
+            assert_eq!(report.count(k), 1, "kind {k}");
+        }
+        assert_eq!(report.last_t_ns, Some(100_000));
+        // Header carries run metadata.
+        let head = json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(head.get("scheme").and_then(JsonValue::as_str), Some("hcapp"));
+    }
+
+    #[test]
+    fn nan_thresholds_serialize_as_null() {
+        let e = TraceEvent::LocalDecision {
+            t: SimTime::ZERO,
+            domain: 2,
+            controller: "pass-through",
+            mean_ipc: 1.0,
+            up_threshold: f64::NAN,
+            down_threshold: f64::NAN,
+            mean_ratio: 1.0,
+        };
+        let line = event_line(&e);
+        assert!(line.contains("\"up_threshold\":null"));
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("down_threshold"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_traces() {
+        assert!(validate("").is_err());
+        assert!(validate("{\"schema\":\"other\",\"version\":1}\n").is_err());
+        assert!(validate("{\"schema\":\"hcapp.trace\",\"version\":9}\n").is_err());
+        assert!(validate("{\"schema\":\"hcapp.trace\"}\n").is_err());
+
+        let good_head = header(&[]);
+        // Unparsable event line.
+        assert!(validate(&format!("{good_head}\n{{oops\n")).is_err());
+        // Unknown kind.
+        assert!(validate(&format!(
+            "{good_head}\n{{\"t_ns\":0,\"kind\":\"mystery\"}}\n"
+        ))
+        .is_err());
+        // Missing t_ns.
+        assert!(validate(&format!("{good_head}\n{{\"kind\":\"retarget\"}}\n")).is_err());
+        // Time going backwards.
+        let out_of_order = format!(
+            "{good_head}\n{{\"t_ns\":100,\"kind\":\"retarget\",\"target_w\":84}}\n{{\"t_ns\":50,\"kind\":\"retarget\",\"target_w\":84}}\n"
+        );
+        let err = validate(&out_of_order).unwrap_err();
+        assert!(err.contains("backwards"), "{err}");
+    }
+
+    #[test]
+    fn empty_event_stream_is_valid() {
+        let text = export(std::iter::empty(), &[]);
+        let report = validate(&text).unwrap();
+        assert_eq!(report.events, 0);
+        assert_eq!(report.last_t_ns, None);
+    }
+}

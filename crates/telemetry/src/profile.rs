@@ -1,0 +1,167 @@
+//! Wall-clock run profiling, kept strictly off the simulated-time path.
+//!
+//! Everything else in this workspace is deterministic by construction
+//! (simlint L3 forbids `Instant::now` in library crates precisely so that
+//! serial and parallel runs are bit-identical). Profiling is the one
+//! legitimate consumer of wall-clock time: it measures how long the *host*
+//! spends in each phase of the run loop, and its readings feed only the
+//! human-facing report — never a simulated quantity, an event timestamp or
+//! a control decision. The allow-file directive below scopes that exemption
+//! to this module alone.
+//
+// simlint: allow-file(L3)
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use hcapp_sim_core::report::Table;
+
+/// Accumulated wall-clock cost of one named phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseStat {
+    /// How many spans were recorded for this phase.
+    pub calls: u64,
+    /// Total wall-clock time across all spans.
+    pub total: Duration,
+    /// Longest single span.
+    pub max: Duration,
+}
+
+/// A thread-safe collector of per-phase wall-clock timings.
+///
+/// Phases are keyed by `&'static str` and kept in first-seen order (a
+/// `Vec`, not a hash map — the report order is then stable run to run even
+/// though the timings are not).
+#[derive(Debug, Default)]
+pub struct Profiler {
+    phases: Mutex<Vec<(&'static str, PhaseStat)>>,
+}
+
+impl Profiler {
+    /// A profiler with no recorded phases.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// Open a span for `phase`; the elapsed time is recorded when the
+    /// returned guard drops.
+    pub fn span(&self, phase: &'static str) -> ProfSpan<'_> {
+        ProfSpan {
+            profiler: self,
+            phase,
+            start: Instant::now(),
+        }
+    }
+
+    fn add(&self, phase: &'static str, elapsed: Duration) {
+        let mut phases = self
+            .phases
+            .lock()
+            .expect("invariant: profiler mutex never poisoned");
+        let idx = match phases.iter().position(|(name, _)| *name == phase) {
+            Some(i) => i,
+            None => {
+                phases.push((phase, PhaseStat::default()));
+                phases.len() - 1
+            }
+        };
+        let stat = &mut phases[idx].1;
+        stat.calls += 1;
+        stat.total += elapsed;
+        stat.max = stat.max.max(elapsed);
+    }
+
+    /// Snapshot of all phases in first-seen order.
+    pub fn phases(&self) -> Vec<(&'static str, PhaseStat)> {
+        self.phases
+            .lock()
+            .expect("invariant: profiler mutex never poisoned")
+            .clone()
+    }
+
+    /// Render the timings as a human-readable table.
+    pub fn report(&self, title: &str) -> Table {
+        let mut t = Table::new(title, &["phase", "calls", "total (ms)", "mean (µs)", "max (µs)"]);
+        for (name, stat) in self.phases() {
+            let mean_us = if stat.calls == 0 {
+                0.0
+            } else {
+                stat.total.as_secs_f64() * 1e6 / stat.calls as f64
+            };
+            t.add_row(vec![
+                name.to_string(),
+                stat.calls.to_string(),
+                format!("{:.2}", stat.total.as_secs_f64() * 1e3),
+                format!("{mean_us:.1}"),
+                format!("{:.1}", stat.max.as_secs_f64() * 1e6),
+            ]);
+        }
+        t
+    }
+}
+
+/// RAII guard returned by [`Profiler::span`]; records the elapsed
+/// wall-clock time into its phase when dropped.
+#[derive(Debug)]
+pub struct ProfSpan<'a> {
+    profiler: &'a Profiler,
+    phase: &'static str,
+    start: Instant,
+}
+
+impl Drop for ProfSpan<'_> {
+    fn drop(&mut self) {
+        self.profiler.add(self.phase, self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_per_phase() {
+        let p = Profiler::new();
+        {
+            let _a = p.span("control");
+        }
+        {
+            let _b = p.span("domains");
+        }
+        {
+            let _c = p.span("control");
+        }
+        let phases = p.phases();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].0, "control");
+        assert_eq!(phases[0].1.calls, 2);
+        assert_eq!(phases[1].0, "domains");
+        assert_eq!(phases[1].1.calls, 1);
+    }
+
+    #[test]
+    fn report_renders_all_phases() {
+        let p = Profiler::new();
+        drop(p.span("vr-schedule"));
+        let rendered = p.report("run profile").render();
+        assert!(rendered.contains("vr-schedule"));
+        assert!(rendered.contains("calls"));
+    }
+
+    #[test]
+    fn spans_record_from_multiple_threads() {
+        let p = Profiler::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..8 {
+                        drop(p.span("worker"));
+                    }
+                });
+            }
+        });
+        let phases = p.phases();
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].1.calls, 32);
+    }
+}

@@ -14,4 +14,18 @@ cargo test -q
 echo "==> cargo run -p simlint -- --deny-all"
 cargo run -p simlint -q -- --deny-all
 
+echo "==> hcapp trace smoke (Table-3 combo, JSONL validated)"
+smoke=results/trace_smoke.jsonl
+rm -f "$smoke"
+cargo run --release -p hcapp-cli -q -- trace \
+    --combo Hi-Hi --scheme hcapp --ms 2 --out "$smoke" > /dev/null
+# The validator re-parses every line, checks the schema header and
+# enforces time-ordering; then make sure all five event kinds fired.
+cargo run --release -p hcapp-cli -q -- trace --check "$smoke" > /dev/null
+for kind in retarget global_pid vr_slew domain_scale local_decision; do
+    grep -q "\"kind\":\"$kind\"" "$smoke" \
+        || { echo "missing $kind events in $smoke" >&2; exit 1; }
+done
+rm -f "$smoke"
+
 echo "==> all checks passed"
