@@ -1,6 +1,7 @@
 //! CLI subcommands.
 
 pub mod compare;
+pub mod faults;
 pub mod hist;
 pub mod record;
 pub mod run;
@@ -46,6 +47,9 @@ COMMANDS:
             --check PATH          validate an existing trace instead
     record  record a benchmark's phase trace (JSONL; --legacy for CSV)
             --bench NAME --work-ms N (50) --seed N --out PATH --legacy
+    faults  run under a seeded fault plan, report resilience vs the clean run
+            (run flags) --plan quiet|light|moderate|severe (moderate)
+            --check               executor-determinism + cap-bound self-test
     list    available combos, benchmarks and schemes
     help    this text
 "

@@ -7,6 +7,8 @@
 //! hcapp hist  --combo Burst-Burst --scheme fixed          # power histogram
 //! hcapp tune  --ms 20                                     # §3.1 PID tuning
 //! hcapp trace --combo Hi-Hi --scheme hcapp --ms 2         # JSONL event trace
+//! hcapp faults --plan severe --ms 4                       # fault campaign
+//! hcapp faults --check --seed 7                           # resilience self-test
 //! hcapp list                                              # combos/benchmarks/schemes
 //! ```
 //!
@@ -36,6 +38,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "tune" => commands::tune::execute(&args).map_err(|e| e.to_string()),
         "trace" => commands::trace::execute(&args).map_err(|e| e.to_string()),
         "record" => commands::record::execute(&args).map_err(|e| e.to_string()),
+        "faults" => commands::faults::execute(&args).map_err(|e| e.to_string()),
         "list" => Ok(commands::list()),
         "help" | "--help" | "-h" => Ok(commands::help()),
         other => Err(format!(

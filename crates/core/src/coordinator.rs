@@ -16,7 +16,8 @@
 
 use std::sync::Arc;
 
-use hcapp_pdn::{PowerSensor, VoltageRegulator};
+use hcapp_faults::{CtlFault, FaultInjector, FaultPlan};
+use hcapp_pdn::{LinkFault, PowerSensor, SensorFault, VoltageRegulator};
 use hcapp_sim_core::series::TimeSeries;
 use hcapp_sim_core::time::{SimDuration, SimTime};
 use hcapp_sim_core::units::{Volt, Watt};
@@ -24,7 +25,8 @@ use hcapp_sim_core::window::WindowedMaxTracker;
 use hcapp_telemetry::{Profiler, SharedTracer, TraceEvent};
 
 use crate::controller::global::GlobalController;
-use crate::outcome::RunOutcome;
+use crate::health::{DegradedConfig, DomainHealth, EmergencyThrottle, HealthState, SensorWatchdog};
+use crate::outcome::{ResilienceCounters, RunOutcome};
 use crate::scheme::ControlScheme;
 use crate::software::{
     ComponentKind, DomainProgress, DynamicBacklogPolicy, NoPolicy, SoftwarePolicy,
@@ -50,6 +52,37 @@ impl SoftwareConfig {
             SoftwareConfig::None => Box::new(NoPolicy),
             SoftwareConfig::StaticPriority(kind) => Box::new(StaticPriorityPolicy::paper(*kind)),
             SoftwareConfig::DynamicBacklog => Box::<DynamicBacklogPolicy>::default(),
+        }
+    }
+}
+
+/// Everything the coordinator tells one domain for one quantum: the
+/// software priority it should adopt, the degradation throttle on its
+/// voltage, and any faults active on its command/broadcast paths. A clean
+/// run uses [`QuantumCtl::clean`] — unit throttle (bitwise `1.0`, so the
+/// multiply is an identity) and no faults — which keeps fault-free runs
+/// byte-identical to the pre-fault-injection coordinator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantumCtl {
+    /// Software priority to write to the domain's priority register.
+    pub priority: f64,
+    /// Voltage scale imposed by the degradation layer (domain-health hold ×
+    /// emergency throttle); exactly `1.0` when the domain is trusted.
+    pub throttle: f64,
+    /// Fault on the global-voltage broadcast to this domain this quantum.
+    pub link_fault: Option<LinkFault>,
+    /// Fault on the domain's own controllers this quantum.
+    pub ctl_fault: Option<CtlFault>,
+}
+
+impl QuantumCtl {
+    /// A fault-free command carrying only a priority.
+    pub fn clean(priority: f64) -> Self {
+        QuantumCtl {
+            priority,
+            throttle: 1.0,
+            link_fault: None,
+            ctl_fault: None,
         }
     }
 }
@@ -88,6 +121,12 @@ pub struct RunConfig {
     /// feed back into simulated time or control decisions (see simlint L3),
     /// so attaching one cannot perturb a run's results.
     pub profiler: Option<Arc<Profiler>>,
+    /// Deterministic fault plan. `None` (the default) keeps the run loop on
+    /// its exact pre-fault code path — no injector is built, no watchdog
+    /// runs, and results are byte-identical to a build without this field.
+    pub faults: Option<FaultPlan>,
+    /// Degradation tuning, consulted only when `faults` is set.
+    pub degraded: DegradedConfig,
 }
 
 impl RunConfig {
@@ -110,6 +149,8 @@ impl RunConfig {
             software: SoftwareConfig::None,
             tracer: None,
             profiler: None,
+            faults: None,
+            degraded: DegradedConfig::default(),
         }
     }
 
@@ -141,6 +182,19 @@ impl RunConfig {
     /// Attach a wall-clock phase profiler (builder style).
     pub fn with_profiler(mut self, profiler: Arc<Profiler>) -> Self {
         self.profiler = Some(profiler);
+        self
+    }
+
+    /// Attach a deterministic fault plan (builder style). This also arms the
+    /// degradation layer — watchdogs, holds and the emergency throttle.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Override the degradation tuning (builder style).
+    pub fn with_degraded(mut self, degraded: DegradedConfig) -> Self {
+        self.degraded = degraded;
         self
     }
 
@@ -178,6 +232,10 @@ impl RunConfig {
                 "control period must be a multiple of the tick"
             );
         }
+        self.degraded.validate();
+        if let Some(plan) = &self.faults {
+            plan.validate();
+        }
     }
 }
 
@@ -194,19 +252,23 @@ pub(crate) trait DomainExecutor {
     /// Current cumulative work per domain.
     fn work_done(&mut self) -> Vec<f64>;
     /// Advance all domains through a quantum starting at `t0`, adding
-    /// per-tick powers into `power_acc` in domain order. `priorities`
-    /// carries the current software priority per domain. When `events` is
-    /// `Some`, per-domain trace events are appended *in domain order*
-    /// regardless of execution order, so traces are executor-independent.
+    /// per-tick powers into `power_acc` in domain order. `ctls` carries the
+    /// per-domain quantum command (priority, throttle, faults); each
+    /// domain's heartbeat — did its controller accept commands — is written
+    /// into `heartbeats` at the domain's index, so the result is
+    /// executor-independent. When `events` is `Some`, per-domain trace
+    /// events are appended *in domain order* regardless of execution order,
+    /// so traces are executor-independent too.
     #[allow(clippy::too_many_arguments)]
     fn run_quantum(
         &mut self,
         t0: SimTime,
         v_sched: &[f64],
         update_local: bool,
-        priorities: &[f64],
+        ctls: &[QuantumCtl],
         tick: SimDuration,
         power_acc: &mut [f64],
+        heartbeats: &mut [bool],
         events: Option<&mut Vec<TraceEvent>>,
     );
 }
@@ -229,20 +291,22 @@ impl DomainExecutor for SerialExecutor {
         self.domains.iter().map(|d| d.sim.work_done()).collect()
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_quantum(
         &mut self,
         t0: SimTime,
         v_sched: &[f64],
         update_local: bool,
-        priorities: &[f64],
+        ctls: &[QuantumCtl],
         tick: SimDuration,
         power_acc: &mut [f64],
+        heartbeats: &mut [bool],
         mut events: Option<&mut Vec<TraceEvent>>,
     ) {
         // Iterating in domain order appends events in domain order.
-        for (d, &p) in self.domains.iter_mut().zip(priorities) {
-            d.ctl.set_priority(p);
-            d.run_quantum(t0, v_sched, update_local, tick, power_acc, events.as_deref_mut());
+        for (i, (d, c)) in self.domains.iter_mut().zip(ctls).enumerate() {
+            heartbeats[i] =
+                d.run_quantum(t0, v_sched, update_local, c, tick, power_acc, events.as_deref_mut());
         }
     }
 }
@@ -376,6 +440,31 @@ pub(crate) fn run_loop<E: DomainExecutor>(
     let mut priorities: Vec<f64> = vec![1.0; kinds.len()];
     let mut last_policy_tick = 0usize;
 
+    // Fault injection + graceful degradation. Without a plan the injector is
+    // never built and every guard below is a single branch on `None`; the
+    // clean path multiplies by bitwise-1.0 throttles only, so fault-free
+    // runs stay byte-identical to a coordinator without this layer.
+    let n_domains = kinds.len();
+    let injector = run
+        .faults
+        .as_ref()
+        .map(|p| FaultInjector::new(p.clone(), period));
+    let degraded = run.degraded;
+    let mut ctls: Vec<QuantumCtl> = vec![QuantumCtl::clean(1.0); n_domains];
+    let mut heartbeats = vec![true; n_domains];
+    let mut dom_health: Vec<DomainHealth> = vec![DomainHealth::new(); n_domains];
+    let mut sensor_dog = SensorWatchdog::new();
+    let mut emergency = EmergencyThrottle::new();
+    // Last reading taken while the sense path was fault-free — what a
+    // stuck-at sensor replays.
+    let mut held_reading = Watt::ZERO;
+    // Rising-edge trackers so episode-long faults log one event at onset.
+    let mut sensor_fault_active = false;
+    let mut slew_fault_active = false;
+    let mut link_fault_active = vec![false; n_domains];
+    let mut ctl_fault_active = vec![false; n_domains];
+    let mut resilience = ResilienceCounters::default();
+
     // Telemetry: resolve the hooks once per run. Without a tracer (or with
     // a disabled one, e.g. NullTracer) `tracing` stays false and no event
     // is ever constructed on the quantum path below.
@@ -415,6 +504,39 @@ pub(crate) fn run_loop<E: DomainExecutor>(
         let t0 = SimTime::from_nanos(done as u64 * tick.as_nanos());
         crate::invariants::check_time_monotonic("run_loop quantum", prev_t0, t0);
         prev_t0 = Some(t0);
+
+        // VR-side faults apply at the quantum boundary, before the control
+        // step, so the controller reacts to a post-droop world.
+        if let Some(inj) = injector.as_ref() {
+            if let Some(depth) = inj.vr_droop(t0) {
+                vr.droop(depth);
+                resilience.faults_injected += 1;
+                if tracing {
+                    ev_buf.push(TraceEvent::FaultInjected {
+                        t: t0,
+                        point: "vr_droop",
+                        domain: None,
+                        magnitude: depth,
+                    });
+                }
+            }
+            let derate = inj.vr_slew_derate(t0);
+            vr.set_slew_derate(derate.unwrap_or(1.0));
+            if let Some(factor) = derate {
+                if !slew_fault_active {
+                    resilience.faults_injected += 1;
+                    if tracing {
+                        ev_buf.push(TraceEvent::FaultInjected {
+                            t: t0,
+                            point: "vr_slew_derate",
+                            domain: None,
+                            magnitude: factor,
+                        });
+                    }
+                }
+            }
+            slew_fault_active = derate.is_some();
+        }
 
         if dynamic {
             let _span = profiler.as_deref().map(|p| p.span("control"));
@@ -459,20 +581,104 @@ pub(crate) fn run_loop<E: DomainExecutor>(
             // were too slow to prevent).
             let sensed = peak_hold.max(sensor.read().value());
             peak_hold = 0.0;
-            let v_next = global_ctl.update(Watt::new(sensed), period);
-            vr.set_target(t0, v_next);
-            if tracing {
-                let terms = global_ctl.pid().last_terms();
-                ev_buf.push(TraceEvent::GlobalPidStep {
-                    t: t0,
-                    p_now: Watt::new(sensed),
-                    setpoint: global_ctl.target(),
-                    v_err: terms.error,
-                    p_term: terms.p,
-                    i_term: terms.i,
-                    d_term: terms.d,
-                    v_next,
-                });
+            let mut p_input = Watt::new(sensed);
+            let mut clamped = false;
+            if let Some(inj) = injector.as_ref() {
+                // Pass the true reading through any active sensor fault —
+                // the controller only ever sees the (possibly lying) result,
+                // never the injector's oracle.
+                let fault = inj.sensor_fault(t0);
+                let reading = match fault {
+                    Some(f) => PowerSensor::faulted_reading(Watt::new(sensed), f, held_reading),
+                    None => {
+                        held_reading = Watt::new(sensed);
+                        Watt::new(sensed)
+                    }
+                };
+                if let Some(f) = fault {
+                    if !sensor_fault_active {
+                        resilience.faults_injected += 1;
+                        if tracing {
+                            let (point, magnitude) = match f {
+                                SensorFault::Noise { factor } => ("sensor_noise", factor),
+                                SensorFault::StuckAt => ("sensor_stuck", f64::NAN),
+                                SensorFault::Dropout => ("sensor_dropout", f64::NAN),
+                            };
+                            ev_buf.push(TraceEvent::FaultInjected {
+                                t: t0,
+                                point,
+                                domain: None,
+                                magnitude,
+                            });
+                        }
+                    }
+                }
+                sensor_fault_active = fault.is_some();
+                // Watchdog on the observable symptom: a reading that stays
+                // frozen while the rail moves away from it.
+                if let Some((from, to)) =
+                    sensor_dog.observe(reading.value(), vr.output().value(), &degraded)
+                {
+                    resilience.health_transitions += 1;
+                    if tracing {
+                        ev_buf.push(TraceEvent::HealthTransition {
+                            t: t0,
+                            subject: "sensor",
+                            domain: None,
+                            from: from.name(),
+                            to: to.name(),
+                        });
+                    }
+                }
+                // A faulted sensor is replaced by the worst-case power at
+                // the present rail voltage: regulation errs low, not blind.
+                p_input = if sensor_dog.state() == HealthState::Faulted {
+                    sys.peak_power_at(vr.output())
+                } else {
+                    reading
+                };
+                // Trip strictly above P_SPEC × margin: settled regulation
+                // hovers a hair over the setpoint by design (see the
+                // near-miss counter), and must not engage the clamp.
+                let over = p_input.value() > global_ctl.target().value() * degraded.trip_margin;
+                if let Some(engaged) = emergency.observe(over, &degraded) {
+                    if engaged {
+                        resilience.emergency_engagements += 1;
+                    }
+                    if tracing {
+                        ev_buf.push(TraceEvent::EmergencyThrottle {
+                            t: t0,
+                            engaged,
+                            estimate: p_input,
+                            target: global_ctl.target(),
+                            scale: emergency.scale(),
+                        });
+                    }
+                }
+                clamped = emergency.engaged();
+            }
+            if clamped {
+                // Emergency: rail pinned to its floor, PID frozen (its state
+                // resumes unchanged on release, so the incident does not
+                // wind up the integrator).
+                resilience.emergency_quanta += 1;
+                vr.set_target(t0, v_floor);
+            } else {
+                let v_next = global_ctl.update(p_input, period);
+                vr.set_target(t0, v_next);
+                if tracing {
+                    let terms = global_ctl.pid().last_terms();
+                    ev_buf.push(TraceEvent::GlobalPidStep {
+                        t: t0,
+                        p_now: p_input,
+                        setpoint: global_ctl.target(),
+                        v_err: terms.error,
+                        p_term: terms.p,
+                        i_term: terms.i,
+                        d_term: terms.d,
+                        v_next,
+                    });
+                }
             }
         }
 
@@ -499,6 +705,65 @@ pub(crate) fn run_loop<E: DomainExecutor>(
             });
         }
 
+        // Assemble this quantum's per-domain commands. All fault decisions
+        // are made here, on the coordinator thread, from pure functions of
+        // (seed, point, domain index, quantum index) — the executors only
+        // ever see the resulting `QuantumCtl`s, which is why serial and
+        // pooled runs are byte-identical under any plan.
+        if let Some(inj) = injector.as_ref() {
+            let em_scale = emergency.scale();
+            for i in 0..n_domains {
+                let link = inj.link_fault(t0, i);
+                let ctlf = inj.ctl_fault(t0, i);
+                if let Some(f) = link {
+                    if !link_fault_active[i] {
+                        resilience.faults_injected += 1;
+                        if tracing {
+                            let (point, magnitude) = match f {
+                                LinkFault::Delay { ticks } => ("link_delay", f64::from(ticks)),
+                                LinkFault::Loss => ("link_loss", f64::NAN),
+                            };
+                            ev_buf.push(TraceEvent::FaultInjected {
+                                t: t0,
+                                point,
+                                domain: Some(i as u32),
+                                magnitude,
+                            });
+                        }
+                    }
+                }
+                link_fault_active[i] = link.is_some();
+                if let Some(f) = ctlf {
+                    if !ctl_fault_active[i] {
+                        resilience.faults_injected += 1;
+                        if tracing {
+                            let point = match f {
+                                CtlFault::DomainStuck => "ctl_stuck",
+                                CtlFault::LocalSilent => "ctl_silent",
+                            };
+                            ev_buf.push(TraceEvent::FaultInjected {
+                                t: t0,
+                                point,
+                                domain: Some(i as u32),
+                                magnitude: f64::NAN,
+                            });
+                        }
+                    }
+                }
+                ctl_fault_active[i] = ctlf.is_some();
+                ctls[i] = QuantumCtl {
+                    priority: priorities[i],
+                    throttle: dom_health[i].throttle() * em_scale,
+                    link_fault: link,
+                    ctl_fault: ctlf,
+                };
+            }
+        } else {
+            for (c, &p) in ctls.iter_mut().zip(&priorities) {
+                c.priority = p;
+            }
+        }
+
         // Advance every domain through the quantum.
         power_acc[..n].fill(0.0);
         {
@@ -507,11 +772,30 @@ pub(crate) fn run_loop<E: DomainExecutor>(
                 t0,
                 &v_sched[..n],
                 dynamic,
-                &priorities,
+                &ctls,
                 tick,
                 &mut power_acc[..n],
+                &mut heartbeats,
                 tracing.then_some(&mut ev_buf),
             );
+        }
+        // Feed the heartbeats back into the per-domain watchdogs — appended
+        // after the executor's per-domain events, still in domain order.
+        if injector.is_some() {
+            for (i, dh) in dom_health.iter_mut().enumerate() {
+                if let Some((from, to)) = dh.observe(heartbeats[i], &degraded) {
+                    resilience.health_transitions += 1;
+                    if tracing {
+                        ev_buf.push(TraceEvent::HealthTransition {
+                            t: t0,
+                            subject: "domain",
+                            domain: Some(i as u32),
+                            from: from.name(),
+                            to: to.name(),
+                        });
+                    }
+                }
+            }
         }
         for &p in &power_acc[..n] {
             crate::invariants::check_power_sane("run_loop package power", Watt::new(p));
@@ -579,6 +863,7 @@ pub(crate) fn run_loop<E: DomainExecutor>(
         mean_global_voltage: voltage_sum / total_ticks as f64,
         trace,
         voltage_trace,
+        resilience,
     }
 }
 

@@ -24,12 +24,23 @@
 //! [`coordinator::Simulation`] is the central simulation controller (§4.1),
 //! and [`parallel`] provides deterministic parallel execution for sweeps and
 //! many-chiplet scaling studies.
+//!
+//! Attaching a seeded `hcapp-faults` plan to a run
+//! ([`coordinator::RunConfig::with_faults`]) turns on the [`health`]
+//! degradation layer: watchdogs declare sensors and domains faulted from
+//! observable symptoms alone, faulted domains are held at decaying
+//! last-good voltage ratios, and a package-wide emergency throttle clamps
+//! the system when the (worst-case-estimated) power stays above `P_SPEC`
+//! beyond the configured violation window. Fault decisions are pure
+//! functions of the plan seed and simulated time, so the serial and
+//! parallel executors stay bit-identical under any plan.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod controller;
 pub mod coordinator;
+pub mod health;
 pub mod invariants;
 pub mod limits;
 pub mod outcome;
@@ -47,9 +58,10 @@ pub use controller::local::{
     PassThroughController,
 };
 pub use controller::thermal_guard::{ThermalConfig, ThermalGuard};
-pub use coordinator::{RunConfig, Simulation};
+pub use coordinator::{QuantumCtl, RunConfig, Simulation};
+pub use health::{DegradedConfig, HealthState};
 pub use limits::PowerLimit;
-pub use outcome::RunOutcome;
+pub use outcome::{ResilienceCounters, RunOutcome};
 pub use pid::{PidController, PidGains};
 pub use scheme::ControlScheme;
 pub use software::{ComponentKind, SoftwarePolicy, StaticPriorityPolicy};

@@ -15,6 +15,20 @@ use crate::limits::PowerLimit;
 use crate::scheme::ControlScheme;
 use crate::software::ComponentKind;
 
+/// Fault-campaign counters accumulated by the run loop. All zero for a run
+/// without a fault plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceCounters {
+    /// Fault episodes that started (one count per onset, not per quantum).
+    pub faults_injected: u64,
+    /// Health-state transitions across the sensor and domain watchdogs.
+    pub health_transitions: u64,
+    /// Times the emergency throttle engaged.
+    pub emergency_engagements: u64,
+    /// Control quanta spent with the emergency throttle engaged.
+    pub emergency_quanta: u64,
+}
+
 /// Everything measured during one run.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
@@ -37,6 +51,8 @@ pub struct RunOutcome {
     pub trace: Option<TimeSeries>,
     /// Global VR output voltage trace, if recorded.
     pub voltage_trace: Option<TimeSeries>,
+    /// Fault/degradation counters (all zero without a fault plan).
+    pub resilience: ResilienceCounters,
 }
 
 impl RunOutcome {
@@ -114,6 +130,7 @@ mod tests {
             mean_global_voltage: 0.95,
             trace: None,
             voltage_trace: None,
+            resilience: ResilienceCounters::default(),
         }
     }
 

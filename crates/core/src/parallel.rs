@@ -31,7 +31,7 @@ use std::thread;
 use hcapp_sim_core::time::{SimDuration, SimTime};
 use hcapp_telemetry::TraceEvent;
 
-use crate::coordinator::{run_loop, DomainExecutor, RunConfig, Simulation};
+use crate::coordinator::{run_loop, DomainExecutor, QuantumCtl, RunConfig, Simulation};
 use crate::outcome::RunOutcome;
 use crate::software::ComponentKind;
 use crate::system::{Domain, SystemConfig};
@@ -89,8 +89,9 @@ struct QuantumCmd {
     n: usize,
     /// Whether local controllers update at this boundary.
     update_local: bool,
-    /// Software priorities, one per domain (global indexing).
-    priorities: Arc<Vec<f64>>,
+    /// Per-domain quantum commands (priority, throttle, faults), one per
+    /// domain (global indexing).
+    ctls: Arc<Vec<QuantumCtl>>,
     tick: SimDuration,
     /// Whether workers should collect trace events this quantum.
     collect_events: bool,
@@ -101,6 +102,8 @@ struct QuantumReply {
     domain_idx: usize,
     powers: Vec<f64>,
     work_done: f64,
+    /// Heartbeat: the domain's controller accepted this quantum's commands.
+    responded: bool,
     /// Trace events this domain emitted (empty unless collecting).
     events: Vec<TraceEvent>,
 }
@@ -146,25 +149,27 @@ impl DomainExecutor for PooledExecutor<'_> {
         self.last_work.clone()
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_quantum(
         &mut self,
         t0: SimTime,
         v_sched: &[f64],
         update_local: bool,
-        priorities: &[f64],
+        ctls: &[QuantumCtl],
         tick: SimDuration,
         power_acc: &mut [f64],
+        heartbeats: &mut [bool],
         events: Option<&mut Vec<TraceEvent>>,
     ) {
         let v = Arc::new(v_sched.to_vec());
-        let p = Arc::new(priorities.to_vec());
+        let c = Arc::new(ctls.to_vec());
         for tx in &self.cmd_txs {
             tx.send(WorkerMsg::Quantum(QuantumCmd {
                 t0,
                 v_sched: v.clone(),
                 n: v_sched.len(),
                 update_local,
-                priorities: p.clone(),
+                ctls: c.clone(),
                 tick,
                 collect_events: events.is_some(),
             }))
@@ -180,6 +185,7 @@ impl DomainExecutor for PooledExecutor<'_> {
                 .recv()
                 .expect("invariant: each worker replies once per domain it owns");
             self.last_work[r.domain_idx] = r.work_done;
+            heartbeats[r.domain_idx] = r.responded;
             let idx = r.domain_idx;
             replies[idx] = Some(r);
         }
@@ -235,13 +241,13 @@ impl Simulation {
                         match msg {
                             WorkerMsg::Quantum(cmd) => {
                                 for (idx, d) in part.iter_mut() {
-                                    d.ctl.set_priority(cmd.priorities[*idx]);
                                     let mut powers = vec![0.0f64; cmd.n];
                                     let mut events = Vec::new();
-                                    d.run_quantum(
+                                    let responded = d.run_quantum(
                                         cmd.t0,
                                         &cmd.v_sched[..cmd.n],
                                         cmd.update_local,
+                                        &cmd.ctls[*idx],
                                         cmd.tick,
                                         &mut powers,
                                         cmd.collect_events.then_some(&mut events),
@@ -251,6 +257,7 @@ impl Simulation {
                                             domain_idx: *idx,
                                             powers,
                                             work_done: d.sim.work_done(),
+                                            responded,
                                             events,
                                         })
                                         .is_err()
@@ -266,6 +273,7 @@ impl Simulation {
                                             domain_idx: *idx,
                                             powers: Vec::new(),
                                             work_done: d.sim.work_done(),
+                                            responded: true,
                                             events: Vec::new(),
                                         })
                                         .is_err()

@@ -17,7 +17,8 @@ use hcapp_accel_sim::{ShaAccelerator, ShaConfig};
 use hcapp_power_model::MemoryStack;
 use hcapp_cpu_sim::{CpuChiplet, CpuConfig};
 use hcapp_gpu_sim::{GpuChiplet, GpuConfig};
-use hcapp_pdn::{RippleInjector, RippleSpec, SupplyNetwork};
+use hcapp_faults::CtlFault;
+use hcapp_pdn::{BroadcastLink, RippleInjector, RippleSpec, SupplyNetwork};
 use hcapp_sim_core::time::SimDuration;
 use hcapp_sim_core::units::{Volt, Watt};
 use hcapp_telemetry::TraceEvent;
@@ -31,6 +32,7 @@ use crate::controller::local::{
     PassThroughController,
 };
 use crate::controller::thermal_guard::{ThermalConfig, ThermalGuard};
+use crate::coordinator::QuantumCtl;
 use crate::pid::PidGains;
 use crate::software::ComponentKind;
 
@@ -339,6 +341,9 @@ pub struct Domain {
     pub sim: ChipletSim,
     /// This domain's branch of the supply network.
     pub network: SupplyNetwork,
+    /// Receiver end of the global-voltage broadcast (fault-aware: models
+    /// delayed and lost updates, holds the last good value on loss).
+    pub link: BroadcastLink,
     /// Nominal work rate (work units per ns at the nominal operating point)
     /// — normalizes progress for software policies.
     pub nominal_rate: f64,
@@ -447,6 +452,7 @@ impl Domain {
             local,
             sim,
             network: SupplyNetwork::new(1, cfg.network_delay_ticks, cfg.network_resistance),
+            link: BroadcastLink::new(),
             nominal_rate,
             ripple: cfg
                 .ripple
@@ -458,7 +464,7 @@ impl Domain {
         }
     }
 
-    /// Run one control quantum.
+    /// Run one control quantum under the coordinator's command `ctl`.
     ///
     /// `v_global` holds the global VR output for each tick of the quantum
     /// (precomputed by the coordinator). If `update_local` is set, the local
@@ -467,20 +473,35 @@ impl Domain {
     /// ordering). Per-tick chiplet powers are *added into* `power_acc`
     /// (which the coordinators pre-zero or share across domains).
     ///
+    /// `ctl` carries the priority write, the degradation throttle and any
+    /// active faults: a `DomainStuck` fault makes the priority register
+    /// ignore the write, a `LocalSilent` fault skips the level-3 update
+    /// (the telemetry events still fire — an observer sees the *stale*
+    /// decision a silent controller keeps applying), and a link fault
+    /// perturbs the broadcast the domain receives. The returned heartbeat
+    /// is `false` exactly when a controller fault was active — the
+    /// observable "did the domain accept commands" signal the coordinator's
+    /// watchdogs consume.
+    ///
     /// When `events` is `Some`, the boundary-time level-2/level-3 control
     /// observations (`DomainScale`, `LocalDecision`) are appended to it —
     /// the coordinators then merge per-domain buffers in domain order so
     /// serial and parallel traces are identical.
+    #[allow(clippy::too_many_arguments)]
     pub fn run_quantum(
         &mut self,
         t0: hcapp_sim_core::time::SimTime,
         v_global: &[f64],
         update_local: bool,
+        ctl: &QuantumCtl,
         tick: SimDuration,
         power_acc: &mut [f64],
         events: Option<&mut Vec<TraceEvent>>,
-    ) {
+    ) -> bool {
         debug_assert_eq!(v_global.len(), power_acc.len());
+        if ctl.ctl_fault != Some(CtlFault::DomainStuck) {
+            self.ctl.set_priority(ctl.priority);
+        }
         if update_local {
             let v_dom = self.ctl.domain_voltage(self.last_delivered);
             let pre_mean_ipc = if events.is_some() {
@@ -488,7 +509,9 @@ impl Domain {
             } else {
                 0.0
             };
-            self.local.update(self.sim.ipc_fractions(), v_dom);
+            if ctl.ctl_fault != Some(CtlFault::LocalSilent) {
+                self.local.update(self.sim.ipc_fractions(), v_dom);
+            }
             if let Some(buf) = events {
                 let delivered = self.last_delivered;
                 let normalized = if delivered.value() > 0.0 {
@@ -528,13 +551,18 @@ impl Domain {
             }
             None => 1.0,
         };
-        for (i, &vg) in v_global.iter().enumerate() {
+        for i in 0..v_global.len() {
+            let vg = self.link.receive(v_global, i, ctl.link_fault);
             let mut delivered = self.network.deliver(0, Volt::new(vg), self.last_power);
             if let Some(injector) = self.ripple.as_mut() {
                 delivered = injector.perturb(delivered, t0 + tick * i as u64);
             }
             self.last_delivered = delivered;
-            let v_dom = Volt::new(self.ctl.domain_voltage(delivered).value() * thermal_derate);
+            // The throttle multiply is a bitwise identity at 1.0, so clean
+            // runs are unperturbed by the degradation layer.
+            let v_dom = Volt::new(
+                self.ctl.domain_voltage(delivered).value() * thermal_derate * ctl.throttle,
+            );
             let ratios = self.local.ratios();
             if ratios.len() == 1 {
                 let v = Volt::new(v_dom.value() * ratios[0]);
@@ -548,6 +576,7 @@ impl Domain {
             self.last_power = p;
             power_acc[i] += p.value();
         }
+        ctl.ctl_fault.is_none()
     }
 }
 
@@ -608,7 +637,16 @@ mod tests {
         let mut d = Domain::build(&c.domains[0], &c, 0);
         let v_global = vec![0.95; 10];
         let mut acc = vec![0.0; 10];
-        d.run_quantum(hcapp_sim_core::time::SimTime::ZERO, &v_global, true, c.tick, &mut acc, None);
+        let ok = d.run_quantum(
+            hcapp_sim_core::time::SimTime::ZERO,
+            &v_global,
+            true,
+            &QuantumCtl::clean(1.0),
+            c.tick,
+            &mut acc,
+            None,
+        );
+        assert!(ok, "fault-free quantum must report a heartbeat");
         assert!(acc.iter().all(|&p| p > 0.0));
         assert!(d.sim.work_done() > 0.0);
     }
@@ -621,11 +659,12 @@ mod tests {
         let mut split = Domain::build(&c.domains[1], &c, 1);
         let v = vec![0.92; 20];
         let mut acc_whole = vec![0.0; 20];
-        whole.run_quantum(hcapp_sim_core::time::SimTime::ZERO, &v, false, c.tick, &mut acc_whole, None);
+        let clean = QuantumCtl::clean(1.0);
+        whole.run_quantum(hcapp_sim_core::time::SimTime::ZERO, &v, false, &clean, c.tick, &mut acc_whole, None);
         let mut acc_a = vec![0.0; 10];
         let mut acc_b = vec![0.0; 10];
-        split.run_quantum(hcapp_sim_core::time::SimTime::ZERO, &v[..10], false, c.tick, &mut acc_a, None);
-        split.run_quantum(hcapp_sim_core::time::SimTime::from_nanos(1_000), &v[10..], false, c.tick, &mut acc_b, None);
+        split.run_quantum(hcapp_sim_core::time::SimTime::ZERO, &v[..10], false, &clean, c.tick, &mut acc_a, None);
+        split.run_quantum(hcapp_sim_core::time::SimTime::from_nanos(1_000), &v[10..], false, &clean, c.tick, &mut acc_b, None);
         let rejoined: Vec<f64> = acc_a.into_iter().chain(acc_b).collect();
         assert_eq!(acc_whole, rejoined);
         assert_eq!(whole.sim.work_done(), split.sim.work_done());

@@ -8,12 +8,24 @@ use std::sync::{Arc, Mutex};
 use hcapp::coordinator::{RunConfig, Simulation};
 use hcapp::scheme::ControlScheme;
 use hcapp::system::SystemConfig;
+use hcapp_faults::FaultPlan;
 use hcapp_sim_core::time::SimDuration;
 use hcapp_sim_core::units::Watt;
 use hcapp_telemetry::{NullTracer, RingTracer, SharedTracer, TraceEvent, Tracer, EVENT_KINDS};
 use hcapp_workloads::combos::combo_suite;
 
-fn sim(tracer: Option<SharedTracer>) -> Simulation {
+/// Event kinds every traced dynamic-scheme run emits; the remaining
+/// [`EVENT_KINDS`] (`fault_injected`, `health_transition`,
+/// `emergency_throttle`) appear only under a fault plan.
+const BASE_KINDS: [&str; 5] = [
+    "retarget",
+    "global_pid",
+    "vr_slew",
+    "domain_scale",
+    "local_decision",
+];
+
+fn sim(tracer: Option<SharedTracer>, faults: Option<FaultPlan>) -> Simulation {
     let sys = SystemConfig::paper_system(combo_suite()[3], 7); // Hi-Hi
     let mut run = RunConfig::new(
         SimDuration::from_millis(2),
@@ -23,14 +35,17 @@ fn sim(tracer: Option<SharedTracer>) -> Simulation {
     if let Some(t) = tracer {
         run = run.with_tracer(t);
     }
+    if let Some(p) = faults {
+        run = run.with_faults(p);
+    }
     Simulation::new(sys, run)
 }
 
 /// Run serially (`workers == None`) or with a worker pool, returning the
 /// full traced event stream from a large ring (nothing dropped).
-fn traced_events(workers: Option<usize>) -> Vec<TraceEvent> {
+fn traced_events_with(workers: Option<usize>, faults: Option<FaultPlan>) -> Vec<TraceEvent> {
     let ring = Arc::new(Mutex::new(RingTracer::new(1 << 16)));
-    let s = sim(Some(ring.clone() as SharedTracer));
+    let s = sim(Some(ring.clone() as SharedTracer), faults);
     match workers {
         None => {
             s.run();
@@ -42,6 +57,10 @@ fn traced_events(workers: Option<usize>) -> Vec<TraceEvent> {
     let mut guard = ring.lock().expect("ring lock");
     assert_eq!(guard.dropped(), 0, "ring must be large enough for the run");
     guard.drain()
+}
+
+fn traced_events(workers: Option<usize>) -> Vec<TraceEvent> {
+    traced_events_with(workers, None)
 }
 
 /// Canonical byte form of an event stream. `TraceEvent` derives `PartialEq`,
@@ -63,8 +82,32 @@ fn serial_and_parallel_traces_are_identical() {
 }
 
 #[test]
-fn traced_stream_is_time_ordered_and_covers_all_kinds() {
+fn traced_stream_is_time_ordered_and_covers_base_kinds() {
     let events = traced_events(None);
+    let mut last = 0u64;
+    for e in &events {
+        let t = e.time().as_nanos();
+        assert!(t >= last, "events out of order at t={t}");
+        last = t;
+    }
+    for kind in BASE_KINDS {
+        assert!(
+            events.iter().any(|e| e.kind() == kind),
+            "no {kind} event in an hcapp run"
+        );
+    }
+    // Fault-free runs must never emit fault-campaign events.
+    for kind in EVENT_KINDS.iter().filter(|k| !BASE_KINDS.contains(k)) {
+        assert!(
+            !events.iter().any(|e| e.kind() == *kind),
+            "{kind} event leaked into a clean run"
+        );
+    }
+}
+
+#[test]
+fn faulted_run_is_time_ordered_and_covers_all_kinds() {
+    let events = traced_events_with(None, Some(FaultPlan::severe(11)));
     let mut last = 0u64;
     for e in &events {
         let t = e.time().as_nanos();
@@ -74,8 +117,26 @@ fn traced_stream_is_time_ordered_and_covers_all_kinds() {
     for kind in EVENT_KINDS {
         assert!(
             events.iter().any(|e| e.kind() == *kind),
-            "no {kind} event in an hcapp run"
+            "no {kind} event in a severe-plan run"
         );
+    }
+}
+
+/// The acceptance criterion in one test: the same seed yields byte-identical
+/// traces from the serial and pooled executors *while a fault plan is
+/// active* — fault decisions are keyed on simulated time and stable domain
+/// index, never on execution order.
+#[test]
+fn faulted_serial_and_parallel_traces_are_identical() {
+    let serial = traced_events_with(None, Some(FaultPlan::severe(23)));
+    assert!(!serial.is_empty());
+    assert!(
+        serial.iter().any(|e| e.kind() == "fault_injected"),
+        "plan must actually bite for this test to mean anything"
+    );
+    for workers in [1, 2, 4] {
+        let parallel = traced_events_with(Some(workers), Some(FaultPlan::severe(23)));
+        assert_eq!(canonical(&serial), canonical(&parallel), "{workers} workers");
     }
 }
 
@@ -106,9 +167,9 @@ impl Tracer for RejectingTracer {
 
 #[test]
 fn disabled_tracer_sees_no_events_and_does_not_perturb_results() {
-    let baseline = sim(None).run();
-    let with_null = sim(Some(hcapp_telemetry::shared(NullTracer))).run();
-    let with_rejecting = sim(Some(hcapp_telemetry::shared(RejectingTracer))).run();
+    let baseline = sim(None, None).run();
+    let with_null = sim(Some(hcapp_telemetry::shared(NullTracer)), None).run();
+    let with_rejecting = sim(Some(hcapp_telemetry::shared(RejectingTracer)), None).run();
     for out in [&with_null, &with_rejecting] {
         assert_eq!(baseline.avg_power, out.avg_power);
         assert_eq!(baseline.energy_j, out.energy_j);
@@ -119,7 +180,7 @@ fn disabled_tracer_sees_no_events_and_does_not_perturb_results() {
 #[test]
 fn saturated_ring_counts_drops_and_keeps_newest() {
     let ring = Arc::new(Mutex::new(RingTracer::new(8)));
-    sim(Some(ring.clone() as SharedTracer)).run();
+    sim(Some(ring.clone() as SharedTracer), None).run();
     let guard = ring.lock().expect("ring lock");
     assert_eq!(guard.len(), 8);
     assert!(guard.dropped() > 0, "a 2 ms hcapp run must overflow 8 slots");

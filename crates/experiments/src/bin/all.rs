@@ -21,6 +21,7 @@ fn main() {
         summary::run(&cfg),
         scaling::run(&cfg),
         hcapp_experiments::robustness::run(&cfg),
+        hcapp_experiments::faults::run(&cfg),
     ] {
         println!("{}", table.render());
     }

@@ -1,0 +1,7 @@
+//! Fault campaign: HCAPP vs the baselines under identical fault plans.
+fn main() {
+    let cfg = hcapp_experiments::ExperimentConfig::from_env();
+    std::fs::create_dir_all(&cfg.out_dir).expect("create results dir");
+    let table = hcapp_experiments::faults::run(&cfg);
+    print!("{}", table.render());
+}

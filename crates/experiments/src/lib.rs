@@ -19,6 +19,7 @@
 //! | `ablations` | guardband / control-period / local-controller / overshoot-protection / adversarial-accelerator studies |
 //! | `scaling` | chiplet-count scaling: HCAPP vs a centralized-aggregation model |
 //! | `robustness` | seed-sensitivity of the §5.1 aggregates |
+//! | `faults` | fault campaign: resilience of each scheme under identical fault plans |
 //! | `profile` | run-loop wall-clock profile: serial vs. worker-pool executors |
 //! | `all` | everything above in sequence |
 //!
@@ -31,6 +32,7 @@
 
 pub mod ablations;
 pub mod config;
+pub mod faults;
 pub mod figures;
 pub mod plot;
 pub mod profile;

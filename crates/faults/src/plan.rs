@@ -1,0 +1,305 @@
+//! Declarative fault plans.
+//!
+//! A [`FaultPlan`] names every injection point the simulator exposes and
+//! gives each an [`EpisodeSpec`]: a per-quantum start probability and an
+//! episode length. Magnitude knobs (noise amplitude, droop depth, slew
+//! floor, link delay) are bounded by [`FaultPlan::validate`] so that the
+//! degraded-mode controller's cap guarantee has a finite worst case to
+//! defend against — an unbounded plan (rail shorted to ground, sensor
+//! reporting -∞) is a destroyed package, not a control problem.
+
+/// Hard ceiling on a single episode's length, in control quanta.
+///
+/// Bounds both the injector's backward scan (see
+/// [`crate::FaultInjector`]) and the longest uninterrupted perturbation the
+/// degradation layer must ride out.
+pub const MAX_EPISODE_QUANTA: u32 = 64;
+
+/// Largest mean-one multiplicative sensor-noise amplitude a plan may ask
+/// for (`reading * (1 ± amplitude)`).
+pub const MAX_NOISE_AMPLITUDE: f64 = 0.3;
+
+/// Deepest single VR droop impulse a plan may ask for, in volts.
+pub const MAX_DROOP_DEPTH: f64 = 0.15;
+
+/// Lowest slew-rate derating factor a plan may ask for. The VR always
+/// retains at least this fraction of its nominal slew rate, so a full-range
+/// transition still completes within a handful of control periods.
+pub const MIN_SLEW_DERATE: f64 = 0.25;
+
+/// Most ticks a broadcast-delay episode may lag the global-voltage
+/// schedule by.
+pub const MAX_LINK_DELAY_TICKS: u32 = 8;
+
+/// Start probability and duration for one fault class.
+///
+/// Each control quantum rolls an independent start; a success keeps the
+/// fault active for the next `duration_quanta` quanta (overlapping starts
+/// simply extend the active window — the newest start supplies the episode
+/// magnitude).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpisodeSpec {
+    /// Probability in `[0, 1]` that a new episode starts at a given quantum.
+    pub rate: f64,
+    /// Length of one episode in control quanta (clamped to
+    /// [`MAX_EPISODE_QUANTA`]; 0 disables the class entirely).
+    pub duration_quanta: u32,
+}
+
+impl EpisodeSpec {
+    /// A spec that never fires.
+    pub const OFF: EpisodeSpec = EpisodeSpec {
+        rate: 0.0,
+        duration_quanta: 0,
+    };
+
+    /// A spec starting with probability `rate` and running for `quanta`.
+    pub const fn new(rate: f64, quanta: u32) -> Self {
+        EpisodeSpec {
+            rate,
+            duration_quanta: quanta,
+        }
+    }
+
+    /// True when this spec can never produce an episode.
+    pub fn is_off(&self) -> bool {
+        self.rate <= 0.0 || self.duration_quanta == 0
+    }
+
+    fn check(&self, what: &str) {
+        assert!(
+            self.rate.is_finite() && (0.0..=1.0).contains(&self.rate),
+            "{what}: episode rate {} outside [0, 1]",
+            self.rate
+        );
+    }
+}
+
+/// A complete, seeded description of the faults one run is subjected to.
+///
+/// Global points (sensor, VR) perturb the package-level control loop; the
+/// per-domain points (link, controller) roll independently for every
+/// domain index, so a 40-chiplet run sees proportionally more of them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Root seed. Two runs with equal plans are byte-identical.
+    pub seed: u64,
+    /// Mean-one multiplicative noise on the package power sensor.
+    pub sensor_noise: EpisodeSpec,
+    /// Sensor output frozen at its last pre-fault reading.
+    pub sensor_stuck: EpisodeSpec,
+    /// Sensor output dropped to zero (reads as no load).
+    pub sensor_dropout: EpisodeSpec,
+    /// Instantaneous droop impulse on the global VR output.
+    pub vr_droop: EpisodeSpec,
+    /// Global VR slew rate derated (setpoints chased more slowly).
+    pub vr_slew_derate: EpisodeSpec,
+    /// Per-domain: global-voltage broadcast delivered late.
+    pub link_delay: EpisodeSpec,
+    /// Per-domain: global-voltage broadcast lost (last good value reused).
+    pub link_loss: EpisodeSpec,
+    /// Per-domain: domain controller ignores priority-register writes.
+    pub ctl_stuck: EpisodeSpec,
+    /// Per-domain: local controllers silent (ratios frozen).
+    pub ctl_silent: EpisodeSpec,
+    /// Noise amplitude `a` in `reading * (1 ± a)`; at most
+    /// [`MAX_NOISE_AMPLITUDE`].
+    pub noise_amplitude: f64,
+    /// Deepest droop impulse in volts; at most [`MAX_DROOP_DEPTH`]. Each
+    /// episode draws its depth uniformly from `(0, droop_depth]`.
+    pub droop_depth: f64,
+    /// Floor of the slew derating factor; at least [`MIN_SLEW_DERATE`].
+    /// Each episode draws its factor uniformly from `[slew_floor, 1)`.
+    pub slew_floor: f64,
+    /// Upper bound on broadcast delay in ticks; at most
+    /// [`MAX_LINK_DELAY_TICKS`]. Each episode draws from `1..=this`.
+    pub delay_ticks: u32,
+}
+
+impl FaultPlan {
+    /// A plan with every injection point disabled. Attaching it still arms
+    /// the degradation layer (watchdogs run), which makes it useful for
+    /// measuring the overhead of the failsafe machinery itself.
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            sensor_noise: EpisodeSpec::OFF,
+            sensor_stuck: EpisodeSpec::OFF,
+            sensor_dropout: EpisodeSpec::OFF,
+            vr_droop: EpisodeSpec::OFF,
+            vr_slew_derate: EpisodeSpec::OFF,
+            link_delay: EpisodeSpec::OFF,
+            link_loss: EpisodeSpec::OFF,
+            ctl_stuck: EpisodeSpec::OFF,
+            ctl_silent: EpisodeSpec::OFF,
+            noise_amplitude: 0.0,
+            droop_depth: 0.0,
+            slew_floor: 1.0,
+            delay_ticks: 1,
+        }
+    }
+
+    /// Rare, short, mild faults — a healthy part late in life.
+    pub fn light(seed: u64) -> Self {
+        FaultPlan {
+            sensor_noise: EpisodeSpec::new(0.002, 8),
+            sensor_stuck: EpisodeSpec::new(0.0005, 8),
+            vr_slew_derate: EpisodeSpec::new(0.001, 16),
+            link_loss: EpisodeSpec::new(0.001, 4),
+            noise_amplitude: 0.1,
+            slew_floor: 0.5,
+            ..FaultPlan::quiet(seed)
+        }
+    }
+
+    /// Every fault class active at rates that exercise all three health
+    /// states and the emergency throttle within a few milliseconds.
+    pub fn moderate(seed: u64) -> Self {
+        FaultPlan {
+            sensor_noise: EpisodeSpec::new(0.004, 12),
+            sensor_stuck: EpisodeSpec::new(0.002, 24),
+            sensor_dropout: EpisodeSpec::new(0.001, 24),
+            vr_droop: EpisodeSpec::new(0.001, 1),
+            vr_slew_derate: EpisodeSpec::new(0.002, 24),
+            link_delay: EpisodeSpec::new(0.002, 8),
+            link_loss: EpisodeSpec::new(0.002, 8),
+            ctl_stuck: EpisodeSpec::new(0.001, 32),
+            ctl_silent: EpisodeSpec::new(0.001, 32),
+            noise_amplitude: 0.2,
+            droop_depth: 0.08,
+            slew_floor: 0.4,
+            delay_ticks: 4,
+            ..FaultPlan::quiet(seed)
+        }
+    }
+
+    /// Maximum legal rates and magnitudes — the stress case the acceptance
+    /// bound is checked against.
+    pub fn severe(seed: u64) -> Self {
+        FaultPlan {
+            sensor_noise: EpisodeSpec::new(0.01, 24),
+            sensor_stuck: EpisodeSpec::new(0.006, 48),
+            sensor_dropout: EpisodeSpec::new(0.004, 48),
+            vr_droop: EpisodeSpec::new(0.003, 1),
+            vr_slew_derate: EpisodeSpec::new(0.006, 48),
+            link_delay: EpisodeSpec::new(0.006, 16),
+            link_loss: EpisodeSpec::new(0.006, 16),
+            ctl_stuck: EpisodeSpec::new(0.003, 64),
+            ctl_silent: EpisodeSpec::new(0.003, 64),
+            noise_amplitude: MAX_NOISE_AMPLITUDE,
+            droop_depth: MAX_DROOP_DEPTH,
+            slew_floor: MIN_SLEW_DERATE,
+            delay_ticks: MAX_LINK_DELAY_TICKS,
+            ..FaultPlan::quiet(seed)
+        }
+    }
+
+    /// Look a preset up by its CLI name.
+    pub fn preset(name: &str, seed: u64) -> Option<FaultPlan> {
+        match name {
+            "quiet" => Some(FaultPlan::quiet(seed)),
+            "light" => Some(FaultPlan::light(seed)),
+            "moderate" => Some(FaultPlan::moderate(seed)),
+            "severe" => Some(FaultPlan::severe(seed)),
+            _ => None,
+        }
+    }
+
+    /// Check every rate and magnitude against the crate-level bounds.
+    ///
+    /// # Panics
+    /// Panics (with the offending field named) when a rate leaves `[0, 1]`
+    /// or a magnitude exceeds its documented ceiling.
+    pub fn validate(&self) {
+        self.sensor_noise.check("sensor_noise");
+        self.sensor_stuck.check("sensor_stuck");
+        self.sensor_dropout.check("sensor_dropout");
+        self.vr_droop.check("vr_droop");
+        self.vr_slew_derate.check("vr_slew_derate");
+        self.link_delay.check("link_delay");
+        self.link_loss.check("link_loss");
+        self.ctl_stuck.check("ctl_stuck");
+        self.ctl_silent.check("ctl_silent");
+        assert!(
+            self.noise_amplitude >= 0.0 && self.noise_amplitude <= MAX_NOISE_AMPLITUDE,
+            "noise_amplitude {} outside [0, {MAX_NOISE_AMPLITUDE}]",
+            self.noise_amplitude
+        );
+        assert!(
+            self.droop_depth >= 0.0 && self.droop_depth <= MAX_DROOP_DEPTH,
+            "droop_depth {} outside [0, {MAX_DROOP_DEPTH}]",
+            self.droop_depth
+        );
+        assert!(
+            self.slew_floor >= MIN_SLEW_DERATE && self.slew_floor <= 1.0,
+            "slew_floor {} outside [{MIN_SLEW_DERATE}, 1]",
+            self.slew_floor
+        );
+        assert!(
+            self.delay_ticks >= 1 && self.delay_ticks <= MAX_LINK_DELAY_TICKS,
+            "delay_ticks {} outside [1, {MAX_LINK_DELAY_TICKS}]",
+            self.delay_ticks
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for name in ["quiet", "light", "moderate", "severe"] {
+            FaultPlan::preset(name, 7).expect("known preset").validate();
+        }
+        assert!(FaultPlan::preset("loud", 7).is_none());
+    }
+
+    #[test]
+    fn quiet_plan_is_fully_off() {
+        let p = FaultPlan::quiet(3);
+        for spec in [
+            p.sensor_noise,
+            p.sensor_stuck,
+            p.sensor_dropout,
+            p.vr_droop,
+            p.vr_slew_derate,
+            p.link_delay,
+            p.link_loss,
+            p.ctl_stuck,
+            p.ctl_silent,
+        ] {
+            assert!(spec.is_off());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "noise_amplitude")]
+    fn oversized_noise_rejected() {
+        let p = FaultPlan {
+            noise_amplitude: 0.9,
+            ..FaultPlan::quiet(0)
+        };
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "slew_floor")]
+    fn slew_floor_below_minimum_rejected() {
+        let p = FaultPlan {
+            slew_floor: 0.01,
+            ..FaultPlan::quiet(0)
+        };
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "rate")]
+    fn out_of_range_rate_rejected() {
+        let p = FaultPlan {
+            sensor_stuck: EpisodeSpec::new(1.5, 4),
+            ..FaultPlan::quiet(0)
+        };
+        p.validate();
+    }
+}

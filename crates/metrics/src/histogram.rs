@@ -83,13 +83,52 @@ impl PowerHistogram {
         }
     }
 
-    /// Fraction of samples in bin `i`.
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Samples in bin `i`. Out-of-range samples are *saturated* into the
+    /// edge bins (underflow into the first, overflow into the last) rather
+    /// than silently dropped — a distribution skewed off-scale by a fault
+    /// still shows its mass at the edge it left through. The saturated
+    /// counts remain separately visible via [`PowerHistogram::underflow`]
+    /// and [`PowerHistogram::overflow`].
+    pub fn count(&self, i: usize) -> u64 {
+        let mut c = self.counts[i];
+        if i == 0 {
+            c += self.under;
+        }
+        if i + 1 == self.counts.len() {
+            c += self.over;
+        }
+        c
+    }
+
+    /// Fraction of samples in bin `i` (saturated, see
+    /// [`PowerHistogram::count`]).
     pub fn fraction(&self, i: usize) -> f64 {
         if self.total == 0 {
             0.0
         } else {
-            self.counts[i] as f64 / self.total as f64
+            self.count(i) as f64 / self.total as f64
         }
+    }
+
+    /// Samples below the histogram's lower bound (saturated into bin 0).
+    pub fn underflow(&self) -> u64 {
+        self.under
+    }
+
+    /// Samples at or above the histogram's upper bound (saturated into the
+    /// last bin).
+    pub fn overflow(&self) -> u64 {
+        self.over
+    }
+
+    /// Total out-of-range samples, either side.
+    pub fn saturated(&self) -> u64 {
+        self.under + self.over
     }
 
     /// Fraction of samples above the histogram's upper bound.
@@ -102,7 +141,11 @@ impl PowerHistogram {
     }
 
     /// Fraction of samples at or above `threshold` (threshold is snapped to
-    /// a bin edge; samples above `hi` always count).
+    /// a bin edge). Overflow samples always count — they are at least `hi`;
+    /// underflow samples never do — they are below `lo`, hence below any
+    /// meaningful threshold (the edge-bin saturation of
+    /// [`PowerHistogram::count`] is display-side only and does not blur
+    /// this tail statistic).
     pub fn fraction_at_or_above(&self, threshold: f64) -> f64 {
         if self.total == 0 {
             return 0.0;
@@ -184,6 +227,40 @@ mod tests {
         // Mean is exact, not bin-quantized, and counts the outliers.
         assert_close!(h.mean(), 18.75, 1e-12);
         assert_eq!(PowerHistogram::new(0.0, 1.0, 1).mean(), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_samples_saturate_into_edge_bins() {
+        let mut h = PowerHistogram::new(10.0, 20.0, 2);
+        h.push(5.0); // under
+        h.push(15.0); // bin 1
+        h.push(25.0); // over
+        h.push(30.0); // over
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.saturated(), 3);
+        // Every sample lands in a visible bucket: 5.0 in bin 0, the two
+        // overflows folded into bin 1 alongside 15.0.
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 3);
+        assert_eq!(h.count(0) + h.count(1), h.total());
+        assert_close!(h.fraction(0), 0.25, 1e-12);
+        assert_close!(h.fraction(1), 0.75, 1e-12);
+        // A single-bin histogram absorbs both sides.
+        let mut one = PowerHistogram::new(0.0, 1.0, 1);
+        one.push(-2.0);
+        one.push(3.0);
+        assert_eq!(one.count(0), 2);
+        assert_close!(one.fraction(0), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn saturated_samples_render_in_table() {
+        let mut h = PowerHistogram::new(0.0, 10.0, 2);
+        h.push(7.0);
+        h.push(50.0); // off-scale high: shown in the last bucket
+        let rendered = h.to_table("demo").render();
+        assert!(rendered.contains("100.0%"), "{rendered}");
     }
 
     #[test]

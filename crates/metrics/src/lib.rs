@@ -11,18 +11,24 @@
 //! [`suite`] aggregates those per-combo numbers across the Table 3 test
 //! suite the way the paper reports them (arithmetic mean of per-combo
 //! values, e.g. "HCAPP averages a PPE of 93.9%").
+//!
+//! [`resilience`] extends the axes to fault-injected runs: over-cap episode
+//! structure (time over cap, recovery time) and the PPE cost of graceful
+//! degradation versus a clean run.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod histogram;
 pub mod ppe;
+pub mod resilience;
 pub mod speedup;
 pub mod suite;
 pub mod violation;
 
 pub use histogram::{percentiles, PowerHistogram};
 pub use ppe::provisioned_power_efficiency;
+pub use resilience::{over_cap, ppe_drop, OverCapReport};
 pub use speedup::{component_speedup, eq3_total_speedup};
 pub use suite::{ComboRow, SuiteSummary};
 pub use violation::{classify, Violation};

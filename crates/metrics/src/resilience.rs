@@ -1,0 +1,145 @@
+//! Resilience metrics for fault-injected runs.
+//!
+//! The fault campaign's question is not "what is the mean power" but "when
+//! a fault pushes the package over its cap, how long does it stay there and
+//! how fast does the degraded-mode controller pull it back". [`over_cap`]
+//! scans a fixed-step power trace for over-cap *episodes* (maximal runs of
+//! consecutive samples above the cap) and reports their count, total mass
+//! and worst-case length — the longest episode is exactly the quantity the
+//! acceptance bound ("never above `P_spec` beyond the violation window")
+//! constrains. [`ppe_drop`] expresses what graceful degradation costs: the
+//! PPE a scheme gives up under a fault plan relative to its clean run.
+
+use hcapp_sim_core::series::TimeSeries;
+use hcapp_sim_core::time::SimDuration;
+
+/// Episode structure of a power trace relative to a cap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverCapReport {
+    /// Total samples scanned.
+    pub samples: usize,
+    /// Samples strictly above the cap.
+    pub samples_over: usize,
+    /// Maximal runs of consecutive over-cap samples.
+    pub episodes: usize,
+    /// Length of the longest episode.
+    pub longest: SimDuration,
+    /// Time from the start of the first episode until the trace first
+    /// returns under the cap — the recovery time of the first fault that
+    /// actually bit. `None` when the trace never goes over (or never
+    /// comes back).
+    pub first_recovery: Option<SimDuration>,
+}
+
+impl OverCapReport {
+    /// Fraction of simulated time spent above the cap.
+    pub fn over_fraction(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.samples_over as f64 / self.samples as f64
+        }
+    }
+
+    /// Mean episode length (zero when there were none).
+    pub fn mean_episode(&self, dt: SimDuration) -> SimDuration {
+        if self.episodes == 0 {
+            SimDuration::ZERO
+        } else {
+            dt * (self.samples_over / self.episodes) as u64
+        }
+    }
+}
+
+/// Scan `trace` for runs of consecutive samples strictly above `cap`
+/// (watts). The trace's own sample interval scales the durations.
+pub fn over_cap(trace: &TimeSeries, cap: f64) -> OverCapReport {
+    let dt = trace.dt();
+    let mut report = OverCapReport {
+        samples: trace.len(),
+        samples_over: 0,
+        episodes: 0,
+        longest: SimDuration::ZERO,
+        first_recovery: None,
+    };
+    let mut run = 0u64;
+    for &v in trace.values() {
+        if v > cap {
+            if run == 0 {
+                report.episodes += 1;
+            }
+            run += 1;
+            report.samples_over += 1;
+            let len = dt * run;
+            if len > report.longest {
+                report.longest = len;
+            }
+        } else {
+            if run > 0 && report.first_recovery.is_none() {
+                report.first_recovery = Some(dt * run);
+            }
+            run = 0;
+        }
+    }
+    report
+}
+
+/// PPE given up under faults: `clean_ppe - faulted_ppe`, in PPE points.
+/// Positive means the faulted run is less efficient (the expected direction
+/// — graceful degradation trades PPE for cap safety); a small negative
+/// value just means the fault plan did not bite.
+pub fn ppe_drop(clean_ppe: f64, faulted_ppe: f64) -> f64 {
+    clean_ppe - faulted_ppe
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(vals: &[f64]) -> TimeSeries {
+        TimeSeries::from_values(SimDuration::from_micros(1), vals.to_vec())
+    }
+
+    #[test]
+    fn clean_trace_has_no_episodes() {
+        let r = over_cap(&series(&[80.0, 82.0, 79.0]), 100.0);
+        assert_eq!(r.episodes, 0);
+        assert_eq!(r.samples_over, 0);
+        assert_eq!(r.longest, SimDuration::ZERO);
+        assert_eq!(r.first_recovery, None);
+        assert_eq!(r.over_fraction(), 0.0);
+    }
+
+    #[test]
+    fn episodes_counted_and_measured() {
+        //                cap=100:  -    over over  -    over  -
+        let r = over_cap(&series(&[90.0, 110.0, 105.0, 95.0, 120.0, 80.0]), 100.0);
+        assert_eq!(r.episodes, 2);
+        assert_eq!(r.samples_over, 3);
+        assert_eq!(r.longest, SimDuration::from_micros(2));
+        assert_eq!(r.first_recovery, Some(SimDuration::from_micros(2)));
+        assert!((r.over_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(r.mean_episode(SimDuration::from_micros(1)), SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn trailing_episode_counts_toward_longest() {
+        let r = over_cap(&series(&[90.0, 120.0, 120.0, 120.0]), 100.0);
+        assert_eq!(r.episodes, 1);
+        assert_eq!(r.longest, SimDuration::from_micros(3));
+        // Never recovered within the trace.
+        assert_eq!(r.first_recovery, None);
+    }
+
+    #[test]
+    fn exactly_at_cap_is_not_over() {
+        let r = over_cap(&series(&[100.0, 100.0]), 100.0);
+        assert_eq!(r.samples_over, 0);
+    }
+
+    #[test]
+    fn ppe_drop_direction() {
+        assert!((ppe_drop(0.93, 0.88) - 0.05).abs() < 1e-12);
+        assert!(ppe_drop(0.90, 0.92) < 0.0);
+    }
+}

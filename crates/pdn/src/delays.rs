@@ -141,6 +141,57 @@ impl TransitionBudget {
     }
 }
 
+/// A transient fault on the global-voltage broadcast for one domain, as
+/// decided by a fault plan (`hcapp-faults`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFault {
+    /// The schedule arrives late: tick `i` of the quantum sees the value
+    /// scheduled `ticks` earlier (floored at the quantum start).
+    Delay {
+        /// Lag in simulation ticks.
+        ticks: u32,
+    },
+    /// The broadcast for this quantum is lost entirely; the receiver holds
+    /// the last value it heard.
+    Loss,
+}
+
+/// The receive side of the global-voltage "broadcast": how one domain reads
+/// the per-quantum schedule the coordinator precomputed from the global VR.
+///
+/// Healthy operation is a zero-cost passthrough (`sched[i]`). Under a
+/// [`LinkFault`] the link degrades the way a real voltage-observation path
+/// would: delay re-reads an earlier slot, loss holds the last good sample —
+/// never an invented value, so the result is always something the VR
+/// actually output (and hence in its legal range).
+#[derive(Debug, Clone, Default)]
+pub struct BroadcastLink {
+    last_good: Option<f64>,
+}
+
+impl BroadcastLink {
+    /// A link that has heard nothing yet.
+    pub fn new() -> Self {
+        BroadcastLink::default()
+    }
+
+    /// Read slot `i` of this quantum's schedule through the link.
+    pub fn receive(&mut self, sched: &[f64], i: usize, fault: Option<LinkFault>) -> f64 {
+        let v = match fault {
+            None => sched[i],
+            Some(LinkFault::Delay { ticks }) => sched[i.saturating_sub(ticks as usize)],
+            Some(LinkFault::Loss) => return self.last_good.unwrap_or(sched[i]),
+        };
+        self.last_good = Some(v);
+        v
+    }
+
+    /// Forget the held sample (start-of-run reset).
+    pub fn reset(&mut self) {
+        self.last_good = None;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,5 +241,35 @@ mod tests {
     #[should_panic(expected = "inverted")]
     fn inverted_range_panics() {
         let _ = DelayRange::new(10, 5);
+    }
+
+    #[test]
+    fn healthy_link_is_passthrough() {
+        let sched = [0.9, 0.91, 0.92, 0.93];
+        let mut link = BroadcastLink::new();
+        for (i, &v) in sched.iter().enumerate() {
+            assert_eq!(link.receive(&sched, i, None), v);
+        }
+    }
+
+    #[test]
+    fn delayed_link_rereads_earlier_slots() {
+        let sched = [0.9, 0.91, 0.92, 0.93];
+        let mut link = BroadcastLink::new();
+        let fault = Some(LinkFault::Delay { ticks: 2 });
+        assert_eq!(link.receive(&sched, 0, fault), 0.9); // floored at slot 0
+        assert_eq!(link.receive(&sched, 3, fault), 0.91);
+    }
+
+    #[test]
+    fn lossy_link_holds_last_good_value() {
+        let sched = [0.9, 0.95, 1.0, 1.05];
+        let mut link = BroadcastLink::new();
+        // Nothing heard yet: loss falls back to the live schedule.
+        assert_eq!(link.receive(&sched, 0, Some(LinkFault::Loss)), 0.9);
+        assert_eq!(link.receive(&sched, 1, None), 0.95);
+        assert_eq!(link.receive(&sched, 3, Some(LinkFault::Loss)), 0.95);
+        link.reset();
+        assert_eq!(link.receive(&sched, 2, Some(LinkFault::Loss)), 1.0);
     }
 }

@@ -29,6 +29,10 @@ pub struct VoltageRegulator {
     target: Volt,
     /// Pending setpoints not yet past the response delay.
     pending: VecDeque<(SimTime, Volt)>,
+    /// Transient slew-rate derating in (0, 1]; 1.0 = healthy. Set by fault
+    /// injection (an aging or thermally stressed VR chases setpoints more
+    /// slowly) and cleared when the episode ends.
+    slew_derate: f64,
 }
 
 impl VoltageRegulator {
@@ -64,6 +68,7 @@ impl VoltageRegulator {
             output: initial,
             target: initial,
             pending: VecDeque::new(),
+            slew_derate: 1.0,
         }
     }
 
@@ -104,7 +109,7 @@ impl VoltageRegulator {
                 break;
             }
         }
-        let max_delta = self.slew_volts_per_sec * dt.as_secs_f64();
+        let max_delta = self.slew_volts_per_sec * self.slew_derate * dt.as_secs_f64();
         let err = self.target.value() - self.output.value();
         let delta = err.clamp(-max_delta, max_delta);
         self.output = Volt::new(self.output.value() + delta).clamp(self.v_min, self.v_max);
@@ -114,6 +119,34 @@ impl VoltageRegulator {
     #[inline]
     pub fn output(&self) -> Volt {
         self.output
+    }
+
+    /// Set the transient slew derating factor (1.0 = healthy). Values at or
+    /// below zero are pinned to a small positive floor so the regulator
+    /// always makes *some* progress toward its target.
+    pub fn set_slew_derate(&mut self, factor: f64) {
+        self.slew_derate = if factor.is_finite() {
+            factor.clamp(1e-3, 1.0)
+        } else {
+            1.0
+        };
+    }
+
+    /// The active slew derating factor.
+    #[inline]
+    pub fn slew_derate(&self) -> f64 {
+        self.slew_derate
+    }
+
+    /// Apply an instantaneous droop of `dv` volts to the output (a load
+    /// step or fault pulled the rail down). The output is clamped to the
+    /// legal range and then recovers at the (possibly derated) slew rate as
+    /// `step` keeps chasing the setpoint; negative or non-finite `dv` is
+    /// ignored.
+    pub fn droop(&mut self, dv: f64) {
+        if dv.is_finite() && dv > 0.0 {
+            self.output = Volt::new(self.output.value() - dv).clamp(self.v_min, self.v_max);
+        }
     }
 
     /// The currently-active (matured) target.
@@ -248,5 +281,63 @@ mod tests {
     #[should_panic(expected = "initial voltage")]
     fn initial_out_of_range_panics() {
         let _ = VoltageRegulator::ideal(Volt::new(0.6), Volt::new(1.3), Volt::new(1.5));
+    }
+
+    #[test]
+    fn droop_drops_then_recovers_at_slew_rate() {
+        // 1 V/µs slew, output settled at 1.0 V.
+        let mut vr = VoltageRegulator::new(
+            Volt::new(0.6),
+            Volt::new(1.3),
+            Volt::new(1.0),
+            SimDuration::ZERO,
+            1e6,
+            1.0,
+        );
+        vr.droop(0.2);
+        assert_close!(vr.output().value(), 0.8, 1e-9);
+        // Recovery toward the 1.0 V target: 0.1 V per 100 ns step.
+        vr.step(SimTime::ZERO, ns(100));
+        assert_close!(vr.output().value(), 0.9, 1e-9);
+        vr.step(SimTime::from_nanos(100), ns(100));
+        assert_close!(vr.output().value(), 1.0, 1e-9);
+        // Negative and non-finite droops are ignored.
+        vr.droop(-0.5);
+        vr.droop(f64::NAN);
+        assert_close!(vr.output().value(), 1.0, 1e-9);
+    }
+
+    #[test]
+    fn droop_clamps_to_range_floor() {
+        let mut vr = VoltageRegulator::ideal(Volt::new(0.6), Volt::new(1.3), Volt::new(0.7));
+        vr.droop(5.0);
+        assert_close!(vr.output().value(), 0.6, 1e-9);
+    }
+
+    #[test]
+    fn slew_derate_slows_transitions() {
+        let mut vr = VoltageRegulator::new(
+            Volt::new(0.6),
+            Volt::new(1.3),
+            Volt::new(0.9),
+            SimDuration::ZERO,
+            1e6,
+            1.0,
+        );
+        vr.set_slew_derate(0.5);
+        assert_close!(vr.slew_derate(), 0.5, 1e-12);
+        vr.set_target(SimTime::ZERO, Volt::new(1.2));
+        // Nominal 0.1 V per 100 ns step, derated to 0.05 V.
+        vr.step(SimTime::ZERO, ns(100));
+        assert_close!(vr.output().value(), 0.95, 1e-9);
+        // Clearing the derate restores the nominal rate.
+        vr.set_slew_derate(1.0);
+        vr.step(SimTime::from_nanos(100), ns(100));
+        assert_close!(vr.output().value(), 1.05, 1e-9);
+        // Garbage factors are pinned to a usable range.
+        vr.set_slew_derate(-3.0);
+        assert!(vr.slew_derate() > 0.0);
+        vr.set_slew_derate(f64::INFINITY);
+        assert_close!(vr.slew_derate(), 1.0, 1e-12);
     }
 }

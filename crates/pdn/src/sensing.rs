@@ -10,6 +10,24 @@
 use hcapp_sim_core::units::Watt;
 use std::collections::VecDeque;
 
+/// A transient fault on the sensor output, as injected by a fault plan
+/// (`hcapp-faults` decides *when*; this module only models *what* the
+/// controller then sees).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SensorFault {
+    /// Mean-one multiplicative noise: the reading is scaled by `factor`
+    /// (drawn per control quantum by the injector).
+    Noise {
+        /// Multiplier applied to the true reading.
+        factor: f64,
+    },
+    /// The output register froze: the controller keeps seeing the last
+    /// pre-fault reading no matter what the package does.
+    StuckAt,
+    /// The sense line dropped out: the controller reads zero load.
+    Dropout,
+}
+
 /// A delayed, optionally quantized power sensor.
 #[derive(Debug, Clone)]
 pub struct PowerSensor {
@@ -76,6 +94,22 @@ impl PowerSensor {
         self.latest_output = Watt::ZERO;
     }
 
+    /// What the controller sees when `fault` corrupts a true reading of
+    /// `reading`, given `held` — the last reading delivered before the
+    /// fault began (what a stuck output register still holds).
+    ///
+    /// This is a pure transform so the coordinator can corrupt the value a
+    /// controller consumes without disturbing the sensor's internal delay
+    /// line (the physical pipeline keeps tracking the true power and is
+    /// intact again the tick the fault clears).
+    pub fn faulted_reading(reading: Watt, fault: SensorFault, held: Watt) -> Watt {
+        match fault {
+            SensorFault::Noise { factor } => Watt::new(reading.value() * factor),
+            SensorFault::StuckAt => held,
+            SensorFault::Dropout => Watt::ZERO,
+        }
+    }
+
     fn quantize(&self, p: Watt) -> Watt {
         if self.resolution > 0.0 {
             Watt::new((p.value() / self.resolution).round() * self.resolution)
@@ -137,5 +171,26 @@ mod tests {
     fn table1_default_has_one_tick_delay() {
         let s = PowerSensor::table1_default();
         assert_eq!(s.delay_ticks(), 1);
+    }
+
+    #[test]
+    fn faulted_reading_transforms() {
+        let truth = Watt::new(80.0);
+        let held = Watt::new(64.0);
+        let noisy = PowerSensor::faulted_reading(truth, SensorFault::Noise { factor: 1.25 }, held);
+        assert_close!(noisy.value(), 100.0, 1e-12);
+        let stuck = PowerSensor::faulted_reading(truth, SensorFault::StuckAt, held);
+        assert_close!(stuck.value(), 64.0, 1e-12);
+        let dead = PowerSensor::faulted_reading(truth, SensorFault::Dropout, held);
+        assert_close!(dead.value(), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn faulted_reading_leaves_sensor_state_alone() {
+        let mut s = PowerSensor::new(1, 0.0);
+        s.sample(Watt::new(10.0));
+        let before = s.read();
+        let _ = PowerSensor::faulted_reading(Watt::new(99.0), SensorFault::Dropout, before);
+        assert_close!(s.read().value(), before.value(), 1e-12);
     }
 }

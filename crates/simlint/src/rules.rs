@@ -16,6 +16,7 @@ pub const LIB_CRATES: &[&str] = &[
     "cpu-sim",
     "gpu-sim",
     "accel-sim",
+    "faults",
     "metrics",
     "telemetry",
     "workloads",

@@ -72,6 +72,49 @@ pub enum TraceEvent {
         /// The software priority register value.
         priority: f64,
     },
+    /// A fault plan fired at this quantum boundary (`hcapp faults` runs).
+    FaultInjected {
+        /// Quantum boundary the fault is active at.
+        t: SimTime,
+        /// Injection point name (`sensor_noise`, `sensor_stuck`,
+        /// `sensor_dropout`, `vr_droop`, `vr_slew_derate`, `link_delay`,
+        /// `link_loss`, `ctl_stuck`, `ctl_silent`).
+        point: &'static str,
+        /// Domain index for per-domain points; `None` for package-global
+        /// ones (serializes to JSON `null`).
+        domain: Option<u32>,
+        /// Point-specific magnitude (noise factor, droop volts, slew
+        /// factor, delay ticks); NaN when the point has none.
+        magnitude: f64,
+    },
+    /// A degraded-mode health state machine changed state.
+    HealthTransition {
+        /// Quantum boundary of the transition.
+        t: SimTime,
+        /// What is being watched: `sensor` (package power sensing) or
+        /// `domain` (a domain's controller heartbeat).
+        subject: &'static str,
+        /// Domain index for `domain` subjects; `None` for the sensor.
+        domain: Option<u32>,
+        /// State left (`healthy`, `stale`, `faulted`).
+        from: &'static str,
+        /// State entered.
+        to: &'static str,
+    },
+    /// The package-level emergency throttle engaged or released.
+    EmergencyThrottle {
+        /// Quantum boundary of the change.
+        t: SimTime,
+        /// True on engagement, false on release.
+        engaged: bool,
+        /// The power estimate (sensed or worst-case) that drove the
+        /// decision.
+        estimate: Watt,
+        /// The target (`P_SPEC`) the estimate was judged against.
+        target: Watt,
+        /// The domain-ratio scale now in force (1.0 once fully released).
+        scale: f64,
+    },
     /// One level-3 local controller decision at a quantum boundary.
     LocalDecision {
         /// Quantum boundary.
@@ -91,14 +134,18 @@ pub enum TraceEvent {
     },
 }
 
-/// The five event kinds, in canonical order (used by the schema header and
-/// the validators).
+/// The event kinds, in canonical order (used by the schema header and
+/// the validators). The first five fire on every traced run; the last
+/// three only when a fault plan and its degradation layer are active.
 pub const EVENT_KINDS: &[&str] = &[
     "retarget",
     "global_pid",
     "vr_slew",
     "domain_scale",
     "local_decision",
+    "fault_injected",
+    "health_transition",
+    "emergency_throttle",
 ];
 
 impl TraceEvent {
@@ -109,7 +156,10 @@ impl TraceEvent {
             | TraceEvent::GlobalPidStep { t, .. }
             | TraceEvent::VrSlew { t, .. }
             | TraceEvent::DomainScale { t, .. }
-            | TraceEvent::LocalDecision { t, .. } => *t,
+            | TraceEvent::LocalDecision { t, .. }
+            | TraceEvent::FaultInjected { t, .. }
+            | TraceEvent::HealthTransition { t, .. }
+            | TraceEvent::EmergencyThrottle { t, .. } => *t,
         }
     }
 
@@ -121,6 +171,9 @@ impl TraceEvent {
             TraceEvent::VrSlew { .. } => "vr_slew",
             TraceEvent::DomainScale { .. } => "domain_scale",
             TraceEvent::LocalDecision { .. } => "local_decision",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::HealthTransition { .. } => "health_transition",
+            TraceEvent::EmergencyThrottle { .. } => "emergency_throttle",
         }
     }
 }
@@ -168,6 +221,26 @@ mod tests {
                 up_threshold: 0.6,
                 down_threshold: 0.3,
                 mean_ratio: 0.95,
+            },
+            TraceEvent::FaultInjected {
+                t: SimTime::from_micros(6),
+                point: "sensor_noise",
+                domain: None,
+                magnitude: 1.12,
+            },
+            TraceEvent::HealthTransition {
+                t: SimTime::from_micros(7),
+                subject: "domain",
+                domain: Some(2),
+                from: "healthy",
+                to: "stale",
+            },
+            TraceEvent::EmergencyThrottle {
+                t: SimTime::from_micros(8),
+                engaged: true,
+                estimate: Watt::new(112.0),
+                target: Watt::new(84.0),
+                scale: 0.7,
             },
         ];
         let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();

@@ -111,6 +111,41 @@ pub fn event_line(e: &TraceEvent) -> String {
             .num("down_threshold", *down_threshold)
             .num("mean_ratio", *mean_ratio)
             .finish(),
+        TraceEvent::FaultInjected {
+            point,
+            domain,
+            magnitude,
+            ..
+        } => base
+            .str("point", point)
+            // A global fault has no domain; NaN serializes to null.
+            .num("domain", domain.map_or(f64::NAN, f64::from))
+            .num("magnitude", *magnitude)
+            .finish(),
+        TraceEvent::HealthTransition {
+            subject,
+            domain,
+            from,
+            to,
+            ..
+        } => base
+            .str("subject", subject)
+            .num("domain", domain.map_or(f64::NAN, f64::from))
+            .str("from", from)
+            .str("to", to)
+            .finish(),
+        TraceEvent::EmergencyThrottle {
+            engaged,
+            estimate,
+            target,
+            scale,
+            ..
+        } => base
+            .raw("engaged", if *engaged { "true" } else { "false" })
+            .num("estimate_w", estimate.value())
+            .num("target_w", target.value())
+            .num("scale", *scale)
+            .finish(),
     }
 }
 
@@ -258,6 +293,26 @@ mod tests {
                 down_threshold: 0.3,
                 mean_ratio: 0.9,
             },
+            TraceEvent::FaultInjected {
+                t: SimTime::from_micros(101),
+                point: "link_delay",
+                domain: Some(1),
+                magnitude: 3.0,
+            },
+            TraceEvent::HealthTransition {
+                t: SimTime::from_micros(102),
+                subject: "sensor",
+                domain: None,
+                from: "stale",
+                to: "faulted",
+            },
+            TraceEvent::EmergencyThrottle {
+                t: SimTime::from_micros(103),
+                engaged: true,
+                estimate: Watt::new(118.0),
+                target: Watt::new(84.0),
+                scale: 0.7,
+            },
         ]
     }
 
@@ -267,11 +322,11 @@ mod tests {
         let text = export(events.iter(), &[("scheme", "hcapp"), ("combo", "Hi-Hi")]);
         let report = validate(&text).unwrap();
         assert_eq!(report.version, VERSION);
-        assert_eq!(report.events, 5);
+        assert_eq!(report.events, 8);
         for k in EVENT_KINDS {
             assert_eq!(report.count(k), 1, "kind {k}");
         }
-        assert_eq!(report.last_t_ns, Some(100_000));
+        assert_eq!(report.last_t_ns, Some(103_000));
         // Header carries run metadata.
         let head = json::parse(text.lines().next().unwrap()).unwrap();
         assert_eq!(head.get("scheme").and_then(JsonValue::as_str), Some("hcapp"));
@@ -292,6 +347,31 @@ mod tests {
         assert!(line.contains("\"up_threshold\":null"));
         let v = json::parse(&line).unwrap();
         assert_eq!(v.get("down_threshold"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn fault_events_serialize_domains_and_flags() {
+        let global = TraceEvent::FaultInjected {
+            t: SimTime::ZERO,
+            point: "sensor_dropout",
+            domain: None,
+            magnitude: f64::NAN,
+        };
+        let line = event_line(&global);
+        assert!(line.contains("\"domain\":null"), "{line}");
+        assert!(line.contains("\"magnitude\":null"), "{line}");
+
+        let throttle = TraceEvent::EmergencyThrottle {
+            t: SimTime::ZERO,
+            engaged: false,
+            estimate: Watt::new(70.0),
+            target: Watt::new(84.0),
+            scale: 1.0,
+        };
+        let line = event_line(&throttle);
+        assert!(line.contains("\"engaged\":false"), "{line}");
+        // The line is still parseable JSON.
+        assert!(json::parse(&line).is_ok());
     }
 
     #[test]

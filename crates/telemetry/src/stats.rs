@@ -87,6 +87,15 @@ impl TraceStats {
     pub fn power_histogram(&self) -> &PowerHistogram {
         &self.hist
     }
+
+    /// Sensed-power samples outside the histogram range, saturated into its
+    /// edge buckets. Non-zero values mean the package spent control steps
+    /// below 0 W (impossible — a modeling bug) or above the generous
+    /// [`HIST_HI_W`] ceiling (a cap blow-through worth investigating, e.g.
+    /// under an unmitigated fault plan).
+    pub fn saturated_samples(&self) -> u64 {
+        self.hist.underflow() + self.hist.overflow()
+    }
 }
 
 impl Default for TraceStats {
@@ -139,5 +148,18 @@ mod tests {
     fn unknown_kind_counts_zero() {
         let s = TraceStats::new();
         assert_eq!(s.count("no_such_kind"), 0);
+    }
+
+    #[test]
+    fn out_of_range_power_saturates_into_edge_buckets() {
+        let mut s = TraceStats::new();
+        s.observe(&pid_step(0, 80.0, 84.0));
+        s.observe(&pid_step(100, 400.0, 84.0)); // beyond HIST_HI_W
+        assert_eq!(s.saturated_samples(), 1);
+        // The sample is not silently dropped: it still shapes the
+        // distribution (last bucket) and the count.
+        let h = s.power_histogram();
+        assert_eq!(h.total(), 2);
+        assert!(h.fraction(h.bins() - 1) > 0.0);
     }
 }

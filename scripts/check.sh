@@ -28,4 +28,7 @@ for kind in retarget global_pid vr_slew domain_scale local_decision; do
 done
 rm -f "$smoke"
 
+echo "==> hcapp faults smoke (executor determinism + cap bound)"
+cargo run --release -p hcapp-cli -q -- faults --seed 7 --check
+
 echo "==> all checks passed"
