@@ -1,7 +1,9 @@
-//! Serial vs chiplet-parallel executor across package sizes.
+//! Serial vs chiplet-parallel executor across package sizes, plus
+//! per-quantum vs batched dispatch on the fixed-baseline path (the one
+//! scheme with no per-quantum feedback, where batching engages).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use hcapp_bench::scaled_simulation;
+use hcapp_bench::{scaled_fixed_simulation, scaled_simulation};
 
 fn bench_executors(c: &mut Criterion) {
     let mut g = c.benchmark_group("executor_scaling_1ms");
@@ -13,6 +15,12 @@ fn bench_executors(c: &mut Criterion) {
         });
         g.bench_function(format!("parallel_{domains}domains"), |b| {
             b.iter(|| black_box(scaled_simulation(n_each, 1).run_parallel(4)))
+        });
+        g.bench_function(format!("parallel_batch1_{domains}domains"), |b| {
+            b.iter(|| black_box(scaled_fixed_simulation(n_each, 1, 1).run_parallel(4)))
+        });
+        g.bench_function(format!("parallel_batch32_{domains}domains"), |b| {
+            b.iter(|| black_box(scaled_fixed_simulation(n_each, 1, 32).run_parallel(4)))
         });
     }
     g.finish();

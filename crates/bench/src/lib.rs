@@ -45,3 +45,19 @@ pub fn scaled_simulation(n_each: usize, millis: u64) -> Simulation {
     );
     Simulation::new(sys, run)
 }
+
+/// A scaled fixed-baseline simulation with an explicit executor batch
+/// bound, for the per-quantum (`batch_quanta = 1`) vs batched dispatch
+/// comparison. The fixed scheme has no per-quantum feedback, so this is
+/// the path where multi-quantum batching actually engages.
+pub fn scaled_fixed_simulation(n_each: usize, millis: u64, batch_quanta: usize) -> Simulation {
+    let sys = SystemConfig::scaled_system(combo_suite()[3], n_each, n_each, n_each, 7);
+    let limit = PowerLimit::package_pin();
+    let run = RunConfig::new(
+        SimDuration::from_millis(millis),
+        ControlScheme::fixed_baseline(),
+        limit.guardbanded_target(),
+    )
+    .with_batch_quanta(batch_quanta);
+    Simulation::new(sys, run)
+}

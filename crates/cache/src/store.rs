@@ -1,0 +1,190 @@
+//! Flat file store mapping content hashes to UTF-8 bodies.
+//!
+//! Layout: one file per entry, `<dir>/<32-hex-key>.entry`. Writes go
+//! through a per-process temporary name followed by a rename, so a reader
+//! never observes a half-written entry even with concurrent processes
+//! warming the same cache (the rename either installs a complete body or
+//! loses to an identical one). Every I/O failure — missing directory,
+//! permission trouble, corrupt entry — degrades to a cache miss or a
+//! dropped insert; the store never panics and never fails a run.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::hash::ContentHash;
+
+/// File extension for cache entries (wiping matches only these, so a stray
+/// file in the directory is never deleted).
+const ENTRY_EXT: &str = "entry";
+
+/// Monotonic counter distinguishing temporary files within one process.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A directory of content-addressed entries.
+#[derive(Debug, Clone)]
+pub struct CacheStore {
+    dir: PathBuf,
+}
+
+impl CacheStore {
+    /// A store rooted at `dir`. The directory is created lazily on first
+    /// insert, so constructing a store never touches the filesystem.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CacheStore { dir: dir.into() }
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: ContentHash) -> PathBuf {
+        self.dir.join(format!("{}.{ENTRY_EXT}", key.to_hex()))
+    }
+
+    /// Read an entry's body; `None` on any miss or I/O failure.
+    pub fn load(&self, key: ContentHash) -> Option<String> {
+        std::fs::read_to_string(self.entry_path(key)).ok()
+    }
+
+    /// Install an entry. Returns whether the body is durably in place;
+    /// failures are swallowed (a cache that cannot write is just cold).
+    pub fn save(&self, key: ContentHash, body: &str) -> bool {
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return false;
+        }
+        let tmp = self.dir.join(format!(
+            "{}.tmp.{}.{}",
+            key.to_hex(),
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        if std::fs::write(&tmp, body).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return false;
+        }
+        let ok = std::fs::rename(&tmp, self.entry_path(key)).is_ok();
+        if !ok {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        ok
+    }
+
+    /// Number of entries currently on disk.
+    pub fn len(&self) -> usize {
+        self.entries().count()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Delete every entry (and stale temporaries), returning how many
+    /// entries were removed. Unrelated files in the directory survive.
+    pub fn wipe(&self) -> usize {
+        let mut removed = 0;
+        let Ok(read) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        for item in read.flatten() {
+            let path = item.path();
+            let name = item.file_name();
+            let name = name.to_string_lossy();
+            let is_entry = name.ends_with(&format!(".{ENTRY_EXT}"));
+            let is_tmp = name.contains(".tmp.");
+            if (is_entry || is_tmp) && std::fs::remove_file(&path).is_ok() && is_entry {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    fn entries(&self) -> impl Iterator<Item = PathBuf> {
+        let suffix = format!(".{ENTRY_EXT}");
+        std::fs::read_dir(&self.dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .map(|e| e.path())
+            .filter(move |p| {
+                p.file_name()
+                    .map(|n| n.to_string_lossy().ends_with(&suffix))
+                    .unwrap_or(false)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::Hasher;
+
+    fn temp_store(tag: &str) -> CacheStore {
+        let dir = std::env::temp_dir().join(format!(
+            "hcapp_cache_store_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        CacheStore::new(dir)
+    }
+
+    fn key(s: &str) -> ContentHash {
+        let mut h = Hasher::new();
+        h.write_str(s);
+        h.finish()
+    }
+
+    #[test]
+    fn roundtrip_and_miss() {
+        let store = temp_store("roundtrip");
+        let k = key("job-a");
+        assert_eq!(store.load(k), None);
+        assert!(store.save(k, "body-a"));
+        assert_eq!(store.load(k).as_deref(), Some("body-a"));
+        assert_eq!(store.load(key("job-b")), None);
+        assert_eq!(store.len(), 1);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn overwrite_replaces_body() {
+        let store = temp_store("overwrite");
+        let k = key("job");
+        assert!(store.save(k, "v1"));
+        assert!(store.save(k, "v2"));
+        assert_eq!(store.load(k).as_deref(), Some("v2"));
+        assert_eq!(store.len(), 1);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn wipe_clears_entries_only() {
+        let store = temp_store("wipe");
+        assert_eq!(store.wipe(), 0, "wiping a cold store is a no-op");
+        assert!(store.save(key("a"), "1"));
+        assert!(store.save(key("b"), "2"));
+        // An unrelated file must survive the wipe.
+        let bystander = store.dir().join("README");
+        std::fs::write(&bystander, "not an entry").expect("writable temp dir");
+        assert_eq!(store.wipe(), 2);
+        assert!(store.is_empty());
+        assert!(bystander.exists());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn unwritable_store_degrades_to_false() {
+        // A path that cannot be a directory (its parent is a file).
+        let blocker = std::env::temp_dir().join(format!(
+            "hcapp_cache_blocker_{}",
+            std::process::id()
+        ));
+        std::fs::write(&blocker, "file").expect("writable temp dir");
+        let store = CacheStore::new(blocker.join("sub"));
+        assert!(!store.save(key("x"), "y"));
+        assert_eq!(store.load(key("x")), None);
+        assert_eq!(store.len(), 0);
+        let _ = std::fs::remove_file(&blocker);
+    }
+}

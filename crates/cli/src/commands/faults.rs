@@ -56,19 +56,12 @@ pub fn execute(args: &Args) -> Result<String, ArgError> {
     let (sys, run, limit) = shared::build(args)?;
     let seed = args.u64("seed", 11)?;
     let plan_name = args.string("plan", "moderate")?;
-    let workers = args.u64("parallel", 0)? as usize;
+    let workers = shared::parallel_workers(args)?;
     args.finish()?;
     let plan = FaultPlan::preset(&plan_name, seed)
         .ok_or_else(|| bad("plan", plan_name.clone(), "quiet, light, moderate or severe"))?;
 
-    let go = |run: RunConfig| {
-        let sim = Simulation::new(sys.clone(), run);
-        if workers > 1 {
-            sim.run_parallel(workers)
-        } else {
-            sim.run()
-        }
-    };
+    let go = |run: RunConfig| shared::execute_sim(Simulation::new(sys.clone(), run), workers);
     let clean = go(run.clone().with_trace());
     let faulted = go(run.with_trace().with_faults(plan));
 
@@ -158,7 +151,7 @@ fn check(seed: u64) -> Result<String, ArgError> {
     let fail = |msg: String| bad("check", msg, "a self-consistent fault campaign");
     let limit = PowerLimit::package_pin();
     let combo = combo_by_name("Hi-Hi").expect("known combo");
-    let traced = |workers: usize| {
+    let traced = |workers: Option<usize>| {
         let sys = SystemConfig::paper_system(combo, seed);
         let ring = Arc::new(Mutex::new(RingTracer::new(1 << 16)));
         let run = RunConfig::new(
@@ -169,12 +162,7 @@ fn check(seed: u64) -> Result<String, ArgError> {
         .with_trace()
         .with_faults(FaultPlan::moderate(seed))
         .with_tracer(ring.clone() as SharedTracer);
-        let sim = Simulation::new(sys, run);
-        let outcome = if workers > 1 {
-            sim.run_parallel(workers)
-        } else {
-            sim.run()
-        };
+        let outcome = shared::execute_sim(Simulation::new(sys, run), workers);
         let events = ring
             .lock()
             .expect("invariant: tracer mutex never poisoned")
@@ -182,8 +170,8 @@ fn check(seed: u64) -> Result<String, ArgError> {
         (outcome, jsonl::export(&events, &[("check-seed", &seed.to_string())]))
     };
 
-    let (ser, ser_text) = traced(1);
-    let (_, par_text) = traced(3);
+    let (ser, ser_text) = traced(None);
+    let (_, par_text) = traced(Some(3));
     if ser_text != par_text {
         return Err(fail(format!(
             "serial and pooled traces differ under seed {seed} \

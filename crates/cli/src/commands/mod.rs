@@ -34,10 +34,15 @@ COMMANDS:
             --adversarial-accel                      §3.3.3 adversarial accelerator
             --ripple moderate|severe                 dirty-rail injection
             --thermal                                §3.3 thermal guards
-            --parallel N                             chiplet-parallel executor
+            --parallel N                             pooled executor with N
+                                                     workers (0/absent = serial)
             --trace PATH --voltage-trace PATH        CSV traces
-    sweep   run the Table 3 suite
+    sweep   run the Table 3 suite (results memoized in the sweep cache)
             --scheme LIST (hcapp,rapl,sw)  --ms N (50)  --budget/--window-us
+            --parallel N (one per core)   worker threads
+            --no-cache                    bypass the result cache
+            --cache-dir PATH (results/cache)  relocate the cache
+            --wipe-cache                  clear the cache before running
     compare two schemes side by side (run flags + --a SCHEME --b SCHEME)
     hist    power histogram of one run (run flags + --bins N)
     tune    §3.1 PID tuning recipe (--ms N (20) --seed N)

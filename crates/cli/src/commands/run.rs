@@ -18,17 +18,12 @@ pub fn execute(args: &Args) -> Result<String, ArgError> {
     if vtrace_path.is_some() {
         run.record_voltage_trace = true;
     }
-    let workers = args.u64("parallel", 0)? as usize;
+    let workers = shared::parallel_workers(args)?;
     args.finish()?;
 
     let scheme = run.scheme;
     let duration = run.duration;
-    let sim = Simulation::new(sys, run);
-    let out = if workers > 1 {
-        sim.run_parallel(workers)
-    } else {
-        sim.run()
-    };
+    let out = shared::execute_sim(Simulation::new(sys, run), workers);
 
     if let (Some(path), Some(trace)) = (trace_path, out.trace.as_ref()) {
         let thin = trace.thin_to(10_000);

@@ -102,6 +102,28 @@ pub fn limit(args: &Args) -> Result<PowerLimit, ArgError> {
     ))
 }
 
+/// Decode `--parallel N`: `None` (flag absent or `0`) selects the serial
+/// coordinator, `Some(n)` the pooled executor with `n` workers. `--parallel
+/// 1` therefore means "pooled with one worker" — useful for isolating
+/// executor overhead — and every subcommand decodes the flag identically.
+pub fn parallel_workers(args: &Args) -> Result<Option<usize>, ArgError> {
+    Ok(match args.u64("parallel", 0)? as usize {
+        0 => None,
+        n => Some(n),
+    })
+}
+
+/// Run a built simulation on the executor `--parallel` selected.
+pub fn execute_sim(
+    sim: hcapp::coordinator::Simulation,
+    workers: Option<usize>,
+) -> hcapp::outcome::RunOutcome {
+    match workers {
+        Some(n) => sim.run_parallel(n),
+        None => sim.run(),
+    }
+}
+
 /// Build the system + run configs from the shared flags.
 pub fn build(args: &Args) -> Result<(SystemConfig, RunConfig, PowerLimit), ArgError> {
     let combo = combo(args)?;

@@ -1,5 +1,12 @@
 //! `hcapp sweep` — run the Table 3 suite for one or more schemes.
+//!
+//! Sweeps are memoized through the content-addressed result cache
+//! (`results/cache/` by default): re-running an identical sweep replays
+//! bit-identical outcomes from disk instead of re-simulating. `--no-cache`
+//! bypasses the cache, `--cache-dir PATH` relocates it, and `--wipe-cache`
+//! clears it before running (always safe — every entry is derivable).
 
+use hcapp::cache::{run_all_cached, CacheStats, RunCache};
 use hcapp::coordinator::RunConfig;
 use hcapp::parallel::run_all;
 use hcapp::scheme::ControlScheme;
@@ -30,13 +37,28 @@ pub fn execute(args: &Args) -> Result<String, ArgError> {
     let ms = args.u64("ms", 50)?.max(1);
     let seed = args.u64("seed", 11)?;
     let scheme_list = args.string("scheme", "hcapp,rapl,sw")?;
+    // `--parallel N` like the other run commands; the sweep defaults to one
+    // worker per core instead of serial because its job list is the whole
+    // Table 3 matrix.
+    let workers = shared::parallel_workers(args)?.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    });
+    let no_cache = args.switch("no-cache")?;
+    let cache_dir = args.string(
+        "cache-dir",
+        hcapp::cache::default_cache_dir()
+            .to_str()
+            .unwrap_or("results/cache"),
+    )?;
+    let wipe_cache = args.switch("wipe-cache")?;
     args.finish()?;
     let schemes = parse_schemes(&scheme_list)?;
 
     let combos = combo_suite();
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
+    let cache = RunCache::new(&cache_dir);
+    let wiped = if wipe_cache { Some(cache.wipe()) } else { None };
 
     // Baseline first, then each requested scheme; one job pool.
     let mut jobs = Vec::new();
@@ -52,10 +74,25 @@ pub fn execute(args: &Args) -> Result<String, ArgError> {
             ));
         }
     }
-    let mut outcomes = run_all(jobs, workers).into_iter();
+    let (outcomes, stats): (Vec<_>, Option<CacheStats>) = if no_cache {
+        (run_all(jobs, workers), None)
+    } else {
+        let (outcomes, stats) = run_all_cached(jobs, workers, &cache);
+        (outcomes, Some(stats))
+    };
+    let mut outcomes = outcomes.into_iter();
     let baseline: Vec<_> = combos.iter().map(|_| outcomes.next().unwrap()).collect();
 
     let mut out = String::new();
+    if let Some(n) = wiped {
+        out.push_str(&format!("cache: wiped {n} entries from {cache_dir}\n"));
+    }
+    if let Some(s) = stats {
+        out.push_str(&format!(
+            "cache: {} hits, {} misses ({cache_dir})\n\n",
+            s.hits, s.misses
+        ));
+    }
     for &scheme in &schemes {
         let mut summary = SuiteSummary::new(scheme.name());
         for (i, &combo) in combos.iter().enumerate() {
@@ -80,15 +117,49 @@ pub fn execute(args: &Args) -> Result<String, ArgError> {
 mod tests {
     use super::*;
 
+    fn run_cli(s: &str) -> String {
+        let toks: Vec<String> = s.split_whitespace().map(|t| t.to_string()).collect();
+        execute(&Args::parse(&toks).unwrap()).unwrap()
+    }
+
     #[test]
     fn sweep_renders_summaries() {
-        let toks: Vec<String> = "--scheme hcapp --ms 1"
-            .split_whitespace()
-            .map(|t| t.to_string())
-            .collect();
-        let out = execute(&Args::parse(&toks).unwrap()).unwrap();
+        // --no-cache so the test never leaves entries in the repo's
+        // working-directory cache.
+        let out = run_cli("--scheme hcapp --ms 1 --no-cache");
         assert!(out.contains("HCAPP across the Table 3 suite"));
         assert!(out.contains("Ave."));
+        assert!(out.contains("viable under the limit"));
+        assert!(!out.contains("cache:"), "--no-cache must skip the cache line");
+    }
+
+    #[test]
+    fn warm_sweep_hits_cache_and_matches_cold_output() {
+        let dir = std::env::temp_dir().join(format!(
+            "hcapp_sweep_cache_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let flags = format!(
+            "--scheme hcapp --ms 1 --parallel 2 --cache-dir {}",
+            dir.display()
+        );
+        let cold = run_cli(&flags);
+        let warm = run_cli(&flags);
+        assert!(cold.contains("cache: 0 hits, 16 misses"), "{cold}");
+        assert!(warm.contains("cache: 16 hits, 0 misses"), "{warm}");
+        // Identical tables after the cache line: cached replay is exact.
+        let tail = |s: &str| s.split_once("\n\n").map(|(_, t)| t.to_string()).unwrap();
+        assert_eq!(tail(&cold), tail(&warm));
+        // --wipe-cache empties it again.
+        let wiped = run_cli(&format!("{flags} --wipe-cache"));
+        assert!(wiped.contains("cache: wiped 16 entries"), "{wiped}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parallel_one_means_pooled_single_worker() {
+        let out = run_cli("--scheme hcapp --ms 1 --parallel 1 --no-cache");
         assert!(out.contains("viable under the limit"));
     }
 

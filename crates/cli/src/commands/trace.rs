@@ -33,7 +33,7 @@ pub fn execute(args: &Args) -> Result<String, ArgError> {
     let (sys, run, limit) = shared::build(args)?;
     let out_path = args.string("out", "results/trace.jsonl")?;
     let cap = args.u64("events", 1 << 16)?.max(1) as usize;
-    let workers = args.u64("parallel", 0)? as usize;
+    let workers = shared::parallel_workers(args)?;
     args.finish()?;
 
     // Keep a concrete handle so the ring's events survive the run; the
@@ -45,12 +45,7 @@ pub fn execute(args: &Args) -> Result<String, ArgError> {
         .with_profiler(profiler.clone());
     let scheme = run.scheme;
     let duration = run.duration;
-    let sim = Simulation::new(sys, run);
-    let outcome = if workers > 1 {
-        sim.run_parallel(workers)
-    } else {
-        sim.run()
-    };
+    let outcome = shared::execute_sim(Simulation::new(sys, run), workers);
 
     let mut guard = ring.lock().expect("invariant: tracer mutex never poisoned");
     let dropped = guard.dropped();

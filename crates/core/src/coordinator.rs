@@ -127,6 +127,14 @@ pub struct RunConfig {
     pub faults: Option<FaultPlan>,
     /// Degradation tuning, consulted only when `faults` is set.
     pub degraded: DegradedConfig,
+    /// Upper bound on how many control quanta the coordinator ships to the
+    /// executor per dispatch (default [`BATCH_QUANTA`]). Batching only
+    /// engages when there is no per-quantum feedback into the coordinator —
+    /// see [`BATCH_QUANTA`] — so this knob trades executor round trips
+    /// against working-set size and never changes results (pinned by the
+    /// determinism tests). `1` forces per-quantum dispatch, which the
+    /// scaling bench uses as its comparison point.
+    pub batch_quanta: usize,
 }
 
 impl RunConfig {
@@ -151,7 +159,16 @@ impl RunConfig {
             profiler: None,
             faults: None,
             degraded: DegradedConfig::default(),
+            batch_quanta: BATCH_QUANTA,
         }
+    }
+
+    /// Override the executor batch bound (builder style). `1` forces
+    /// per-quantum dispatch; larger values only take effect on runs with no
+    /// per-quantum feedback (see [`BATCH_QUANTA`]).
+    pub fn with_batch_quanta(mut self, batch_quanta: usize) -> Self {
+        self.batch_quanta = batch_quanta.max(1);
+        self
     }
 
     /// Enable power-trace recording (builder style).
@@ -232,6 +249,7 @@ impl RunConfig {
                 "control period must be a multiple of the tick"
             );
         }
+        assert!(self.batch_quanta >= 1, "zero batch bound");
         self.degraded.validate();
         if let Some(plan) = &self.faults {
             plan.validate();
@@ -242,8 +260,34 @@ impl RunConfig {
 /// The fallback quantum for the uncontrolled fixed-voltage baseline.
 const FIXED_QUANTUM: SimDuration = SimDuration::from_micros(100);
 
-/// Abstraction over how the domain set advances through a quantum — serial
-/// in this module, worker-pool in [`crate::parallel`].
+/// Default number of control quanta the coordinator ships to an executor in
+/// one batch. Batching only happens when there is provably no per-quantum
+/// feedback into the coordinator — the fixed-voltage baseline with no fault
+/// plan and no tracer attached. The dynamic schemes *cannot* batch across
+/// quanta without changing results: the global PID reads the previous
+/// quantum's sensed power at every boundary (§4.1), so each quantum's
+/// voltage schedule depends on the one before it. For those, the win comes
+/// from the pooled executor's per-worker reply merging instead (see
+/// [`crate::parallel`]). The value therefore trades executor round trips
+/// against working-set size, never correctness.
+pub const BATCH_QUANTA: usize = 32;
+
+/// One control quantum's worth of executor input, referencing slices of the
+/// batch-wide `v_sched`/`power_acc` buffers via `offset..offset + n`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct QuantumSpec {
+    /// Start time of the quantum.
+    pub(crate) t0: SimTime,
+    /// First tick of this quantum inside the batch buffers.
+    pub(crate) offset: usize,
+    /// Number of ticks in this quantum.
+    pub(crate) n: usize,
+    /// Whether local controllers update at this quantum's boundary.
+    pub(crate) update_local: bool,
+}
+
+/// Abstraction over how the domain set advances through a *batch* of
+/// quanta — serial in this module, worker-pool in [`crate::parallel`].
 pub(crate) trait DomainExecutor {
     /// Component kind of each domain, in order.
     fn kinds(&self) -> Vec<ComponentKind>;
@@ -251,20 +295,23 @@ pub(crate) trait DomainExecutor {
     fn nominal_rates(&self) -> Vec<f64>;
     /// Current cumulative work per domain.
     fn work_done(&mut self) -> Vec<f64>;
-    /// Advance all domains through a quantum starting at `t0`, adding
-    /// per-tick powers into `power_acc` in domain order. `ctls` carries the
-    /// per-domain quantum command (priority, throttle, faults); each
-    /// domain's heartbeat — did its controller accept commands — is written
-    /// into `heartbeats` at the domain's index, so the result is
-    /// executor-independent. When `events` is `Some`, per-domain trace
-    /// events are appended *in domain order* regardless of execution order,
-    /// so traces are executor-independent too.
+    /// Advance all domains through `quanta`, adding per-tick powers into
+    /// `power_acc` (indexed by each spec's `offset..offset + n`) in domain
+    /// order, so the floating-point sums are bit-identical across
+    /// executors. `ctls` carries the per-domain command (priority,
+    /// throttle, faults) shared by every quantum of the batch — the
+    /// coordinator only batches when the commands are quantum-invariant.
+    /// Each domain's heartbeat for the batch's *last* quantum is written
+    /// into `heartbeats` at the domain's index (the health watchdogs only
+    /// run under a fault plan, where batches are single-quantum). When
+    /// `events` is `Some`, the batch is a single quantum and per-domain
+    /// trace events are appended *in domain order* regardless of execution
+    /// order, so traces are executor-independent too.
     #[allow(clippy::too_many_arguments)]
-    fn run_quantum(
+    fn run_batch(
         &mut self,
-        t0: SimTime,
+        quanta: &[QuantumSpec],
         v_sched: &[f64],
-        update_local: bool,
         ctls: &[QuantumCtl],
         tick: SimDuration,
         power_acc: &mut [f64],
@@ -292,21 +339,31 @@ impl DomainExecutor for SerialExecutor {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn run_quantum(
+    fn run_batch(
         &mut self,
-        t0: SimTime,
+        quanta: &[QuantumSpec],
         v_sched: &[f64],
-        update_local: bool,
         ctls: &[QuantumCtl],
         tick: SimDuration,
         power_acc: &mut [f64],
         heartbeats: &mut [bool],
         mut events: Option<&mut Vec<TraceEvent>>,
     ) {
-        // Iterating in domain order appends events in domain order.
-        for (i, (d, c)) in self.domains.iter_mut().zip(ctls).enumerate() {
-            heartbeats[i] =
-                d.run_quantum(t0, v_sched, update_local, c, tick, power_acc, events.as_deref_mut());
+        // Quantum-major, domain-minor: the same tick order the original
+        // per-quantum loop executed, which appends events in domain order
+        // within each quantum.
+        for q in quanta {
+            for (i, (d, c)) in self.domains.iter_mut().zip(ctls).enumerate() {
+                heartbeats[i] = d.run_quantum(
+                    q.t0,
+                    &v_sched[q.offset..q.offset + q.n],
+                    q.update_local,
+                    c,
+                    tick,
+                    &mut power_acc[q.offset..q.offset + q.n],
+                    events.as_deref_mut(),
+                );
+            }
         }
     }
 }
@@ -419,9 +476,6 @@ pub(crate) fn run_loop<E: DomainExecutor>(
     let mut vtrace_sum = 0.0;
     let mut trace_count = 0usize;
 
-    let mut v_sched = vec![0.0f64; quantum_ticks];
-    let mut power_acc = vec![0.0f64; quantum_ticks];
-
     let mut energy = 0.0f64;
     let mut voltage_sum = 0.0f64;
 
@@ -499,9 +553,32 @@ pub(crate) fn run_loop<E: DomainExecutor>(
     let mut retargets = run.retargets.iter().peekable();
     let mut prev_t0: Option<SimTime> = None;
     let (v_floor, v_ceil) = (Volt::new(sys.pid.out_min), Volt::new(sys.pid.out_max));
+
+    // Batch sizing. Multi-quantum dispatch is only sound when nothing below
+    // consumes per-quantum feedback: no dynamic control (the global PID
+    // reads the previous quantum's sensed power at every boundary), no
+    // fault plan (injection decisions and the watchdogs act per quantum)
+    // and no tracer (events flush per quantum). Otherwise every batch is a
+    // single quantum, which reproduces the pre-batching loop op for op.
+    let max_batch = if dynamic || injector.is_some() || tracing {
+        1
+    } else {
+        run.batch_quanta.max(1)
+    };
+    let mut v_sched = vec![0.0f64; quantum_ticks * max_batch];
+    let mut power_acc = vec![0.0f64; quantum_ticks * max_batch];
+    let mut batch: Vec<QuantumSpec> = Vec::with_capacity(max_batch);
+
     while done < total_ticks {
-        let n = quantum_ticks.min(total_ticks - done);
-        let t0 = SimTime::from_nanos(done as u64 * tick.as_nanos());
+        // Assemble up to `max_batch` quanta. The per-quantum head (fault
+        // injection, global control, VR scheduling, command assembly) runs
+        // once per quantum exactly as before; only the executor dispatch
+        // below is amortized across the batch.
+        batch.clear();
+        let mut batch_ticks = 0usize;
+        while batch.len() < max_batch && done + batch_ticks < total_ticks {
+        let n = quantum_ticks.min(total_ticks - done - batch_ticks);
+        let t0 = SimTime::from_nanos((done + batch_ticks) as u64 * tick.as_nanos());
         crate::invariants::check_time_monotonic("run_loop quantum", prev_t0, t0);
         prev_t0 = Some(t0);
 
@@ -682,10 +759,11 @@ pub(crate) fn run_loop<E: DomainExecutor>(
             }
         }
 
-        // Precompute the global voltage schedule for this quantum.
+        // Precompute the global voltage schedule for this quantum, into
+        // this quantum's slice of the batch-wide buffer.
         {
             let _span = profiler.as_deref().map(|p| p.span("vr-schedule"));
-            for (i, v) in v_sched[..n].iter_mut().enumerate() {
+            for (i, v) in v_sched[batch_ticks..batch_ticks + n].iter_mut().enumerate() {
                 vr.step(t0 + tick * i as u64, tick);
                 *v = vr.output().value();
                 crate::invariants::check_voltage_in_range(
@@ -700,8 +778,8 @@ pub(crate) fn run_loop<E: DomainExecutor>(
             ev_buf.push(TraceEvent::VrSlew {
                 t: t0,
                 setpoint: vr.target(),
-                start: Volt::new(v_sched[0]),
-                end: Volt::new(v_sched[n - 1]),
+                start: Volt::new(v_sched[batch_ticks]),
+                end: Volt::new(v_sched[batch_ticks + n - 1]),
             });
         }
 
@@ -764,30 +842,45 @@ pub(crate) fn run_loop<E: DomainExecutor>(
             }
         }
 
-        // Advance every domain through the quantum.
-        power_acc[..n].fill(0.0);
+        batch.push(QuantumSpec {
+            t0,
+            offset: batch_ticks,
+            n,
+            update_local: dynamic,
+        });
+        batch_ticks += n;
+        quantum_index += 1;
+        }
+
+        // Advance every domain through the batch.
+        power_acc[..batch_ticks].fill(0.0);
         {
             let _span = profiler.as_deref().map(|p| p.span("domains"));
-            executor.run_quantum(
-                t0,
-                &v_sched[..n],
-                dynamic,
+            executor.run_batch(
+                &batch,
+                &v_sched[..batch_ticks],
                 &ctls,
                 tick,
-                &mut power_acc[..n],
+                &mut power_acc[..batch_ticks],
                 &mut heartbeats,
                 tracing.then_some(&mut ev_buf),
             );
         }
         // Feed the heartbeats back into the per-domain watchdogs — appended
-        // after the executor's per-domain events, still in domain order.
+        // after the executor's per-domain events, still in domain order. A
+        // fault plan forces single-quantum batches, so the batch's last (and
+        // only) quantum is the one the heartbeats belong to.
         if injector.is_some() {
+            let t_beat = batch
+                .last()
+                .expect("invariant: the run loop never dispatches an empty batch")
+                .t0;
             for (i, dh) in dom_health.iter_mut().enumerate() {
                 if let Some((from, to)) = dh.observe(heartbeats[i], &degraded) {
                     resilience.health_transitions += 1;
                     if tracing {
                         ev_buf.push(TraceEvent::HealthTransition {
-                            t: t0,
+                            t: t_beat,
                             subject: "domain",
                             domain: Some(i as u32),
                             from: from.name(),
@@ -797,7 +890,7 @@ pub(crate) fn run_loop<E: DomainExecutor>(
                 }
             }
         }
-        for &p in &power_acc[..n] {
+        for &p in &power_acc[..batch_ticks] {
             crate::invariants::check_power_sane("run_loop package power", Watt::new(p));
         }
         // Flush the quantum's events with a single lock acquisition. The
@@ -811,9 +904,9 @@ pub(crate) fn run_loop<E: DomainExecutor>(
             }
         }
 
-        // Aggregate package-level signals.
+        // Aggregate package-level signals, tick-ordered across the batch.
         let _agg_span = profiler.as_deref().map(|p| p.span("aggregate"));
-        for i in 0..n {
+        for i in 0..batch_ticks {
             let p = power_acc[i];
             let seen = sensor.sample(Watt::new(p)).value();
             if seen > peak_hold {
@@ -842,8 +935,7 @@ pub(crate) fn run_loop<E: DomainExecutor>(
             }
         }
 
-        done += n;
-        quantum_index += 1;
+        done += batch_ticks;
     }
 
     let duration_s = run.duration.as_secs_f64();

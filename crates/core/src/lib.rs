@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod cache;
 pub mod controller;
 pub mod coordinator;
 pub mod health;
@@ -51,6 +52,7 @@ pub mod software;
 pub mod system;
 pub mod tuning;
 
+pub use cache::{run_all_cached, CacheStats, RunCache};
 pub use controller::domain::DomainController;
 pub use controller::global::GlobalController;
 pub use controller::local::{

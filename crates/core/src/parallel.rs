@@ -1,115 +1,239 @@
 //! Parallel execution.
 //!
 //! Two levels of parallelism, both deterministic, both built on the standard
-//! library only (`std::sync::mpsc` channels, `std::thread::scope`,
-//! `std::sync::Mutex`) so the workspace stays hermetic — simlint rule L4
-//! forbids registry dependencies, and rule L3 plus the determinism
-//! regression tests in this module keep the parallel paths bit-identical to
-//! the serial ones:
+//! library only (`std::sync::mpsc` channels, `std::sync::Mutex`/`Condvar`)
+//! so the workspace stays hermetic — simlint rule L4 forbids registry
+//! dependencies, and rule L3 plus the determinism regression tests in this
+//! module keep the parallel paths bit-identical to the serial ones:
 //!
-//! 1. **Run-level** ([`run_all`]) — the experiment sweeps (8 combos × 4
-//!    schemes × limits) are embarrassingly parallel: a mutex-guarded work
-//!    queue feeds system/run configs to scoped worker threads; results land
-//!    in input order. This is the workhorse for regenerating the figures.
+//! 1. **Run-level** ([`run_all`] / [`WorkerPool`]) — the experiment sweeps
+//!    (8 combos × 4 schemes × limits) are embarrassingly parallel: a
+//!    mutex-guarded work queue feeds system/run configs to worker threads;
+//!    results land in input order. [`WorkerPool`] keeps the threads alive
+//!    between sweeps, so an experiment campaign pays thread spawn/join once
+//!    instead of once per figure; [`shared_pool`] hands out one
+//!    process-wide pool for exactly that use.
 //!
 //! 2. **Chiplet-level** ([`Simulation::run_parallel`]) — inside one run,
 //!    domains are independent within a control quantum (the global voltage
 //!    schedule is fixed at the boundary), so each worker thread owns a
-//!    subset of domains and advances them per quantum. Per-domain power
-//!    vectors are merged *in domain order*, making the result bit-identical
-//!    to the serial executor — an integration test asserts this. Worthwhile
-//!    when quanta are long (SW-like control) or the package is large (the
-//!    scaling study's 32-chiplet systems); for the 3-domain paper system at
-//!    a 1 µs quantum the channel traffic outweighs the win, which the
-//!    `scaling` bench quantifies.
+//!    subset of domains and advances them per dispatched *batch* of quanta.
+//!    Two protocol choices keep channel traffic off the critical path:
+//!    the coordinator ships multi-quantum batches whenever the run has no
+//!    per-quantum feedback (see [`crate::coordinator::BATCH_QUANTA`]), and
+//!    each worker sends **one reply per batch** covering all the domains it
+//!    owns — so a quantum costs `workers` receives, not `n_domains`, which
+//!    is what used to make the 1 µs HCAPP quantum lose to serial on small
+//!    systems. Per-domain power vectors are still merged *in domain
+//!    order*, making the result bit-identical to the serial executor — an
+//!    integration test asserts this.
 
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 
-use hcapp_sim_core::time::{SimDuration, SimTime};
+use hcapp_sim_core::time::SimDuration;
 use hcapp_telemetry::TraceEvent;
 
-use crate::coordinator::{run_loop, DomainExecutor, QuantumCtl, RunConfig, Simulation};
+use crate::coordinator::{run_loop, DomainExecutor, QuantumCtl, QuantumSpec, RunConfig, Simulation};
 use crate::outcome::RunOutcome;
 use crate::software::ComponentKind;
 use crate::system::{Domain, SystemConfig};
 
-/// Run many independent simulations on `workers` threads, preserving input
-/// order in the result.
-pub fn run_all(jobs: Vec<(SystemConfig, RunConfig)>, workers: usize) -> Vec<RunOutcome> {
-    let workers = workers.max(1).min(jobs.len().max(1));
-    let n = jobs.len();
-    // Shared pull queue: cheaper than one channel per worker and keeps the
-    // dynamic load balancing crossbeam's shared receiver used to provide.
-    let queue: Arc<Mutex<VecDeque<(usize, SystemConfig, RunConfig)>>> = Arc::new(Mutex::new(
-        jobs.into_iter()
-            .enumerate()
-            .map(|(i, (sys, run))| (i, sys, run))
-            .collect(),
-    ));
-    let (res_tx, res_rx) = channel::<(usize, RunOutcome)>();
+/// One queued run-level job: input index, its configs, and the channel its
+/// result goes back on (each [`WorkerPool::run_all`] call brings its own).
+type PoolJob = (
+    usize,
+    SystemConfig,
+    RunConfig,
+    Sender<(usize, RunOutcome)>,
+);
 
-    thread::scope(|scope| {
-        for _ in 0..workers {
-            let queue = Arc::clone(&queue);
-            let res_tx = res_tx.clone();
-            scope.spawn(move || loop {
-                let job = {
-                    let mut q = queue.lock().expect("invariant: no worker panics while holding the job-queue lock");
-                    q.pop_front()
-                };
-                let Some((i, sys, run)) = job else { return };
-                let outcome = Simulation::new(sys, run).run();
-                if res_tx.send((i, outcome)).is_err() {
-                    return;
-                }
-            });
+/// Shared state between a [`WorkerPool`]'s owner and its threads.
+struct PoolShared {
+    /// Pending jobs plus the shutdown flag, under one lock.
+    queue: Mutex<(VecDeque<PoolJob>, bool)>,
+    /// Signaled when jobs arrive or shutdown is requested.
+    ready: Condvar,
+}
+
+/// A persistent run-level worker pool.
+///
+/// Threads are spawned once and then parked on a condvar between
+/// submissions, so a campaign of sweeps (the figure binaries, `hcapp
+/// sweep`, the scaling study) reuses them instead of re-spawning a scoped
+/// pool per sweep. Dropping the pool shuts the threads down and joins them.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawn a pool of `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || loop {
+                    let job = {
+                        let mut guard = shared
+                            .queue
+                            .lock()
+                            .expect("invariant: no worker panics while holding the job-queue lock");
+                        loop {
+                            if let Some(job) = guard.0.pop_front() {
+                                break Some(job);
+                            }
+                            if guard.1 {
+                                break None;
+                            }
+                            guard = shared
+                                .ready
+                                .wait(guard)
+                                .expect("invariant: no worker panics while holding the job-queue lock");
+                        }
+                    };
+                    let Some((i, sys, run, tx)) = job else { return };
+                    let outcome = Simulation::new(sys, run).run();
+                    // A dropped receiver just means the submitter gave up on
+                    // this batch; the pool itself stays healthy.
+                    let _ = tx.send((i, outcome));
+                })
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            workers,
         }
-        drop(res_tx);
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run `jobs` on the pool, blocking until all complete; results are in
+    /// input order. Concurrent calls from different threads interleave
+    /// safely (each call collects only its own results).
+    pub fn run_all(&self, jobs: Vec<(SystemConfig, RunConfig)>) -> Vec<RunOutcome> {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let (tx, rx) = channel::<(usize, RunOutcome)>();
+        {
+            let mut guard = self
+                .shared
+                .queue
+                .lock()
+                .expect("invariant: no worker panics while holding the job-queue lock");
+            for (i, (sys, run)) in jobs.into_iter().enumerate() {
+                guard.0.push_back((i, sys, run, tx.clone()));
+            }
+        }
+        self.shared.ready.notify_all();
+        drop(tx);
         let mut slots: Vec<Option<RunOutcome>> = (0..n).map(|_| None).collect();
-        for (i, outcome) in res_rx.iter() {
+        for (i, outcome) in rx.iter() {
             slots[i] = Some(outcome);
         }
         slots
             .into_iter()
-            .map(|s| s.expect("invariant: every queued job sends exactly one result before its worker exits"))
+            .map(|s| s.expect("invariant: every queued job sends exactly one result"))
             .collect()
-    })
+    }
 }
 
-/// A quantum command broadcast to every domain worker.
-struct QuantumCmd {
-    /// Start time of the quantum.
-    t0: SimTime,
-    /// Global voltage per tick of the quantum.
-    v_sched: Arc<Vec<f64>>,
-    /// Number of valid ticks in `v_sched`.
-    n: usize,
-    /// Whether local controllers update at this boundary.
-    update_local: bool,
-    /// Per-domain quantum commands (priority, throttle, faults), one per
-    /// domain (global indexing).
-    ctls: Arc<Vec<QuantumCtl>>,
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut guard = self
+                .shared
+                .queue
+                .lock()
+                .expect("invariant: no worker panics while holding the job-queue lock");
+            guard.1 = true;
+        }
+        self.shared.ready.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The process-wide run-level pool, created on first use with `workers`
+/// threads (later calls reuse the first pool regardless of the argument —
+/// callers across one campaign pass the same configured worker count).
+/// Threads persist for the process lifetime, parked when idle.
+pub fn shared_pool(workers: usize) -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| WorkerPool::new(workers))
+}
+
+/// Run many independent simulations on a persistent pool of `workers`
+/// threads, preserving input order in the result.
+///
+/// The pool behind this function is the process-wide [`shared_pool`], so an
+/// experiment campaign that issues many sweeps reuses one set of threads
+/// instead of re-spawning per sweep. The first call fixes the pool size;
+/// later calls with a different `workers` still run every job (idle workers
+/// wait on the queue, a smaller pool just drains it more slowly), and
+/// results never depend on the worker count. Callers needing an exactly
+/// sized private pool can hold a [`WorkerPool`] directly.
+pub fn run_all(jobs: Vec<(SystemConfig, RunConfig)>, workers: usize) -> Vec<RunOutcome> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    shared_pool(workers.max(1)).run_all(jobs)
+}
+
+/// A batch command broadcast to every domain worker: the coordinator's
+/// quantum specs plus the batch-wide voltage schedule they index into.
+struct BatchCmd {
+    /// The quanta of this batch, in time order.
+    quanta: Vec<QuantumSpec>,
+    /// Global voltage per tick across the whole batch.
+    v_sched: Vec<f64>,
+    /// Per-domain commands (priority, throttle, faults), global indexing,
+    /// shared by every quantum of the batch (the coordinator only batches
+    /// when they are quantum-invariant).
+    ctls: Vec<QuantumCtl>,
     tick: SimDuration,
-    /// Whether workers should collect trace events this quantum.
+    /// Whether workers should collect trace events (single-quantum batches
+    /// only — the coordinator never batches a traced run).
     collect_events: bool,
 }
 
-/// One domain's reply for a quantum.
-struct QuantumReply {
+/// One domain's results for a batch, inside its worker's reply.
+struct DomainBatch {
     domain_idx: usize,
+    /// Per-tick power across the whole batch.
     powers: Vec<f64>,
     work_done: f64,
-    /// Heartbeat: the domain's controller accepted this quantum's commands.
+    /// Heartbeat: the domain's controller accepted the batch's last quantum.
     responded: bool,
     /// Trace events this domain emitted (empty unless collecting).
     events: Vec<TraceEvent>,
 }
 
+/// One worker's reply to a [`WorkerMsg`]: results for every domain it owns.
+/// Replying per worker instead of per domain divides the coordinator's
+/// receive count per quantum by the domains-per-worker ratio — the receive
+/// path is what dominates at the paper's 1 µs control quantum.
+struct WorkerReply {
+    domains: Vec<DomainBatch>,
+}
+
 enum WorkerMsg {
-    Quantum(QuantumCmd),
+    Batch(Arc<BatchCmd>),
     /// Request current work figures without advancing.
     ReportWork,
 }
@@ -117,12 +241,32 @@ enum WorkerMsg {
 /// Executor that fans domains out to persistent worker threads.
 struct PooledExecutor<'scope> {
     cmd_txs: Vec<Sender<WorkerMsg>>,
-    reply_rx: Receiver<QuantumReply>,
+    reply_rx: Receiver<WorkerReply>,
     kinds: Vec<ComponentKind>,
     nominal_rates: Vec<f64>,
     last_work: Vec<f64>,
     n_domains: usize,
     _marker: std::marker::PhantomData<&'scope ()>,
+}
+
+impl PooledExecutor<'_> {
+    /// Receive one reply per worker, handing each per-domain result to
+    /// `sink`. Results are scattered by domain index afterwards, so arrival
+    /// order never matters.
+    fn collect_replies(&mut self, mut sink: impl FnMut(DomainBatch)) {
+        let mut seen = 0usize;
+        while seen < self.n_domains {
+            let reply = self
+                .reply_rx
+                .recv()
+                .expect("invariant: each worker replies once per dispatch");
+            for dom in reply.domains {
+                self.last_work[dom.domain_idx] = dom.work_done;
+                seen += 1;
+                sink(dom);
+            }
+        }
+    }
 }
 
 impl DomainExecutor for PooledExecutor<'_> {
@@ -139,63 +283,52 @@ impl DomainExecutor for PooledExecutor<'_> {
             tx.send(WorkerMsg::ReportWork)
                 .expect("invariant: workers outlive the executor inside the thread scope");
         }
-        for _ in 0..self.n_domains {
-            let r = self
-                .reply_rx
-                .recv()
-                .expect("invariant: each worker replies once per domain it owns");
-            self.last_work[r.domain_idx] = r.work_done;
-        }
+        self.collect_replies(|_| {});
         self.last_work.clone()
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn run_quantum(
+    fn run_batch(
         &mut self,
-        t0: SimTime,
+        quanta: &[QuantumSpec],
         v_sched: &[f64],
-        update_local: bool,
         ctls: &[QuantumCtl],
         tick: SimDuration,
         power_acc: &mut [f64],
         heartbeats: &mut [bool],
         events: Option<&mut Vec<TraceEvent>>,
     ) {
-        let v = Arc::new(v_sched.to_vec());
-        let c = Arc::new(ctls.to_vec());
+        debug_assert!(
+            events.is_none() || quanta.len() == 1,
+            "traced runs dispatch single-quantum batches"
+        );
+        let cmd = Arc::new(BatchCmd {
+            quanta: quanta.to_vec(),
+            v_sched: v_sched.to_vec(),
+            ctls: ctls.to_vec(),
+            tick,
+            collect_events: events.is_some(),
+        });
         for tx in &self.cmd_txs {
-            tx.send(WorkerMsg::Quantum(QuantumCmd {
-                t0,
-                v_sched: v.clone(),
-                n: v_sched.len(),
-                update_local,
-                ctls: c.clone(),
-                tick,
-                collect_events: events.is_some(),
-            }))
-            .expect("invariant: workers outlive the executor inside the thread scope");
+            tx.send(WorkerMsg::Batch(Arc::clone(&cmd)))
+                .expect("invariant: workers outlive the executor inside the thread scope");
         }
-        // Collect one reply per domain, then merge in domain order so the
+        // Collect one reply per worker, then merge in domain order so the
         // floating-point sums — and the event stream — match the serial
         // executor exactly, whatever order the workers finished in.
-        let mut replies: Vec<Option<QuantumReply>> = (0..self.n_domains).map(|_| None).collect();
-        for _ in 0..self.n_domains {
-            let r = self
-                .reply_rx
-                .recv()
-                .expect("invariant: each worker replies once per domain it owns");
-            self.last_work[r.domain_idx] = r.work_done;
-            heartbeats[r.domain_idx] = r.responded;
-            let idx = r.domain_idx;
-            replies[idx] = Some(r);
-        }
+        let mut results: Vec<Option<DomainBatch>> = (0..self.n_domains).map(|_| None).collect();
+        self.collect_replies(|dom| {
+            heartbeats[dom.domain_idx] = dom.responded;
+            let idx = dom.domain_idx;
+            results[idx] = Some(dom);
+        });
         let mut events = events;
-        for r in replies.into_iter().flatten() {
-            for (acc, p) in power_acc.iter_mut().zip(&r.powers) {
+        for dom in results.into_iter().flatten() {
+            for (acc, p) in power_acc.iter_mut().zip(&dom.powers) {
                 *acc += p;
             }
             if let Some(buf) = events.as_deref_mut() {
-                buf.extend(r.events);
+                buf.extend(dom.events);
             }
         }
     }
@@ -229,7 +362,7 @@ impl Simulation {
         }
 
         thread::scope(|scope| {
-            let (reply_tx, reply_rx) = channel::<QuantumReply>();
+            let (reply_tx, reply_rx) = channel::<WorkerReply>();
             let mut cmd_txs = Vec::with_capacity(workers);
             for part in partitions {
                 let (cmd_tx, cmd_rx) = channel::<WorkerMsg>();
@@ -238,50 +371,52 @@ impl Simulation {
                 scope.spawn(move || {
                     let mut part = part;
                     while let Ok(msg) = cmd_rx.recv() {
-                        match msg {
-                            WorkerMsg::Quantum(cmd) => {
-                                for (idx, d) in part.iter_mut() {
-                                    let mut powers = vec![0.0f64; cmd.n];
-                                    let mut events = Vec::new();
-                                    let responded = d.run_quantum(
-                                        cmd.t0,
-                                        &cmd.v_sched[..cmd.n],
-                                        cmd.update_local,
-                                        &cmd.ctls[*idx],
-                                        cmd.tick,
-                                        &mut powers,
-                                        cmd.collect_events.then_some(&mut events),
-                                    );
-                                    if reply_tx
-                                        .send(QuantumReply {
+                        let reply = match msg {
+                            WorkerMsg::Batch(cmd) => {
+                                let n_ticks = cmd.v_sched.len();
+                                let domains = part
+                                    .iter_mut()
+                                    .map(|(idx, d)| {
+                                        let mut powers = vec![0.0f64; n_ticks];
+                                        let mut events = Vec::new();
+                                        let mut responded = true;
+                                        for q in &cmd.quanta {
+                                            responded = d.run_quantum(
+                                                q.t0,
+                                                &cmd.v_sched[q.offset..q.offset + q.n],
+                                                q.update_local,
+                                                &cmd.ctls[*idx],
+                                                cmd.tick,
+                                                &mut powers[q.offset..q.offset + q.n],
+                                                cmd.collect_events.then_some(&mut events),
+                                            );
+                                        }
+                                        DomainBatch {
                                             domain_idx: *idx,
                                             powers,
                                             work_done: d.sim.work_done(),
                                             responded,
                                             events,
-                                        })
-                                        .is_err()
-                                    {
-                                        return;
-                                    }
-                                }
+                                        }
+                                    })
+                                    .collect();
+                                WorkerReply { domains }
                             }
-                            WorkerMsg::ReportWork => {
-                                for (idx, d) in part.iter() {
-                                    if reply_tx
-                                        .send(QuantumReply {
-                                            domain_idx: *idx,
-                                            powers: Vec::new(),
-                                            work_done: d.sim.work_done(),
-                                            responded: true,
-                                            events: Vec::new(),
-                                        })
-                                        .is_err()
-                                    {
-                                        return;
-                                    }
-                                }
-                            }
+                            WorkerMsg::ReportWork => WorkerReply {
+                                domains: part
+                                    .iter()
+                                    .map(|(idx, d)| DomainBatch {
+                                        domain_idx: *idx,
+                                        powers: Vec::new(),
+                                        work_done: d.sim.work_done(),
+                                        responded: true,
+                                        events: Vec::new(),
+                                    })
+                                    .collect(),
+                            },
+                        };
+                        if reply_tx.send(reply).is_err() {
+                            return;
                         }
                     }
                 });
@@ -310,6 +445,7 @@ mod tests {
     use crate::limits::PowerLimit;
     use crate::scheme::ControlScheme;
 
+    use hcapp_sim_core::time::SimDuration;
     use hcapp_workloads::combos::combo_suite;
 
     fn job(seed: u64) -> (SystemConfig, RunConfig) {
@@ -355,6 +491,28 @@ mod tests {
     }
 
     #[test]
+    fn run_all_with_empty_job_list() {
+        let out = run_all(Vec::new(), 4);
+        assert!(out.is_empty());
+        // The pool form likewise returns without blocking on a condvar.
+        let pool = WorkerPool::new(2);
+        assert!(pool.run_all(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn worker_pool_reused_across_submissions() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        let first = pool.run_all(vec![job(3), job(5), job(7)]);
+        let second = pool.run_all(vec![job(3)]);
+        assert_eq!(first.len(), 3);
+        assert_eq!(second.len(), 1);
+        // Same job, same pool → bit-identical outcome on reuse.
+        assert_eq!(first[0].avg_power, second[0].avg_power);
+        assert_eq!(first[0].work, second[0].work);
+    }
+
+    #[test]
     fn chiplet_parallel_matches_serial_bitwise() {
         let (sys, run) = job(13);
         let ser = Simulation::new(sys.clone(), run.clone()).run();
@@ -385,5 +543,43 @@ mod tests {
         let ser = Simulation::new(sys.clone(), run.clone()).run();
         let par = Simulation::new(sys, run).run_parallel(2);
         assert_eq!(ser.work, par.work);
+    }
+
+    #[test]
+    fn batched_fixed_baseline_matches_per_quantum_bitwise() {
+        // The fixed-voltage baseline is the feedback-free path where
+        // multi-quantum batching actually engages; every batch bound must
+        // produce the same bits, serial and pooled.
+        let sys = SystemConfig::paper_system(combo_suite()[1], 23);
+        let target = PowerLimit::package_pin().guardbanded_target();
+        let mk = |batch: usize| {
+            RunConfig::new(
+                SimDuration::from_millis(2),
+                ControlScheme::fixed_baseline(),
+                target,
+            )
+            .with_trace()
+            .with_batch_quanta(batch)
+        };
+        let reference = Simulation::new(sys.clone(), mk(1)).run();
+        for batch in [2, 5, 32, 1000] {
+            let ser = Simulation::new(sys.clone(), mk(batch)).run();
+            let par = Simulation::new(sys.clone(), mk(batch)).run_parallel(2);
+            for out in [&ser, &par] {
+                assert_eq!(reference.avg_power, out.avg_power, "batch {batch}");
+                assert_eq!(reference.energy_j, out.energy_j, "batch {batch}");
+                assert_eq!(reference.work, out.work, "batch {batch}");
+                assert_eq!(reference.windowed_max, out.windowed_max, "batch {batch}");
+                assert_eq!(
+                    reference.mean_global_voltage, out.mean_global_voltage,
+                    "batch {batch}"
+                );
+                assert_eq!(
+                    reference.trace.as_ref().map(|t| t.values().to_vec()),
+                    out.trace.as_ref().map(|t| t.values().to_vec()),
+                    "batch {batch}"
+                );
+            }
+        }
     }
 }

@@ -21,6 +21,10 @@ pub struct ExperimentConfig {
     pub workers: usize,
     /// Directory CSVs are written into.
     pub out_dir: PathBuf,
+    /// Memoize runs in `<out_dir>/cache` so re-running an experiment after
+    /// touching one scheme only recomputes affected cells. `HCAPP_CACHE=0`
+    /// (or `off`) disables; wiping the cache directory is always safe.
+    pub cache: bool,
 }
 
 impl ExperimentConfig {
@@ -38,6 +42,10 @@ impl ExperimentConfig {
         let out_dir = std::env::var("HCAPP_OUT")
             .map(PathBuf::from)
             .unwrap_or_else(|_| PathBuf::from("results"));
+        let cache = !matches!(
+            std::env::var("HCAPP_CACHE").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        );
         ExperimentConfig {
             duration: SimDuration::from_millis(ms.max(1)),
             seed,
@@ -45,6 +53,7 @@ impl ExperimentConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             out_dir,
+            cache,
         }
     }
 
@@ -55,6 +64,9 @@ impl ExperimentConfig {
             seed: 11,
             workers: 2,
             out_dir: std::env::temp_dir().join("hcapp_quick_results"),
+            // Tests should exercise the real simulation path, not replay
+            // each other's results through a shared temp directory.
+            cache: false,
         }
     }
 

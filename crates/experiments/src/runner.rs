@@ -6,6 +6,7 @@
 //! (in parallel, deterministically) so e.g. the Figure 7/8/9 binaries can
 //! share one sweep.
 
+use hcapp::cache::{run_all_cached, RunCache};
 use hcapp::coordinator::{RunConfig, SoftwareConfig};
 use hcapp::limits::PowerLimit;
 use hcapp::outcome::RunOutcome;
@@ -15,6 +16,19 @@ use hcapp::system::SystemConfig;
 use hcapp_workloads::combos::{combo_suite, Combo};
 
 use crate::config::ExperimentConfig;
+
+/// Dispatch a job list according to the config: memoized through
+/// `<out_dir>/cache` when `cfg.cache` is set, straight to the shared worker
+/// pool otherwise. Results are identical either way (the cache codec
+/// round-trips outcomes bit-exactly); only wall-clock differs.
+pub fn dispatch(cfg: &ExperimentConfig, jobs: Vec<(SystemConfig, RunConfig)>) -> Vec<RunOutcome> {
+    if cfg.cache {
+        let cache = RunCache::new(cfg.out_dir.join("cache"));
+        run_all_cached(jobs, cfg.workers, &cache).0
+    } else {
+        run_all(jobs, cfg.workers)
+    }
+}
 
 /// Run the fixed-voltage baseline on every combo.
 pub fn baseline_outcomes(cfg: &ExperimentConfig, limit: &PowerLimit) -> Vec<(Combo, RunOutcome)> {
@@ -38,7 +52,7 @@ pub fn scheme_outcomes(
             (sys, run)
         })
         .collect();
-    let outcomes = run_all(jobs, cfg.workers);
+    let outcomes = dispatch(cfg, jobs);
     combos.into_iter().zip(outcomes).collect()
 }
 
@@ -69,7 +83,7 @@ impl SuiteRun {
                 jobs.push((sys, run));
             }
         }
-        let mut outcomes = run_all(jobs, cfg.workers).into_iter();
+        let mut outcomes = dispatch(cfg, jobs).into_iter();
         let mut per_scheme = Vec::with_capacity(all_schemes.len());
         for &scheme in &all_schemes {
             let rows: Vec<(Combo, RunOutcome)> = combos

@@ -20,8 +20,12 @@ pub struct PowerHistogram {
     /// Samples below `lo` / above `hi`.
     under: u64,
     over: u64,
-    /// Running sum of every pushed sample, so [`PowerHistogram::mean`] is
-    /// exact rather than bin-quantized.
+    /// NaN/±Inf samples. Kept out of every bin *and* out of `sum` — a
+    /// single NaN would otherwise poison the mean — but counted and
+    /// surfaced so a faulty sensor stream cannot hide.
+    non_finite: u64,
+    /// Running sum of every finite pushed sample, so
+    /// [`PowerHistogram::mean`] is exact rather than bin-quantized.
     sum: f64,
 }
 
@@ -40,13 +44,21 @@ impl PowerHistogram {
             total: 0,
             under: 0,
             over: 0,
+            non_finite: 0,
             sum: 0.0,
         }
     }
 
-    /// Add one sample.
+    /// Add one sample. Non-finite samples (NaN, ±Inf) are tallied in
+    /// [`PowerHistogram::non_finite`] instead of a bin: NaN compares false
+    /// against both bounds, so it would otherwise land silently in bin 0
+    /// and poison the running sum.
     pub fn push(&mut self, x: f64) {
         self.total += 1;
+        if !x.is_finite() {
+            self.non_finite += 1;
+            return;
+        }
         self.sum += x;
         if x < self.lo {
             self.under += 1;
@@ -73,13 +85,14 @@ impl PowerHistogram {
         self.total
     }
 
-    /// Exact mean of every pushed sample (under- and overflow included);
-    /// `0.0` when empty.
+    /// Exact mean of every *finite* pushed sample (under- and overflow
+    /// included, NaN/±Inf excluded); `0.0` when no finite sample arrived.
     pub fn mean(&self) -> f64 {
-        if self.total == 0 {
+        let finite = self.total - self.non_finite;
+        if finite == 0 {
             0.0
         } else {
-            self.sum / self.total as f64
+            self.sum / finite as f64
         }
     }
 
@@ -131,6 +144,12 @@ impl PowerHistogram {
         self.under + self.over
     }
 
+    /// Non-finite samples pushed (NaN, ±Inf) — excluded from every bin and
+    /// from the mean.
+    pub fn non_finite(&self) -> u64 {
+        self.non_finite
+    }
+
     /// Fraction of samples above the histogram's upper bound.
     pub fn overflow_fraction(&self) -> f64 {
         if self.total == 0 {
@@ -174,13 +193,28 @@ impl PowerHistogram {
                 bar,
             ]);
         }
+        if self.non_finite > 0 {
+            let frac = if self.total == 0 {
+                0.0
+            } else {
+                self.non_finite as f64 / self.total as f64
+            };
+            t.add_row(vec![
+                "non-finite".into(),
+                format!("{:.1}%", frac * 100.0),
+                String::new(),
+            ]);
+        }
         t
     }
 }
 
 /// Percentiles of a sample slice (nearest-rank). `qs` are in `[0, 1]`.
 ///
-/// Returns an empty vec for empty input.
+/// Returns an empty vec for empty input. An out-of-range quantile is a
+/// caller bug: debug builds (and therefore the test suite) fail loudly on
+/// one, while release builds keep the historical clamp so a sweep is never
+/// thrown away over a malformed report request.
 pub fn percentiles(values: &[f64], qs: &[f64]) -> Vec<f64> {
     if values.is_empty() {
         return Vec::new();
@@ -189,6 +223,7 @@ pub fn percentiles(values: &[f64], qs: &[f64]) -> Vec<f64> {
     sorted.sort_by(|a, b| a.total_cmp(b));
     qs.iter()
         .map(|&q| {
+            debug_assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
             let q = q.clamp(0.0, 1.0);
             let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
             sorted[idx]
@@ -296,5 +331,69 @@ mod tests {
     #[should_panic(expected = "inverted")]
     fn inverted_range_panics() {
         let _ = PowerHistogram::new(10.0, 0.0, 4);
+    }
+
+    #[test]
+    fn non_finite_samples_do_not_poison_the_mean() {
+        let mut h = PowerHistogram::new(0.0, 100.0, 4);
+        h.push(10.0);
+        h.push(f64::NAN);
+        h.push(30.0);
+        h.push(f64::INFINITY);
+        h.push(f64::NEG_INFINITY);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.non_finite(), 3);
+        // NaN must not land in bin 0 (the old bug) nor in the saturation
+        // counters.
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.saturated(), 0);
+        // Mean over the finite samples only — and still a number.
+        assert_close!(h.mean(), 20.0, 1e-12);
+        // The table surfaces the bad samples.
+        let rendered = h.to_table("faulty sensor").render();
+        assert!(rendered.contains("non-finite"), "{rendered}");
+        assert!(rendered.contains("60.0%"), "{rendered}");
+    }
+
+    #[test]
+    fn clean_table_has_no_non_finite_row() {
+        let mut h = PowerHistogram::new(0.0, 10.0, 2);
+        h.push(5.0);
+        assert!(!h.to_table("clean").render().contains("non-finite"));
+    }
+
+    #[test]
+    fn all_out_of_range_samples_keep_stats_consistent() {
+        let mut h = PowerHistogram::new(10.0, 20.0, 4);
+        h.push(-5.0);
+        h.push(100.0);
+        h.push(200.0);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.saturated(), 3);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        // Edge bins absorb everything; interior bins stay empty.
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 0);
+        assert_eq!(h.count(2), 0);
+        assert_eq!(h.count(3), 2);
+        assert_close!(h.mean(), (-5.0 + 100.0 + 200.0) / 3.0, 1e-12);
+        assert_close!(h.fraction_at_or_above(15.0), 2.0 / 3.0, 1e-12);
+    }
+
+    #[test]
+    fn only_non_finite_samples_mean_is_zero() {
+        let mut h = PowerHistogram::new(0.0, 1.0, 1);
+        h.push(f64::NAN);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.non_finite(), 1);
+        assert_eq!(h.count(0), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn out_of_range_quantile_fails_loudly_in_debug() {
+        let _ = percentiles(&[1.0, 2.0], &[1.5]);
     }
 }

@@ -66,12 +66,13 @@ impl SuiteSummary {
     }
 
     /// Worst (largest) max-power ratio — the §5.1 viability criterion
-    /// applies to this value.
+    /// applies to this value. `0.0` on an empty suite (the fold's natural
+    /// `-inf` identity would leak into reports otherwise).
     pub fn worst_max_ratio(&self) -> f64 {
         self.rows
             .iter()
             .map(|r| r.max_ratio)
-            .fold(f64::NEG_INFINITY, f64::max)
+            .fold(0.0, f64::max)
     }
 
     /// §5.1 viability: every combo under the limit.
@@ -155,7 +156,16 @@ mod tests {
     #[test]
     fn empty_summary_is_calm() {
         let s = SuiteSummary::new("empty");
+        // Every aggregate over zero rows must be a quiet, finite zero —
+        // never NaN (0/0) or -inf (empty max fold).
         assert_eq!(s.average_speedup(), 0.0);
+        assert_eq!(s.average_ppe(), 0.0);
+        assert_eq!(s.average_max_ratio(), 0.0);
+        assert_eq!(s.worst_max_ratio(), 0.0);
         assert!(s.viable());
+        // And the table still renders (just the Ave. row).
+        let t = s.to_table();
+        assert_eq!(t.len(), 1);
+        assert!(t.render().contains("Ave."));
     }
 }

@@ -15,8 +15,9 @@
 //!    `sim-core`; level 1 models (`power-model`, `pdn`, `workloads`);
 //!    level 2 components (`cpu-sim`, `gpu-sim`, `accel-sim`, `metrics`);
 //!    level 3 observability and adversaries (`telemetry`, which the
-//!    controller feeds, and `faults`, whose plans the controller defends
-//!    against); level 4 the HCAPP controller (`core`); level 5 hosts (`cli`,
+//!    controller feeds, `faults`, whose plans the controller defends
+//!    against, and `cache`, which memoizes the controller's runs); level 4
+//!    the HCAPP controller (`core`); level 5 hosts (`cli`,
 //!    `experiments`); level 6 `bench` and the root harness. A crate may
 //!    only depend on *strictly lower* levels (dev-dependencies exempt, so
 //!    test utilities like `simlint` itself can go anywhere).
@@ -80,7 +81,7 @@ pub fn level_of(package: &str) -> Option<u8> {
         "hcapp-sim-core" => 0,
         "hcapp-power-model" | "hcapp-pdn" | "hcapp-workloads" => 1,
         "hcapp-cpu-sim" | "hcapp-gpu-sim" | "hcapp-accel-sim" | "hcapp-metrics" => 2,
-        "hcapp-telemetry" | "hcapp-faults" => 3,
+        "hcapp-telemetry" | "hcapp-faults" | "hcapp-cache" => 3,
         "hcapp" => 4,
         "hcapp-cli" | "hcapp-experiments" => 5,
         "hcapp-bench" | "hcapp-repro" => 6,

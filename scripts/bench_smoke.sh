@@ -1,0 +1,18 @@
+#!/bin/sh
+# Smoke-mode scaling bench: serial vs pooled vs batched wall-clock plus
+# cold/warm cache timing, written to results/BENCH_parallel.json so the
+# perf trajectory is tracked across PRs. Knobs (all optional):
+#   HCAPP_BENCH_MS       simulated milliseconds per run   (default 20)
+#   HCAPP_BENCH_SCALE    domains per kind                 (default 4 -> 12)
+#   HCAPP_BENCH_WORKERS  pool size                        (default 4)
+#   HCAPP_BENCH_TRIALS   best-of-N trials                 (default 3)
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p hcapp-experiments --bin bench_parallel
+./target/release/bench_parallel
+
+test -s results/BENCH_parallel.json || {
+    echo "bench_smoke: results/BENCH_parallel.json was not written" >&2
+    exit 1
+}

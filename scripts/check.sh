@@ -31,4 +31,7 @@ rm -f "$smoke"
 echo "==> hcapp faults smoke (executor determinism + cap bound)"
 cargo run --release -p hcapp-cli -q -- faults --seed 7 --check
 
+echo "==> scaling bench smoke (results/BENCH_parallel.json)"
+scripts/bench_smoke.sh
+
 echo "==> all checks passed"
