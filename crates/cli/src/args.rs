@@ -33,6 +33,9 @@ pub enum ArgError {
     },
     /// Flags nothing consumed.
     Unknown(Vec<String>),
+    /// The command parsed fine but its check failed; the message is the
+    /// full report to show the user.
+    Failed(String),
 }
 
 impl fmt::Display for ArgError {
@@ -45,6 +48,7 @@ impl fmt::Display for ArgError {
                 value,
                 expected,
             } => write!(f, "--{flag} {value}: expected {expected}"),
+            ArgError::Failed(report) => write!(f, "{report}"),
             ArgError::Unknown(flags) => {
                 write!(f, "unknown flag(s): ")?;
                 for (i, fl) in flags.iter().enumerate() {

@@ -5,6 +5,7 @@ pub mod faults;
 pub mod hist;
 pub mod record;
 pub mod run;
+pub mod sanitize;
 pub mod shared;
 pub mod sweep;
 pub mod trace;
@@ -55,6 +56,11 @@ COMMANDS:
     faults  run under a seeded fault plan, report resilience vs the clean run
             (run flags) --plan quiet|light|moderate|severe (moderate)
             --check               executor-determinism + cap-bound self-test
+    sanitize schedule-permutation sanitizer: re-run the pooled executor under
+            adversarially permuted worker reply orders; every outcome must be
+            byte-identical to the serial run
+            (run flags) --orderings N (16)   permutation seeds per worker count
+            --parallel N          single worker count (absent = 2 and 3)
     list    available combos, benchmarks and schemes
     help    this text
 "

@@ -39,6 +39,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "trace" => commands::trace::execute(&args).map_err(|e| e.to_string()),
         "record" => commands::record::execute(&args).map_err(|e| e.to_string()),
         "faults" => commands::faults::execute(&args).map_err(|e| e.to_string()),
+        "sanitize" => commands::sanitize::execute(&args).map_err(|e| e.to_string()),
         "list" => Ok(commands::list()),
         "help" | "--help" | "-h" => Ok(commands::help()),
         other => Err(format!(

@@ -48,6 +48,7 @@ pub mod outcome;
 pub mod parallel;
 pub mod pid;
 pub mod scheme;
+pub mod simsan;
 pub mod software;
 pub mod system;
 pub mod tuning;

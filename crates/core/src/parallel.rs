@@ -238,6 +238,50 @@ enum WorkerMsg {
     ReportWork,
 }
 
+/// Deterministic splitmix64 step — the sanitizer's only entropy source, so
+/// a failing ordering is reproducible from its seed alone.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Adversarial reply-order permuter for the schedule-permutation sanitizer
+/// ([`crate::simsan`]). When installed on a [`PooledExecutor`], every
+/// dispatch first drains *all* worker replies (a maximally delayed merge)
+/// and then releases the per-domain batches in a seed-determined order —
+/// modelling the worst legal message schedule the channel protocol allows.
+/// The executor's results must not change: merging happens by domain
+/// index, so any arrival order is equivalent. The sanitizer makes that
+/// claim executable.
+pub(crate) struct ReplyPermuter {
+    seed: u64,
+    /// Per-run dispatch counter, so every batch sees a fresh ordering.
+    dispatch: u64,
+}
+
+impl ReplyPermuter {
+    pub(crate) fn new(seed: u64) -> ReplyPermuter {
+        ReplyPermuter { seed, dispatch: 0 }
+    }
+
+    /// Reorder `batch` by deterministic per-element sort keys (a keyed
+    /// shuffle — no index arithmetic, no shared state).
+    fn shuffle<T>(&mut self, batch: Vec<T>) -> Vec<T> {
+        self.dispatch = self.dispatch.wrapping_add(1);
+        let base = splitmix64(self.seed ^ splitmix64(self.dispatch));
+        let mut keyed: Vec<(u64, T)> = batch
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| (splitmix64(base ^ (i as u64)), item))
+            .collect();
+        keyed.sort_by_key(|(k, _)| *k);
+        keyed.into_iter().map(|(_, item)| item).collect()
+    }
+}
+
 /// Executor that fans domains out to persistent worker threads.
 struct PooledExecutor<'scope> {
     cmd_txs: Vec<Sender<WorkerMsg>>,
@@ -246,14 +290,19 @@ struct PooledExecutor<'scope> {
     nominal_rates: Vec<f64>,
     last_work: Vec<f64>,
     n_domains: usize,
+    /// Installed only by the sanitizer entry points; `None` in production.
+    permuter: Option<ReplyPermuter>,
     _marker: std::marker::PhantomData<&'scope ()>,
 }
 
 impl PooledExecutor<'_> {
     /// Receive one reply per worker, handing each per-domain result to
     /// `sink`. Results are scattered by domain index afterwards, so arrival
-    /// order never matters.
+    /// order never matters. Under the sanitizer's [`ReplyPermuter`] the
+    /// batches are additionally buffered and released in an adversarially
+    /// permuted order before sinking.
     fn collect_replies(&mut self, mut sink: impl FnMut(DomainBatch)) {
+        let mut pending: Vec<DomainBatch> = Vec::new();
         let mut seen = 0usize;
         while seen < self.n_domains {
             let reply = self
@@ -261,8 +310,21 @@ impl PooledExecutor<'_> {
                 .recv()
                 .expect("invariant: each worker replies once per dispatch");
             for dom in reply.domains {
-                self.last_work[dom.domain_idx] = dom.work_done;
                 seen += 1;
+                if self.permuter.is_some() {
+                    pending.push(dom);
+                } else {
+                    self.last_work[dom.domain_idx] = dom.work_done;
+                    sink(dom);
+                }
+            }
+        }
+        if let Some(p) = self.permuter.as_mut() {
+            for dom in p.shuffle(pending) {
+                // simlint: allow(L6): domain_idx < n_domains is the worker
+                // protocol invariant; the streaming arm above is the same
+                // (baselined) access
+                self.last_work[dom.domain_idx] = dom.work_done;
                 sink(dom);
             }
         }
@@ -338,6 +400,19 @@ impl Simulation {
     /// Run to completion with the chiplet-parallel executor on `workers`
     /// threads. Produces results bit-identical to [`Simulation::run`].
     pub fn run_parallel(self, workers: usize) -> RunOutcome {
+        self.run_parallel_inner(workers, None)
+    }
+
+    /// Sanitizer entry point: like [`Simulation::run_parallel`], but worker
+    /// replies are buffered per dispatch and merged in the adversarial
+    /// order derived from `permute_seed`. A correct executor produces
+    /// byte-identical outcomes for every seed; [`crate::simsan`] asserts
+    /// exactly that against the serial run.
+    pub fn run_parallel_permuted(self, workers: usize, permute_seed: u64) -> RunOutcome {
+        self.run_parallel_inner(workers, Some(ReplyPermuter::new(permute_seed)))
+    }
+
+    fn run_parallel_inner(self, workers: usize, permuter: Option<ReplyPermuter>) -> RunOutcome {
         let Simulation {
             sys,
             run,
@@ -430,6 +505,7 @@ impl Simulation {
                 nominal_rates,
                 last_work: initial_work,
                 n_domains,
+                permuter,
                 _marker: std::marker::PhantomData,
             };
             // Workers exit when their command channels drop with the

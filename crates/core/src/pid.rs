@@ -166,6 +166,8 @@ impl PidController {
         self.integral += error * dt_s;
         // Anti-windup: clamp the integral so its contribution stays within
         // ±integral_limit volts.
+        // simlint: allow(L8): ki is a configured constant, never a computed
+        // value; exact zero is the "integral term disabled" sentinel
         if self.gains.ki != 0.0 {
             let max_int = self.gains.integral_limit / self.gains.ki.abs();
             self.integral = self.integral.clamp(-max_int, max_int);

@@ -72,7 +72,8 @@ impl SupplyNetwork {
         let v = self.delivered[idx];
         // Numerical-stability epsilon, not a physical threshold: guards the
         // I = P/V division below against a (transiently) zero rail.
-        // simlint: allow(unit-safety)
+        // simlint: allow(unit-safety): epsilon guard on a transiently-zero
+        // rail, not physical-unit arithmetic
         if self.branch_resistance > 0.0 && v.value() > 1e-9 {
             // I = P/V; ΔV = I·R.
             let current = last_power.value() / v.value();

@@ -1,0 +1,444 @@
+//! Workspace symbol table and approximate call graph.
+//!
+//! Symbols are the `fn` items extracted by [`crate::parser`]; edges are
+//! *name-based*: a call site `foo(…)`, `Type::foo(…)` or `recv.foo(…)`
+//! creates an edge to every workspace fn a conservative resolution rule
+//! matches. There is no type inference, so the graph **over-approximates**
+//! reachability — which is the right polarity for L6: a panic path the
+//! graph reports may be a false positive, but a real panic path is never
+//! silently dropped by failing to resolve a call. The resolution rules
+//! (and the remaining false-negative sources: fn pointers, closures
+//! escaping their defining fn, macro-generated calls) are documented in
+//! DESIGN.md.
+//!
+//! Resolution, from most to least specific:
+//! - `Type::foo(` → fns named `foo` whose enclosing `impl` is `Type`;
+//!   falls back to all fns named `foo` if no such method exists;
+//! - `.foo(` (method call) → all *methods* named `foo` (fns with an
+//!   enclosing impl);
+//! - bare `foo(` → all *free* fns named `foo`; falls back to all fns
+//!   named `foo` (covers `use Type::foo`-style imports).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::path::Path;
+
+use crate::lexer::{TokKind, TokenFile};
+use crate::parser::{parse_items, Item, ItemKind};
+
+/// One lexed + parsed source file.
+pub struct ParsedFile {
+    /// Workspace-relative `/`-separated path.
+    pub rel: String,
+    pub crate_name: String,
+    pub tf: TokenFile,
+    pub items: Vec<Item>,
+    pub whole_file_is_test: bool,
+}
+
+impl ParsedFile {
+    pub fn new(rel: String, crate_name: String, src: &str, whole_file_is_test: bool) -> ParsedFile {
+        let tf = TokenFile::new(src);
+        let items = parse_items(&tf, whole_file_is_test);
+        ParsedFile {
+            rel,
+            crate_name,
+            tf,
+            items,
+            whole_file_is_test,
+        }
+    }
+}
+
+/// A fn symbol in the graph. Indexes refer back into the owning
+/// [`Workspace`].
+#[derive(Debug, Clone)]
+pub struct Symbol {
+    pub file_idx: usize,
+    pub item_idx: usize,
+    pub name: String,
+    pub parent_impl: Option<String>,
+    pub is_test: bool,
+    pub line: usize,
+}
+
+/// One resolved call edge out of a fn body.
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    callee: usize,
+    /// 1-based source line of the call site.
+    line: usize,
+}
+
+/// The parsed workspace plus its call graph.
+pub struct Workspace {
+    pub files: Vec<ParsedFile>,
+    pub symbols: Vec<Symbol>,
+    edges: Vec<Vec<Edge>>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+/// How a call site names its target, before resolution.
+enum CallShape {
+    /// `foo(` with no path or receiver.
+    Bare,
+    /// `Type::foo(` — `Type` is the last path segment before the fn name.
+    Qualified(String),
+    /// `.foo(`.
+    Method,
+}
+
+/// Keywords that look like calls when followed by `(`.
+fn is_call_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "while" | "for" | "match" | "loop" | "return" | "fn" | "impl" | "where" | "in"
+            | "as" | "let" | "else" | "move" | "mut" | "ref" | "unsafe" | "async" | "await"
+            | "box" | "dyn" | "pub" | "use" | "mod" | "break" | "continue"
+    )
+}
+
+impl Workspace {
+    /// Build the symbol table and call graph over `files`.
+    pub fn build(files: Vec<ParsedFile>) -> Workspace {
+        let mut symbols = Vec::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (ii, item) in file.items.iter().enumerate() {
+                if item.kind != ItemKind::Fn {
+                    continue;
+                }
+                let sid = symbols.len();
+                symbols.push(Symbol {
+                    file_idx: fi,
+                    item_idx: ii,
+                    name: item.name.clone(),
+                    parent_impl: item.parent_impl.clone(),
+                    is_test: item.is_test,
+                    line: item.line,
+                });
+                by_name.entry(item.name.clone()).or_default().push(sid);
+            }
+        }
+
+        let mut ws = Workspace {
+            files,
+            symbols,
+            edges: Vec::new(),
+            by_name,
+        };
+        ws.edges = (0..ws.symbols.len()).map(|s| ws.resolve_calls(s)).collect();
+        ws
+    }
+
+    /// Convenience: load, lex and parse every non-fixture `.rs` file under
+    /// `root` with the same skip rules as the line-based loader.
+    pub fn load(root: &Path) -> std::io::Result<Workspace> {
+        let mut rs_files = Vec::new();
+        crate::walk_rs_files(root, &mut rs_files);
+        let mut files = Vec::new();
+        for abs in rs_files {
+            let rel = crate::source::rel_to(root, &abs);
+            if crate::is_fixture(&rel) {
+                continue;
+            }
+            let src = std::fs::read_to_string(&abs)?;
+            files.push(ParsedFile::new(
+                rel.clone(),
+                crate::crate_name_of(&rel),
+                &src,
+                crate::whole_file_is_test(&rel),
+            ));
+        }
+        Ok(Workspace::build(files))
+    }
+
+    pub fn symbol_item(&self, sid: usize) -> (&ParsedFile, &Item) {
+        let s = &self.symbols[sid];
+        let f = &self.files[s.file_idx];
+        (f, &f.items[s.item_idx])
+    }
+
+    /// All symbols whose fn name is `name`.
+    pub fn symbols_named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Extract and resolve the call sites of symbol `sid`.
+    fn resolve_calls(&self, sid: usize) -> Vec<Edge> {
+        let (file, item) = self.symbol_item(sid);
+        let Some((b0, b1)) = item.body else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let toks = &file.tf.toks;
+        let mut i = b0;
+        while i < b1 {
+            let Some(j) = file.tf.next_code(i) else { break };
+            if j >= b1 {
+                break;
+            }
+            i = j + 1;
+            if toks[j].kind != TokKind::Ident {
+                continue;
+            }
+            let name = file.tf.text(j);
+            if is_call_keyword(name) {
+                continue;
+            }
+            // A call is `ident (` with nothing between; `ident!(…)` is a
+            // macro, `ident::<…>(…)` (turbofish) also counts as a call.
+            let Some(next) = file.tf.next_code(j + 1) else { break };
+            let open = if file.tf.text(next) == "::" {
+                // turbofish `ident::<T>(…)`: skip the generic group
+                let Some(lt) = file.tf.next_code(next + 1) else { continue };
+                if file.tf.text(lt) != "<" {
+                    continue; // plain path segment; the *last* segment is
+                              // the one followed by `(`, handled on its own
+                }
+                let close = self.skip_angles(file, lt);
+                match file.tf.next_code(close) {
+                    Some(p) if file.tf.text(p) == "(" => p,
+                    _ => continue,
+                }
+            } else if file.tf.text(next) == "(" {
+                next
+            } else {
+                continue;
+            };
+            let _ = open;
+
+            // Classify the shape from the tokens *before* the name.
+            let shape = match file.tf.prev_code(j) {
+                Some(p) if file.tf.text(p) == "." => CallShape::Method,
+                Some(p) if file.tf.text(p) == "::" => {
+                    match file.tf.prev_code(p) {
+                        Some(q)
+                            if toks[q].kind == TokKind::Ident =>
+                        {
+                            CallShape::Qualified(file.tf.text(q).to_string())
+                        }
+                        // `<Type as Trait>::foo(` and `>::foo(`: treat as
+                        // method-like (match methods by name).
+                        _ => CallShape::Method,
+                    }
+                }
+                _ => CallShape::Bare,
+            };
+
+            let line = toks[j].line;
+            for callee in self.resolve(name, &shape) {
+                out.push(Edge { callee, line });
+            }
+        }
+        out
+    }
+
+    /// Skip a balanced `< … >` group starting at `lt`; returns the index
+    /// past the closing `>` (counting `<`/`>` characters inside composed
+    /// punct tokens like `>>`).
+    fn skip_angles(&self, file: &ParsedFile, lt: usize) -> usize {
+        let mut depth = 0i64;
+        let mut k = lt;
+        while k < file.tf.toks.len() {
+            let t = file.tf.text(k);
+            if file.tf.toks[k].kind == TokKind::Punct && t != "->" && t != "=>" {
+                depth += t.matches('<').count() as i64;
+                depth -= t.matches('>').count() as i64;
+                if depth <= 0 {
+                    return k + 1;
+                }
+            }
+            k += 1;
+        }
+        k
+    }
+
+    /// Apply the resolution rules for one call site. Each shape narrows to
+    /// its most plausible target set but falls back to every fn with the
+    /// name when the narrow set is empty — over-approximation beats a
+    /// dropped edge for a reachability rule.
+    fn resolve(&self, name: &str, shape: &CallShape) -> Vec<usize> {
+        let all = self.symbols_named(name);
+        let narrowed: Vec<usize> = match shape {
+            CallShape::Qualified(ty) => all
+                .iter()
+                .copied()
+                .filter(|&s| self.symbols[s].parent_impl.as_deref() == Some(ty.as_str()))
+                .collect(),
+            CallShape::Method => all
+                .iter()
+                .copied()
+                .filter(|&s| self.symbols[s].parent_impl.is_some())
+                .collect(),
+            CallShape::Bare => all
+                .iter()
+                .copied()
+                .filter(|&s| self.symbols[s].parent_impl.is_none())
+                .collect(),
+        };
+        if narrowed.is_empty() {
+            all.to_vec()
+        } else {
+            narrowed
+        }
+    }
+
+    /// Direct callees of `sid` (deduplicated), with the first call line.
+    pub fn callees(&self, sid: usize) -> Vec<(usize, usize)> {
+        let mut seen = BTreeMap::new();
+        for e in &self.edges[sid] {
+            seen.entry(e.callee).or_insert(e.line);
+        }
+        seen.into_iter().collect()
+    }
+
+    /// BFS from `roots`; returns, for each reached symbol, the parent it
+    /// was reached from and the call-site line (`None` for roots). Test
+    /// symbols never extend the frontier: a call that only occurs in test
+    /// code does not make its callee "reachable from the hot loop".
+    pub fn reachable_from(&self, roots: &[usize]) -> BTreeMap<usize, Option<(usize, usize)>> {
+        let mut seen: BTreeMap<usize, Option<(usize, usize)>> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        for &r in roots {
+            if self.symbols[r].is_test {
+                continue;
+            }
+            if seen.insert(r, None).is_none() {
+                queue.push_back(r);
+            }
+        }
+        while let Some(s) = queue.pop_front() {
+            for (callee, line) in self.callees(s) {
+                if self.symbols[callee].is_test {
+                    continue;
+                }
+                if let std::collections::btree_map::Entry::Vacant(e) = seen.entry(callee) {
+                    e.insert(Some((s, line)));
+                    queue.push_back(callee);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Render the call chain `root → … → sid` recorded by
+    /// [`Workspace::reachable_from`], as `a → b → c` qualified names.
+    pub fn chain_to(
+        &self,
+        reach: &BTreeMap<usize, Option<(usize, usize)>>,
+        sid: usize,
+    ) -> String {
+        let mut names = Vec::new();
+        let mut cur = sid;
+        loop {
+            let (file, item) = self.symbol_item(cur);
+            let _ = file;
+            names.push(item.qualified());
+            match reach.get(&cur) {
+                Some(Some((parent, _))) if names.len() < 24 => cur = *parent,
+                _ => break,
+            }
+        }
+        names.reverse();
+        names.join(" -> ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace::build(
+            files
+                .iter()
+                .map(|(rel, src)| {
+                    ParsedFile::new(
+                        rel.to_string(),
+                        crate::crate_name_of(rel),
+                        src,
+                        crate::whole_file_is_test(rel),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn sid(w: &Workspace, name: &str) -> usize {
+        *w.symbols_named(name).first().unwrap_or_else(|| panic!("no symbol {name}"))
+    }
+
+    #[test]
+    fn direct_and_transitive_reachability() {
+        let w = ws(&[(
+            "crates/core/src/a.rs",
+            "fn root() { mid(); }\nfn mid() { leaf(3); }\nfn leaf(x: u32) -> u32 { x }\nfn island() {}",
+        )]);
+        let reach = w.reachable_from(&[sid(&w, "root")]);
+        assert!(reach.contains_key(&sid(&w, "mid")));
+        assert!(reach.contains_key(&sid(&w, "leaf")));
+        assert!(!reach.contains_key(&sid(&w, "island")));
+    }
+
+    #[test]
+    fn method_calls_resolve_by_name() {
+        let w = ws(&[(
+            "crates/core/src/b.rs",
+            "struct P;\nimpl P { fn go(&self) { self.step(); } fn step(&self) {} }\nfn drive(p: &P) { p.go(); }",
+        )]);
+        let reach = w.reachable_from(&[sid(&w, "drive")]);
+        assert!(reach.contains_key(&sid(&w, "go")));
+        assert!(reach.contains_key(&sid(&w, "step")));
+    }
+
+    #[test]
+    fn test_code_does_not_extend_frontier() {
+        let w = ws(&[(
+            "crates/core/src/c.rs",
+            "fn root() {}\n#[cfg(test)]\nmod tests { use super::*; #[test] fn t() { root(); helper(); } fn helper() { victim(); } }\nfn victim() {}",
+        )]);
+        let reach = w.reachable_from(&[sid(&w, "root")]);
+        assert!(!reach.contains_key(&sid(&w, "victim")));
+    }
+
+    #[test]
+    fn macro_invocations_are_not_calls() {
+        let w = ws(&[(
+            "crates/core/src/d.rs",
+            "fn root() { println!(\"{}\", 1); }\nfn println() { victim(); }\nfn victim() {}",
+        )]);
+        let reach = w.reachable_from(&[sid(&w, "root")]);
+        assert!(!reach.contains_key(&sid(&w, "victim")), "println! is a macro, not the fn");
+    }
+
+    #[test]
+    fn turbofish_calls_resolve() {
+        let w = ws(&[(
+            "crates/core/src/e.rs",
+            "fn root() { convert::<u32>(1); }\nfn convert<T>(v: T) -> T { v }",
+        )]);
+        let reach = w.reachable_from(&[sid(&w, "root")]);
+        assert!(reach.contains_key(&sid(&w, "convert")));
+    }
+
+    #[test]
+    fn chain_rendering() {
+        let w = ws(&[(
+            "crates/core/src/f.rs",
+            "fn a() { b(); }\nfn b() { c(); }\nfn c() {}",
+        )]);
+        let reach = w.reachable_from(&[sid(&w, "a")]);
+        assert_eq!(w.chain_to(&reach, sid(&w, "c")), "a -> b -> c");
+    }
+
+    #[test]
+    fn qualified_calls_resolve() {
+        let w = ws(&[(
+            "crates/core/src/g.rs",
+            "struct Pool;\nimpl Pool { fn spawn() { work(); } }\nfn work() {}\nfn root() { Pool::spawn(); }",
+        )]);
+        let reach = w.reachable_from(&[sid(&w, "root")]);
+        assert!(reach.contains_key(&sid(&w, "spawn")));
+        assert!(reach.contains_key(&sid(&w, "work")));
+    }
+}

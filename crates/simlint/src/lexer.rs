@@ -1,0 +1,615 @@
+//! A token-level Rust lexer.
+//!
+//! simlint v1 worked on masked *lines*; the semantic rules (L6–L8) need to
+//! see structure that spans lines — function bodies, call expressions, lock
+//! scopes — so v2 lexes whole files into a flat token stream with byte
+//! spans. The lexer is deliberately total and lossless:
+//!
+//! * **total** — every input, including malformed Rust, lexes without
+//!   error (unknown bytes become one-byte [`TokKind::Punct`] tokens,
+//!   unterminated literals run to end of file);
+//! * **lossless** — concatenating the span text of every token reproduces
+//!   the file byte for byte (`tests/roundtrip.rs` asserts this over the
+//!   whole workspace).
+//!
+//! It stays zero-dependency (rule L4 forbids `syn`/`proc-macro2`): the
+//! grammar implemented here is the small subset of Rust's lexical grammar
+//! the rules need — comments, all string/char literal forms, numbers,
+//! identifiers (including raw identifiers), lifetimes, and multi-byte
+//! operators composed greedily so `==`, `::`, `..=`, `->` arrive as single
+//! tokens.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword, including raw identifiers (`r#loop`).
+    Ident,
+    /// A lifetime (`'a`, `'static`, `'_`) — an apostrophe with no closing
+    /// quote.
+    Lifetime,
+    /// Numeric literal, including floats, exponents, radix prefixes and
+    /// type suffixes (`1_000`, `0x1f`, `2.5e-3_f64`).
+    Num,
+    /// String literal of any form: `"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br#"…"#`, `c"…"`. Includes the delimiters.
+    Str,
+    /// Char or byte-char literal (`'x'`, `'\n'`, `b'\0'`).
+    Char,
+    /// `// …` to end of line (excluding the newline). Doc line comments
+    /// (`///`, `//!`) included.
+    LineComment,
+    /// `/* … */`, nested, possibly unterminated at EOF.
+    BlockComment,
+    /// Operator or punctuation; multi-byte operators are one token.
+    Punct,
+    /// A run of whitespace (spaces, tabs, newlines).
+    Whitespace,
+}
+
+impl TokKind {
+    /// Tokens that never affect syntax: whitespace and comments.
+    pub fn is_trivia(self) -> bool {
+        matches!(
+            self,
+            TokKind::Whitespace | TokKind::LineComment | TokKind::BlockComment
+        )
+    }
+}
+
+/// One token: a classified byte span of the source. Slice the original
+/// text with `&src[tok.start..tok.end]` to recover its exact spelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of the token's first byte.
+    pub line: usize,
+}
+
+impl Tok {
+    /// The token's text within `src` (the same string that was lexed).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Multi-byte operators, longest first so greedy matching is correct.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` completely. See the module docs for the guarantees.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::with_capacity(src.len() / 4),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    out: Vec<Tok>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            self.out.push(Tok {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advance one byte, counting newlines.
+    fn bump(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    /// Advance one *char* (multi-byte safe).
+    fn bump_char(&mut self) {
+        let c = self.src[self.pos..]
+            .chars()
+            .next()
+            .expect("invariant: pos is always on a char boundary");
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += c.len_utf8();
+    }
+
+    fn next_kind(&mut self) -> TokKind {
+        let c = self.src[self.pos..]
+            .chars()
+            .next()
+            .expect("invariant: run() only calls next_kind before EOF");
+
+        if c.is_whitespace() {
+            while self.pos < self.bytes.len() {
+                let c = self.src[self.pos..].chars().next();
+                match c {
+                    Some(c) if c.is_whitespace() => self.bump_char(),
+                    _ => break,
+                }
+            }
+            return TokKind::Whitespace;
+        }
+
+        if c == '/' {
+            match self.peek(1) {
+                Some(b'/') => {
+                    while self.peek(0).is_some_and(|b| b != b'\n') {
+                        self.bump_char();
+                    }
+                    return TokKind::LineComment;
+                }
+                Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1u32;
+                    while depth > 0 && self.pos < self.bytes.len() {
+                        if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                            self.bump();
+                            self.bump();
+                            depth -= 1;
+                        } else if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                            self.bump();
+                            self.bump();
+                            depth += 1;
+                        } else {
+                            self.bump_char();
+                        }
+                    }
+                    return TokKind::BlockComment;
+                }
+                _ => {}
+            }
+        }
+
+        // Raw identifiers and raw/byte string prefixes. The prefix letters
+        // (`r`, `b`, `br`, `c`) only start a literal when immediately
+        // followed by a quote or `#"`-hash run — otherwise they are plain
+        // identifiers.
+        if c == 'r' || c == 'b' || c == 'c' {
+            if let Some(kind) = self.try_prefixed_literal() {
+                return kind;
+            }
+        }
+
+        if is_ident_start(c) {
+            while self.pos < self.bytes.len() {
+                let c = self.src[self.pos..].chars().next();
+                match c {
+                    Some(c) if is_ident_continue(c) => self.bump_char(),
+                    _ => break,
+                }
+            }
+            return TokKind::Ident;
+        }
+
+        if c.is_ascii_digit() {
+            self.lex_number();
+            return TokKind::Num;
+        }
+
+        if c == '"' {
+            self.lex_plain_string();
+            return TokKind::Str;
+        }
+
+        if c == '\'' {
+            return self.lex_char_or_lifetime();
+        }
+
+        // Multi-byte operators, greedily.
+        for op in MULTI_PUNCT {
+            if self.src[self.pos..].starts_with(op) {
+                for _ in 0..op.len() {
+                    self.bump();
+                }
+                return TokKind::Punct;
+            }
+        }
+
+        self.bump_char();
+        TokKind::Punct
+    }
+
+    /// `r#ident`, `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br##"…"##`, `c"…"`.
+    /// Returns `None` when the prefix is just the start of an identifier.
+    fn try_prefixed_literal(&mut self) -> Option<TokKind> {
+        let rest = &self.src[self.pos..];
+        let (prefix_len, raw, byte_char) = if rest.starts_with("br") || rest.starts_with("cr") {
+            (2, true, false)
+        } else if rest.starts_with('r') {
+            // Could be r"…", r#"…"#, or a raw identifier r#ident.
+            (1, true, false)
+        } else if rest.starts_with('b') || rest.starts_with('c') {
+            (1, false, rest.starts_with('b'))
+        } else {
+            return None;
+        };
+        let after = &rest[prefix_len..];
+
+        if raw {
+            // Count hashes; need a quote right after for a raw string.
+            let hashes = after.bytes().take_while(|&b| b == b'#').count();
+            let after_hashes = &after[hashes..];
+            if after_hashes.starts_with('"') {
+                for _ in 0..prefix_len + hashes + 1 {
+                    self.bump();
+                }
+                let close: String = format!("\"{}", "#".repeat(hashes));
+                while self.pos < self.bytes.len() {
+                    if self.src[self.pos..].starts_with(&close) {
+                        for _ in 0..close.len() {
+                            self.bump();
+                        }
+                        return Some(TokKind::Str);
+                    }
+                    self.bump_char();
+                }
+                return Some(TokKind::Str); // unterminated: runs to EOF
+            }
+            // Raw identifier r#foo (only the plain-`r` prefix form).
+            if prefix_len == 1 && hashes == 1 && after_hashes.chars().next().is_some_and(is_ident_start)
+            {
+                for _ in 0..2 {
+                    self.bump(); // r#
+                }
+                while self.pos < self.bytes.len() {
+                    let c = self.src[self.pos..].chars().next();
+                    match c {
+                        Some(c) if is_ident_continue(c) => self.bump_char(),
+                        _ => break,
+                    }
+                }
+                return Some(TokKind::Ident);
+            }
+            return None;
+        }
+
+        // Non-raw prefixed literal: b"…", c"…", b'…'.
+        if after.starts_with('"') {
+            self.bump(); // prefix
+            self.lex_plain_string();
+            return Some(TokKind::Str);
+        }
+        if byte_char && after.starts_with('\'') {
+            self.bump(); // prefix
+            return Some(self.lex_char_or_lifetime());
+        }
+        None
+    }
+
+    /// A `"…"` string starting at the current quote; handles escapes and
+    /// (unlike v1's line masker) multi-line strings natively.
+    fn lex_plain_string(&mut self) {
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.bump();
+                    if self.pos < self.bytes.len() {
+                        self.bump_char();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump_char(),
+            }
+        }
+    }
+
+    /// Disambiguate `'x'` / `'\n'` (char literal) from `'a` (lifetime).
+    fn lex_char_or_lifetime(&mut self) -> TokKind {
+        self.bump(); // apostrophe
+        let rest = &self.src[self.pos..];
+        let mut chars = rest.chars();
+        match chars.next() {
+            Some('\\') => {
+                // Escaped char literal: consume to the closing quote.
+                self.bump();
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                    self.bump_char();
+                }
+                if self.pos < self.bytes.len() {
+                    self.bump();
+                }
+                TokKind::Char
+            }
+            Some(c) if chars.next() == Some('\'') => {
+                // One char then a quote: 'x', 'λ'.
+                self.bump_char();
+                let _ = c;
+                self.bump();
+                TokKind::Char
+            }
+            Some(c) if is_ident_start(c) || c.is_ascii_digit() => {
+                // Lifetime: consume the identifier, no closing quote.
+                while self.pos < self.bytes.len() {
+                    let c = self.src[self.pos..].chars().next();
+                    match c {
+                        Some(c) if is_ident_continue(c) => self.bump_char(),
+                        _ => break,
+                    }
+                }
+                TokKind::Lifetime
+            }
+            _ => TokKind::Punct, // stray apostrophe
+        }
+    }
+
+    /// A numeric literal starting at a digit: integers, radix forms,
+    /// floats, exponents and type suffixes. `1..2` and `1.max(2)` leave
+    /// the dot alone.
+    fn lex_number(&mut self) {
+        // Radix prefix?
+        if self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'o' | b'b') if self.peek(2).is_some())
+        {
+            self.bump();
+            self.bump();
+            while self
+                .peek(0)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.bump();
+            }
+            return;
+        }
+        while self.peek(0).is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+            self.bump();
+        }
+        // Fractional part: a dot NOT followed by another dot (range) or an
+        // identifier start (method call / tuple field access).
+        if self.peek(0) == Some(b'.') {
+            let next = self.peek(1);
+            let blocked = matches!(next, Some(b'.'))
+                || next
+                    .map(|b| is_ident_start(b as char) && !b.is_ascii_digit())
+                    .unwrap_or(false);
+            if !blocked {
+                self.bump();
+                while self.peek(0).is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+                    self.bump();
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some(b'e' | b'E')) {
+            let (sign, first_digit) = (self.peek(1), self.peek(2));
+            let has_exp = match sign {
+                Some(b'+') | Some(b'-') => first_digit.is_some_and(|b| b.is_ascii_digit()),
+                Some(b) => b.is_ascii_digit(),
+                None => false,
+            };
+            if has_exp {
+                self.bump(); // e
+                if matches!(self.peek(0), Some(b'+' | b'-')) {
+                    self.bump();
+                }
+                while self.peek(0).is_some_and(|b| b.is_ascii_digit() || b == b'_') {
+                    self.bump();
+                }
+            }
+        }
+        // Type suffix (f64, u32, usize, …).
+        while self
+            .peek(0)
+            .is_some_and(|b| is_ident_continue(b as char) && b.is_ascii())
+        {
+            self.bump();
+        }
+    }
+}
+
+/// A lexed file: the source text plus its token stream, with helpers the
+/// parser and the semantic rules share.
+#[derive(Debug, Clone)]
+pub struct TokenFile {
+    pub src: String,
+    pub toks: Vec<Tok>,
+}
+
+impl TokenFile {
+    pub fn new(src: &str) -> TokenFile {
+        TokenFile {
+            toks: lex(src),
+            src: src.to_string(),
+        }
+    }
+
+    /// The text of token `i`.
+    pub fn text(&self, i: usize) -> &str {
+        self.toks[i].text(&self.src)
+    }
+
+    /// Index of the next non-trivia token at or after `i`.
+    pub fn next_code(&self, mut i: usize) -> Option<usize> {
+        while i < self.toks.len() {
+            if !self.toks[i].kind.is_trivia() {
+                return Some(i);
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Index of the previous non-trivia token strictly before `i`.
+    pub fn prev_code(&self, i: usize) -> Option<usize> {
+        (0..i).rev().find(|&j| !self.toks[j].kind.is_trivia())
+    }
+
+    /// Round-trip check: token spans tile the source exactly.
+    pub fn round_trips(&self) -> bool {
+        let mut pos = 0usize;
+        for t in &self.toks {
+            if t.start != pos || t.end < t.start {
+                return false;
+            }
+            pos = t.end;
+        }
+        pos == self.src.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !t.kind.is_trivia())
+            .map(|t| (t.kind, &src[t.start..t.end]))
+            .collect()
+    }
+
+    fn assert_round_trip(src: &str) {
+        let f = TokenFile::new(src);
+        assert!(f.round_trips(), "no round trip for {src:?}: {:?}", f.toks);
+    }
+
+    #[test]
+    fn idents_numbers_ops() {
+        let ks = kinds("let x2 = 1_000.5e-3f64 + 0xff;");
+        assert_eq!(ks[0], (TokKind::Ident, "let"));
+        assert_eq!(ks[1], (TokKind::Ident, "x2"));
+        assert_eq!(ks[2], (TokKind::Punct, "="));
+        assert_eq!(ks[3], (TokKind::Num, "1_000.5e-3f64"));
+        assert_eq!(ks[4], (TokKind::Punct, "+"));
+        assert_eq!(ks[5], (TokKind::Num, "0xff"));
+        assert_round_trip("let x2 = 1_000.5e-3f64 + 0xff;");
+    }
+
+    #[test]
+    fn range_and_method_dots_stay_out_of_numbers() {
+        let ks = kinds("a[1..2]; 3.max(4); 5.0.floor()");
+        assert!(ks.contains(&(TokKind::Num, "1")));
+        assert!(ks.contains(&(TokKind::Punct, "..")));
+        assert!(ks.contains(&(TokKind::Num, "3")));
+        assert!(ks.contains(&(TokKind::Num, "5.0")));
+        assert_round_trip("a[1..2]; 3.max(4); 5.0.floor()");
+    }
+
+    #[test]
+    fn strings_and_raw_strings() {
+        let ks = kinds(r##"let s = "a\"b"; let r = r#"panic!()"#; let b = b"x";"##);
+        let strs: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(strs, [r#""a\"b""#, r###"r#"panic!()"#"###, "b\"x\""]);
+        assert_round_trip(r##"let s = "a\"b"; let r = r#"panic!()"#; let b = b"x";"##);
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let ks = kinds("fn f<'a>(x: &'a str) { let c = '\"'; let n = '\\n'; }");
+        let lifetimes: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        let chars: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Char)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(chars, ["'\"'", "'\\n'"]);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let ks = kinds("let r#loop = 3; r");
+        assert_eq!(ks[1], (TokKind::Ident, "r#loop"));
+        assert_eq!(ks.last().copied(), Some((TokKind::Ident, "r")));
+    }
+
+    #[test]
+    fn comments_nested_and_line() {
+        let src = "x /* a /* b */ c */ y // tail\nz";
+        let ks = kinds(src);
+        assert_eq!(ks, [
+            (TokKind::Ident, "x"),
+            (TokKind::Ident, "y"),
+            (TokKind::Ident, "z"),
+        ]);
+        assert_round_trip(src);
+    }
+
+    #[test]
+    fn multibyte_ops_compose() {
+        let ks = kinds("a::b != c && d ..= e -> f");
+        let puncts: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(puncts, ["::", "!=", "&&", "..=", "->"]);
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = lex("a\nbb\n  ccc");
+        let named: Vec<(usize, TokKind)> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| (t.line, t.kind))
+            .collect();
+        assert_eq!(named.len(), 3);
+        assert_eq!(named[0].0, 1);
+        assert_eq!(named[1].0, 2);
+        assert_eq!(named[2].0, 3);
+    }
+
+    #[test]
+    fn unterminated_forms_reach_eof() {
+        for src in ["\"never closed", "/* open", "r#\"open", "'"] {
+            assert_round_trip(src);
+        }
+    }
+
+    #[test]
+    fn unicode_content_round_trips() {
+        assert_round_trip("// §4.2 comment with µs and λ\nlet x = \"café\"; let c = 'λ';");
+    }
+}

@@ -25,8 +25,13 @@
 //! which each crate calls from a `tests/simlint.rs` so tier-1 runs the lint
 //! automatically.
 
+pub mod baseline;
+pub mod graph;
+pub mod lexer;
 pub mod manifest;
+pub mod parser;
 pub mod rules;
+pub mod sem;
 pub mod source;
 
 use std::fmt;
@@ -35,8 +40,10 @@ use std::path::{Path, PathBuf};
 use manifest::Manifest;
 use source::SourceFile;
 
-/// The five lint rules. `code()` gives the short `L*` id used in output and
-/// allow directives.
+/// The lint rules. `code()` gives the short `L*` id used in output and
+/// allow directives. L1–L5 are the line-lexical rules from v1; L6–L8 are
+/// the v2 semantic rules over the symbol graph; L9 audits the allow
+/// directives themselves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
     UnitSafety,
@@ -44,15 +51,23 @@ pub enum Rule {
     Determinism,
     DepLayering,
     DocCoverage,
+    PanicReachability,
+    LockDiscipline,
+    TimeDomain,
+    AllowHygiene,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 9] = [
         Rule::UnitSafety,
         Rule::NoPanic,
         Rule::Determinism,
         Rule::DepLayering,
         Rule::DocCoverage,
+        Rule::PanicReachability,
+        Rule::LockDiscipline,
+        Rule::TimeDomain,
+        Rule::AllowHygiene,
     ];
 
     pub fn code(&self) -> &'static str {
@@ -62,6 +77,10 @@ impl Rule {
             Rule::Determinism => "L3",
             Rule::DepLayering => "L4",
             Rule::DocCoverage => "L5",
+            Rule::PanicReachability => "L6",
+            Rule::LockDiscipline => "L7",
+            Rule::TimeDomain => "L8",
+            Rule::AllowHygiene => "L9",
         }
     }
 
@@ -72,6 +91,10 @@ impl Rule {
             Rule::Determinism => "determinism",
             Rule::DepLayering => "dep-layering",
             Rule::DocCoverage => "doc-coverage",
+            Rule::PanicReachability => "panic-reachability",
+            Rule::LockDiscipline => "lock-discipline",
+            Rule::TimeDomain => "time-domain",
+            Rule::AllowHygiene => "allow-hygiene",
         }
     }
 
@@ -99,8 +122,28 @@ pub struct Finding {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// The offending line (trimmed) or manifest entry.
+    /// The offending line (trimmed) or manifest entry. Baselines match on
+    /// `(rule, file, excerpt)` so line drift never resurrects a finding.
     pub excerpt: String,
+    /// Extra context for semantic rules (e.g. the call chain from the hot
+    /// loop for L6). Display/JSON only — never part of baseline identity.
+    pub note: String,
+}
+
+impl Finding {
+    /// The one-object-per-line JSON form emitted by `simlint --format json`
+    /// and pinned by the golden fixture tests.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":{},\"name\":{},\"file\":{},\"line\":{},\"excerpt\":{},\"note\":{}}}",
+            baseline::quote(self.rule.code()),
+            baseline::quote(self.rule.name()),
+            baseline::quote(&self.file),
+            self.line,
+            baseline::quote(&self.excerpt),
+            baseline::quote(&self.note),
+        )
+    }
 }
 
 impl fmt::Display for Finding {
@@ -112,7 +155,11 @@ impl fmt::Display for Finding {
             self.line,
             self.rule,
             self.excerpt
-        )
+        )?;
+        if !self.note.is_empty() {
+            write!(f, "  ({})", self.note)?;
+        }
+        Ok(())
     }
 }
 
@@ -141,6 +188,10 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 /// Directories never scanned.
 const SKIP_DIRS: &[&str] = &["target", ".git", "node_modules"];
 
+pub(crate) fn walk_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    walk_rs(dir, out);
+}
+
 fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
@@ -160,7 +211,7 @@ fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-fn crate_name_of(rel: &str) -> String {
+pub(crate) fn crate_name_of(rel: &str) -> String {
     rel.strip_prefix("crates/")
         .and_then(|r| r.split('/').next())
         .unwrap_or("")
@@ -169,7 +220,7 @@ fn crate_name_of(rel: &str) -> String {
 
 /// Whole-file test/bench/example targets, and fixtures that intentionally
 /// trip rules.
-fn whole_file_is_test(rel: &str) -> bool {
+pub(crate) fn whole_file_is_test(rel: &str) -> bool {
     let in_dir = |d: &str| {
         rel.split('/')
             .any(|seg| seg == d)
@@ -177,7 +228,7 @@ fn whole_file_is_test(rel: &str) -> bool {
     in_dir("tests") || in_dir("benches") || in_dir("examples")
 }
 
-fn is_fixture(rel: &str) -> bool {
+pub(crate) fn is_fixture(rel: &str) -> bool {
     rel.contains("tests/fixtures/")
 }
 
@@ -186,6 +237,9 @@ pub struct LoadedWorkspace {
     pub root: PathBuf,
     pub sources: Vec<SourceFile>,
     pub manifests: Vec<Manifest>,
+    /// The token-level view: lexed + parsed files, symbol table, call
+    /// graph. Built from the same bytes as `sources`.
+    pub graph: graph::Workspace,
 }
 
 impl LoadedWorkspace {
@@ -194,19 +248,27 @@ impl LoadedWorkspace {
         walk_rs(root, &mut rs_files);
 
         let mut sources = Vec::new();
+        let mut parsed = Vec::new();
         for abs in rs_files {
             let rel = source::rel_to(root, &abs);
             if is_fixture(&rel) {
                 continue;
             }
             let crate_name = crate_name_of(&rel);
-            sources.push(SourceFile::load(
-                &abs,
+            let is_test = whole_file_is_test(&rel);
+            let text = std::fs::read_to_string(&abs)?;
+            sources.push(SourceFile::from_text(
+                &text,
                 rel.clone(),
-                crate_name,
-                whole_file_is_test(&rel),
-            )?);
+                crate_name.clone(),
+                is_test,
+            ));
+            parsed.push(graph::ParsedFile::new(rel, crate_name, &text, is_test));
         }
+        let graph = graph::Workspace::build(parsed);
+        // Item-level allow directives need the item extents the parser
+        // just produced; graft them onto the line-based sources.
+        source::attach_item_allows(&mut sources, &graph);
 
         let mut manifests = Vec::new();
         let mut manifest_paths = vec![root.join("Cargo.toml")];
@@ -230,7 +292,41 @@ impl LoadedWorkspace {
             root: root.to_path_buf(),
             sources,
             manifests,
+            graph,
         })
+    }
+
+    /// Build an in-memory workspace from `(rel_path, text)` pairs — the
+    /// entry point for fixture tests of the semantic rules, which need a
+    /// symbol graph rather than a single [`SourceFile`]. No filesystem,
+    /// no manifests, no baseline.
+    pub fn from_texts(files: &[(&str, &str)]) -> LoadedWorkspace {
+        let mut sources = Vec::new();
+        let mut parsed = Vec::new();
+        for (rel, text) in files {
+            let crate_name = crate_name_of(rel);
+            let is_test = whole_file_is_test(rel);
+            sources.push(SourceFile::from_text(
+                text,
+                rel.to_string(),
+                crate_name.clone(),
+                is_test,
+            ));
+            parsed.push(graph::ParsedFile::new(rel.to_string(), crate_name, text, is_test));
+        }
+        let graph = graph::Workspace::build(parsed);
+        source::attach_item_allows(&mut sources, &graph);
+        LoadedWorkspace {
+            root: PathBuf::new(),
+            sources,
+            manifests: Vec::new(),
+            graph,
+        }
+    }
+
+    /// The line-view of `rel`, for allow lookups from the semantic rules.
+    pub fn source_by_rel(&self, rel: &str) -> Option<&SourceFile> {
+        self.sources.iter().find(|s| s.rel_path == rel)
     }
 
     /// Run the requested rules, findings sorted by (rule, file, line).
@@ -253,34 +349,60 @@ impl LoadedWorkspace {
         if rules.contains(&Rule::DepLayering) {
             manifest::l4_dep_layering(&self.manifests, &mut findings);
         }
+        if rules.contains(&Rule::PanicReachability) {
+            sem::l6_panic_reachability(self, &mut findings);
+        }
+        if rules.contains(&Rule::LockDiscipline) {
+            sem::l7_lock_discipline(self, &mut findings);
+        }
+        if rules.contains(&Rule::TimeDomain) {
+            sem::l8_time_domain(self, &mut findings);
+        }
+        if rules.contains(&Rule::AllowHygiene) {
+            sem::l9_allow_hygiene(self, &mut findings);
+        }
         findings.sort_by(|a, b| {
             (a.rule, &a.file, a.line).cmp(&(b.rule, &b.file, b.line))
         });
         findings
     }
+
+    /// Run rules and subtract the committed baseline (when one exists at
+    /// `<root>/simlint.baseline.json`). Returns the findings NOT covered
+    /// by the baseline.
+    pub fn check_against_baseline(&self, rules: &[Rule]) -> Vec<Finding> {
+        let findings = self.check(rules);
+        match baseline::Baseline::load(&self.root) {
+            Some(base) => base.filter_new(findings),
+            None => findings,
+        }
+    }
 }
 
-/// Run all five rules over the workspace containing `root`.
+/// Run every rule over the workspace containing `root` (no baseline).
 pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
     Ok(LoadedWorkspace::load(root)?.check(&Rule::ALL))
 }
 
 /// Test hookup: discover the workspace root from a crate's
-/// `CARGO_MANIFEST_DIR`, run every rule, and panic with a readable report
-/// if anything is found. Each workspace crate calls this from
-/// `tests/simlint.rs`, so `cargo test` enforces the lint on every change.
+/// `CARGO_MANIFEST_DIR`, run every rule, subtract the committed baseline,
+/// and panic with a readable report if any *new* finding remains. Each
+/// workspace crate calls this from `tests/simlint.rs`, so `cargo test`
+/// enforces the lint on every change.
 pub fn assert_workspace_clean(manifest_dir: &str) {
     let root = find_workspace_root(Path::new(manifest_dir))
         .expect("invariant: simlint tests run from inside the cargo workspace");
-    let findings = check_workspace(&root)
+    let ws = LoadedWorkspace::load(&root)
         .expect("invariant: workspace sources are readable during tests");
+    let findings = ws.check_against_baseline(&Rule::ALL);
     if !findings.is_empty() {
-        let mut report = format!("simlint found {} violation(s):\n", findings.len());
+        let mut report = format!("simlint found {} new violation(s):\n", findings.len());
         for f in &findings {
             report.push_str(&format!("  {f}\n"));
         }
         report.push_str(
-            "suppress intentionally with `// simlint: allow(<rule>)` on or above the line\n",
+            "suppress intentionally with `// simlint: allow(<rule>): <why>` on or above the \
+             line/item, or re-baseline deliberately with `cargo run -p simlint -- --write-baseline`\n",
         );
         panic!("{report}");
     }
@@ -319,6 +441,7 @@ mod tests {
             file: "crates/core/src/pid.rs".into(),
             line: 7,
             excerpt: "x.unwrap();".into(),
+            note: String::new(),
         };
         assert_eq!(
             f.to_string(),

@@ -264,6 +264,7 @@ fn finding(rule: Rule, m: &Manifest, dep: &Dep, note: &str) -> Finding {
         file: m.rel_path.clone(),
         line: dep.line,
         excerpt: format!("{} [{}]", dep.raw, note),
+        note: String::new(),
     }
 }
 

@@ -50,6 +50,7 @@ fn push(findings: &mut Vec<Finding>, rule: Rule, file: &SourceFile, idx: usize) 
         file: file.rel_path.clone(),
         line: idx + 1,
         excerpt: file.lines[idx].raw.trim().to_string(),
+        note: String::new(),
     });
 }
 

@@ -31,6 +31,19 @@ pub struct Line {
     pub allowed: Vec<Rule>,
 }
 
+/// One `simlint: allow(...)` / `allow-file(...)` directive occurrence,
+/// kept for the L9 hygiene audit and for item-level extension.
+#[derive(Debug, Clone)]
+pub struct AllowSite {
+    /// 0-based line the directive appears on.
+    pub line: usize,
+    pub rules: Vec<Rule>,
+    pub file_level: bool,
+    /// Whether a justification trails the directive:
+    /// `// simlint: allow(L2): queue poisoning is unrecoverable here`.
+    pub justified: bool,
+}
+
 /// A loaded, masked source file.
 #[derive(Debug, Clone)]
 pub struct SourceFile {
@@ -43,6 +56,12 @@ pub struct SourceFile {
     pub lines: Vec<Line>,
     /// Rules suppressed for the whole file via `simlint: allow-file(...)`.
     pub file_allowed: Vec<Rule>,
+    /// Every allow directive in the file, in line order.
+    pub directives: Vec<AllowSite>,
+    /// Item-level suppressions: `(rule, first_line0, last_line0)` ranges
+    /// grafted on by [`attach_item_allows`] when a directive comment sits
+    /// directly above an item header.
+    pub item_allowed: Vec<(Rule, usize, usize)>,
 }
 
 impl fmt::Display for SourceFile {
@@ -66,6 +85,18 @@ enum Mode {
 struct Directives {
     line_allowed: Vec<Rule>,
     file_allowed: Vec<Rule>,
+    /// `(rules, file_level, justified)` per directive occurrence.
+    sites: Vec<(Vec<Rule>, bool, bool)>,
+}
+
+/// A directive is justified when non-trivial text follows the closing
+/// paren — `// simlint: allow(L2): poisoning is unrecoverable here`.
+/// Separator punctuation alone does not count.
+fn has_justification(tail_after_paren: &str) -> bool {
+    let text = tail_after_paren.trim_start_matches(|c: char| {
+        c.is_whitespace() || matches!(c, ':' | '-' | '—' | ';' | ',')
+    });
+    text.trim().len() >= 3
 }
 
 fn parse_directives(comment: &str, out: &mut Directives) {
@@ -74,6 +105,7 @@ fn parse_directives(comment: &str, out: &mut Directives) {
         while let Some(pos) = rest.find(needle) {
             let tail = &rest[pos + needle.len()..];
             if let Some(end) = tail.find(')') {
+                let mut rules = Vec::new();
                 for token in tail[..end].split(',') {
                     if let Some(rule) = Rule::parse(token.trim()) {
                         if is_file {
@@ -81,7 +113,11 @@ fn parse_directives(comment: &str, out: &mut Directives) {
                         } else {
                             out.line_allowed.push(rule);
                         }
+                        rules.push(rule);
                     }
+                }
+                if !rules.is_empty() {
+                    out.sites.push((rules, is_file, has_justification(&tail[end + 1..])));
                 }
                 rest = &tail[end..];
             } else {
@@ -268,6 +304,7 @@ impl SourceFile {
         let mut lines: Vec<Line> = Vec::new();
         let mut file_allowed: Vec<Rule> = Vec::new();
         let mut prev_allowed: Vec<Rule> = Vec::new();
+        let mut all_sites: Vec<AllowSite> = Vec::new();
 
         // Brace-depth tracking for `#[cfg(test)]` regions.
         let mut depth: i64 = 0;
@@ -283,6 +320,14 @@ impl SourceFile {
             let mut directives = Directives::default();
             parse_directives(&comments, &mut directives);
             file_allowed.extend(directives.file_allowed.iter().copied());
+            for (rules, file_level, justified) in directives.sites.drain(..) {
+                all_sites.push(AllowSite {
+                    line: lines.len(),
+                    rules,
+                    file_level,
+                    justified,
+                });
+            }
 
             let starts_in_test = whole_file_is_test || !test_region_stack.is_empty();
 
@@ -318,10 +363,12 @@ impl SourceFile {
 
             let mut allowed = directives.line_allowed.clone();
             allowed.extend(prev_allowed.iter().copied());
-            // Only a comment-only line's directive extends to the next
-            // line; a trailing directive covers just its own line.
+            // A comment-only line's directive carries down through the
+            // rest of the comment block to the first code line (so a
+            // justification may wrap); a trailing directive on a code line
+            // covers just that line.
             prev_allowed = if masked.trim().is_empty() {
-                directives.line_allowed
+                allowed.clone()
             } else {
                 Vec::new()
             };
@@ -341,17 +388,74 @@ impl SourceFile {
             crate_name,
             lines,
             file_allowed,
+            directives: all_sites,
+            item_allowed: Vec::new(),
         }
     }
 
-    /// Whether `rule` is suppressed at `line_idx` (0-based) by an inline or
-    /// file-level allow directive.
+    /// Whether `rule` is suppressed at `line_idx` (0-based) by an inline,
+    /// item-level, or file-level allow directive.
     pub fn is_allowed(&self, rule: Rule, line_idx: usize) -> bool {
         self.file_allowed.contains(&rule)
             || self
                 .lines
                 .get(line_idx)
                 .is_some_and(|l| l.allowed.contains(&rule))
+            || self
+                .item_allowed
+                .iter()
+                .any(|&(r, s, e)| r == rule && (s..=e).contains(&line_idx))
+    }
+}
+
+/// Extend comment-only allow directives that sit directly above an item
+/// header (optionally separated by attribute lines) to cover the item's
+/// whole extent. Called once per workspace load, after parsing.
+pub fn attach_item_allows(sources: &mut [SourceFile], ws: &crate::graph::Workspace) {
+    for pf in &ws.files {
+        let Some(src) = sources.iter_mut().find(|s| s.rel_path == pf.rel) else {
+            continue;
+        };
+        for item in &pf.items {
+            if item.line < 2 {
+                continue;
+            }
+            // Walk upward from the line above the item keyword: skip
+            // attribute lines (`#[…]` may sit between the comment and the
+            // keyword), then collect directives from the whole contiguous
+            // comment block (a justification may wrap over several lines).
+            let mut idx = item.line - 2; // 0-based line above
+            loop {
+                let Some(line) = src.lines.get(idx) else { break };
+                let t = line.masked.trim();
+                if t.starts_with('#') && idx > 0 {
+                    idx -= 1;
+                    continue;
+                }
+                break;
+            }
+            let mut rules: Vec<Rule> = Vec::new();
+            loop {
+                let Some(line) = src.lines.get(idx) else { break };
+                if !line.masked.trim().is_empty() || line.raw.trim().is_empty() {
+                    break; // end of the comment block
+                }
+                rules.extend(
+                    src.directives
+                        .iter()
+                        .filter(|d| d.line == idx && !d.file_level)
+                        .flat_map(|d| d.rules.iter().copied()),
+                );
+                if idx == 0 {
+                    break;
+                }
+                idx -= 1;
+            }
+            for rule in rules {
+                src.item_allowed
+                    .push((rule, item.line - 1, item.end_line.saturating_sub(1)));
+            }
+        }
     }
 }
 

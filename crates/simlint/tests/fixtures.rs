@@ -132,6 +132,125 @@ fn allow_file_directive_silences_whole_fixture() {
     assert!(run_rule(rules::l3_determinism, &f).is_empty());
 }
 
+// ---- semantic rules (L6–L8): fixtures become an in-memory workspace ----
+
+use simlint::LoadedWorkspace;
+
+/// Load fixtures into an in-memory workspace at the given rel paths, so
+/// the semantic rules see a symbol graph.
+fn fixture_workspace(files: &[(&str, &str)]) -> LoadedWorkspace {
+    let texts: Vec<(String, String)> = files
+        .iter()
+        .map(|(fixture, rel)| (rel.to_string(), fixture_text(fixture)))
+        .collect();
+    let refs: Vec<(&str, &str)> = texts.iter().map(|(r, t)| (r.as_str(), t.as_str())).collect();
+    LoadedWorkspace::from_texts(&refs)
+}
+
+fn json(findings: &[Finding]) -> Vec<String> {
+    findings.iter().map(|f| f.to_json()).collect()
+}
+
+#[test]
+fn l6_fixture_golden_json() {
+    let ws = fixture_workspace(&[("l6_reach.rs", "crates/core/src/fx_l6.rs")]);
+    let findings = ws.check(&[Rule::PanicReachability]);
+    assert_eq!(
+        json(&findings),
+        vec![
+            r#"{"rule":"L6","name":"panic-reachability","file":"crates/core/src/fx_l6.rs","line":18,"excerpt":"raw.unwrap()","note":"unwrap() reachable from hot loop via QuantumCtl::step -> decode"}"#,
+            r#"{"rule":"L6","name":"panic-reachability","file":"crates/core/src/fx_l6.rs","line":22,"excerpt":"h[0]","note":"index expression reachable from hot loop via QuantumCtl::step -> latest"}"#,
+        ]
+    );
+}
+
+#[test]
+fn l7_fixture_golden_json() {
+    let ws = fixture_workspace(&[("l7_lock.rs", "crates/core/src/fx_l7.rs")]);
+    let findings = ws.check(&[Rule::LockDiscipline]);
+    assert_eq!(
+        json(&findings),
+        vec![
+            r#"{"rule":"L7","name":"lock-discipline","file":"crates/core/src/fx_l7.rs","line":17,"excerpt":"self.tx.send(7);","note":"channel `send` while holding lock `queue` in Pool::send_while_locked"}"#,
+            r#"{"rule":"L7","name":"lock-discipline","file":"crates/core/src/fx_l7.rs","line":23,"excerpt":"let b = self.merge.lock();","note":"lock `merge` acquired while holding `queue`, but the reverse order exists at crates/core/src/fx_l7.rs:30"}"#,
+            r#"{"rule":"L7","name":"lock-discipline","file":"crates/core/src/fx_l7.rs","line":30,"excerpt":"let a = self.queue.lock();","note":"lock `queue` acquired while holding `merge`, but the reverse order exists at crates/core/src/fx_l7.rs:23"}"#,
+        ]
+    );
+}
+
+#[test]
+fn l8_fixture_golden_json() {
+    let ws = fixture_workspace(&[("l8_time.rs", "crates/core/src/fx_l8.rs")]);
+    let findings = ws.check(&[Rule::TimeDomain]);
+    assert_eq!(
+        json(&findings),
+        vec![
+            r#"{"rule":"L8","name":"time-domain","file":"crates/core/src/fx_l8.rs","line":8,"excerpt":"let t0 = Instant::now();","note":"wall-clock type `Instant` in leaks_wall_clock"}"#,
+            r#"{"rule":"L8","name":"time-domain","file":"crates/core/src/fx_l8.rs","line":13,"excerpt":"power == 1.5","note":"exact float comparison in exact_float_compare"}"#,
+        ]
+    );
+}
+
+#[test]
+fn l6_item_level_allow_silences_whole_fn() {
+    // An item-level allow above `decode` covers every line of its body.
+    let raw = fixture_text("l6_reach.rs").replace(
+        "fn decode(raw: Option<f64>) -> f64 {",
+        "// simlint: allow(L6): fixture demonstrates item-level suppression\nfn decode(raw: Option<f64>) -> f64 {",
+    );
+    let ws = LoadedWorkspace::from_texts(&[("crates/core/src/fx_l6.rs", raw.as_str())]);
+    let findings = ws.check(&[Rule::PanicReachability]);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert!(findings[0].excerpt.contains("h[0]"), "{findings:#?}");
+}
+
+#[test]
+fn l9_flags_bare_allows_and_accepts_justified_ones() {
+    let src = "\
+// simlint: allow(L2)
+pub fn bare() {}
+
+// simlint: allow(L2): fixture needs a justified directive here
+pub fn justified() {}
+";
+    let ws = LoadedWorkspace::from_texts(&[("crates/core/src/fx_l9.rs", src)]);
+    let findings = ws.check(&[Rule::AllowHygiene]);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].line, 1);
+    assert!(findings[0].note.contains("bare `allow(L2)`"), "{findings:#?}");
+}
+
+#[test]
+fn changed_file_filter_agrees_with_full_pass() {
+    // `simlint --changed` filters the report after a full-workspace
+    // analysis; the incremental view of one file must therefore equal the
+    // full pass restricted to that file — including findings whose cause
+    // lives in another file (L7's cross-file lock-order evidence).
+    let ws = fixture_workspace(&[
+        ("l6_reach.rs", "crates/core/src/fx_l6.rs"),
+        ("l7_lock.rs", "crates/core/src/fx_l7.rs"),
+        ("l8_time.rs", "crates/core/src/fx_l8.rs"),
+    ]);
+    let sem = [Rule::PanicReachability, Rule::LockDiscipline, Rule::TimeDomain];
+    let full = ws.check(&sem);
+    assert_eq!(full.len(), 7, "{full:#?}");
+    for (fixture, rel) in [
+        ("l6_reach.rs", "crates/core/src/fx_l6.rs"),
+        ("l7_lock.rs", "crates/core/src/fx_l7.rs"),
+        ("l8_time.rs", "crates/core/src/fx_l8.rs"),
+    ] {
+        let restricted: Vec<&Finding> = full.iter().filter(|f| f.file == rel).collect();
+        let solo_ws = fixture_workspace(&[(fixture, rel)]);
+        let solo = solo_ws.check(&sem);
+        assert_eq!(
+            restricted,
+            solo.iter().collect::<Vec<_>>(),
+            "changed-file view of {rel} diverges from its full-pass findings"
+        );
+        assert!(!restricted.is_empty(), "no findings for {rel}");
+    }
+}
+
 #[test]
 fn cfg_test_code_is_exempt_from_l2_and_l3() {
     let wrapped = format!(

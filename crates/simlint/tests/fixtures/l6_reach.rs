@@ -1,0 +1,40 @@
+// Fixture: L6 (panic-reachability). `QuantumCtl::step` is a hot-loop root;
+// the panic sites it reaches through the call graph must be flagged, while
+// the ones behind `#[cfg(test)]` must not. Not compiled — read as text.
+
+pub struct QuantumCtl {
+    history: Vec<f64>,
+}
+
+impl QuantumCtl {
+    pub fn step(&mut self, raw: Option<f64>) -> f64 {
+        let v = decode(raw);
+        self.history.push(v);
+        latest(&self.history)
+    }
+}
+
+fn decode(raw: Option<f64>) -> f64 {
+    raw.unwrap()
+}
+
+fn latest(h: &[f64]) -> f64 {
+    h[0]
+}
+
+fn unreached_helper(x: Option<u32>) -> u32 {
+    // Never called from the hot loop: still a panic site, but L6 only
+    // reports what the roots reach.
+    x.expect("boom")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        let v: Vec<u32> = vec![1];
+        assert_eq!(v[0], 1);
+        None::<u32>.unwrap_or(0);
+        super::unreached_helper(Some(3));
+    }
+}

@@ -1,0 +1,29 @@
+// Fixture: L8 (time-domain confusion). Wall-clock types and exact float
+// comparison in simulation fns; the Profiler impl is quarantined and an
+// integer comparison is fine. Not compiled — read as text.
+
+use std::time::Instant;
+
+pub fn leaks_wall_clock() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos() as u64
+}
+
+pub fn exact_float_compare(power: f64) -> bool {
+    power == 1.5
+}
+
+pub fn integer_compare_is_fine(quanta: u64) -> bool {
+    quanta == 16
+}
+
+pub struct Profiler {
+    started: u64,
+}
+
+impl Profiler {
+    pub fn lap(&self) -> u64 {
+        let now = Instant::now();
+        now.elapsed().as_nanos() as u64 + self.started
+    }
+}

@@ -14,3 +14,17 @@ fn workspace_findings_are_deterministic() {
     let b = simlint::check_workspace(&root).expect("scan");
     assert_eq!(a, b);
 }
+
+#[test]
+fn lexer_round_trips_every_workspace_file() {
+    // The lexer must be lossless on real input, not just unit-test
+    // snippets: concatenating the token texts of every `.rs` file in the
+    // workspace must reproduce the file byte-for-byte.
+    let root = simlint::find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let ws = simlint::LoadedWorkspace::load(&root).expect("scan");
+    assert!(!ws.graph.files.is_empty());
+    for pf in &ws.graph.files {
+        assert!(pf.tf.round_trips(), "lexer drops bytes in {}", pf.rel);
+    }
+}

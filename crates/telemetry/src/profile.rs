@@ -9,7 +9,7 @@
 //! a control decision. The allow-file directive below scopes that exemption
 //! to this module alone.
 //
-// simlint: allow-file(L3)
+// simlint: allow-file(L3): profiling measures host wall time by definition
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};

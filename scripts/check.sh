@@ -1,18 +1,33 @@
 #!/bin/sh
 # The full local gate: build, test, lint. Mirrors what tier-1 CI runs.
-# Usage: scripts/check.sh   (from anywhere inside the repo)
+# Usage: scripts/check.sh           full gate (from anywhere inside the repo)
+#        scripts/check.sh --fast    pre-commit variant: warnings-clean debug
+#                                   build + simlint on files changed vs HEAD
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+if [ "${1:-}" = "--fast" ]; then
+    echo "==> cargo build (fast, -D warnings)"
+    RUSTFLAGS="-D warnings" cargo build -q
+    echo "==> cargo run -p simlint -- --deny-all --changed"
+    cargo run -p simlint -q -- --deny-all --changed
+    echo "==> fast checks passed"
+    exit 0
+fi
+
+echo "==> cargo build --release (-D warnings)"
+RUSTFLAGS="-D warnings" cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q
 
 echo "==> cargo run -p simlint -- --deny-all"
 cargo run -p simlint -q -- --deny-all
+
+echo "==> hcapp sanitize smoke (permuted reply orders vs serial bytes)"
+cargo run --release -p hcapp-cli -q -- sanitize \
+    --combo Low-Low --ms 1 --orderings 8 > /dev/null
 
 echo "==> hcapp trace smoke (Table-3 combo, JSONL validated)"
 smoke=results/trace_smoke.jsonl
