@@ -1,0 +1,817 @@
+//! The streaming state machine: one pass, O(1) state per domain.
+//!
+//! Every metric below is computed online — the analyzer never buffers
+//! events. The only growing state is one small summary per *retarget
+//! epoch* (bounded by the run configuration, not the trace length) and one
+//! counter block per *domain* (bounded by the package size). The metric
+//! definitions are documented in DESIGN §6g; the short form:
+//!
+//! * **epoch** — the interval between consecutive `retarget` events (the
+//!   first opens at the initial `t = 0` retarget, the last closes at the
+//!   end of the trace).
+//! * **tolerance band** — `±max(2% · |target|, 0.5 W)` around the target.
+//! * **settling time** — time from epoch start to the *last* out-of-band
+//!   `global_pid` sample; `NaN` when the epoch never settles (its final
+//!   sample is still out of band).
+//! * **reaction latency** — time from epoch start to the *first* in-band
+//!   sample; `NaN` when the power never enters the band.
+//! * **overshoot** — `max(p_now − target, 0)` over the epoch.
+//! * **steady-state error** — mean of `p_now − target` over the epoch's
+//!   final uninterrupted in-band stretch (accumulators reset on every band
+//!   exit, keeping the pass O(1)).
+//! * **over-budget episodes** — maximal runs of consecutive `global_pid`
+//!   samples with `p_now` strictly above the current target, mirroring
+//!   `metrics::over_cap` on the sensed-power stream.
+//! * **VR slew saturation** — fraction of `vr_slew` quanta whose output
+//!   ended more than 1 µV away from the commanded setpoint.
+//! * **throttle residency** — per domain, the fraction of the trace the
+//!   domain's health state machine was away from `healthy`; for the
+//!   package, the fraction spent with the emergency throttle engaged.
+
+use std::collections::BTreeMap;
+
+use hcapp_metrics::histogram::percentiles;
+use hcapp_telemetry::json::{self, JsonValue};
+use hcapp_telemetry::TraceEvent;
+
+use crate::report::{RunReport, REPORT_VERSION};
+
+/// Half-width of the settling band: `max(REL_TOL · |target|, ABS_TOL_W)`.
+const REL_TOL: f64 = 0.02;
+/// Absolute floor of the settling band, in watts.
+const ABS_TOL_W: f64 = 0.5;
+/// A VR quantum counts as slew-saturated when its output misses the
+/// setpoint by more than this (volts).
+const SLEW_EPS: f64 = 1e-6;
+
+/// Per-epoch streaming state (current epoch only).
+#[derive(Debug, Clone)]
+struct EpochState {
+    start_ns: u64,
+    target: f64,
+    tol: f64,
+    samples: u64,
+    last_sample_ns: u64,
+    /// Last out-of-band sample time; `None` while every sample so far is
+    /// in band.
+    last_out_ns: Option<u64>,
+    /// First in-band sample time (reaction latency), if any.
+    first_in_ns: Option<u64>,
+    /// Peak positive excursion above the target.
+    overshoot: f64,
+    /// Steady-state accumulators over the current in-band stretch.
+    ss_sum: f64,
+    ss_count: u64,
+}
+
+impl EpochState {
+    fn open(start_ns: u64, target: f64) -> EpochState {
+        let tol = (REL_TOL * target.abs()).max(ABS_TOL_W);
+        EpochState {
+            start_ns,
+            target,
+            tol,
+            samples: 0,
+            last_sample_ns: start_ns,
+            last_out_ns: None,
+            first_in_ns: None,
+            overshoot: 0.0,
+            ss_sum: 0.0,
+            ss_count: 0,
+        }
+    }
+
+    fn sample(&mut self, t_ns: u64, p_now: f64) {
+        self.samples += 1;
+        self.last_sample_ns = t_ns;
+        let err = p_now - self.target;
+        if err > self.overshoot {
+            self.overshoot = err;
+        }
+        if err.abs() > self.tol {
+            self.last_out_ns = Some(t_ns);
+            self.ss_sum = 0.0;
+            self.ss_count = 0;
+        } else {
+            if self.first_in_ns.is_none() {
+                self.first_in_ns = Some(t_ns);
+            }
+            self.ss_sum += err;
+            self.ss_count += 1;
+        }
+    }
+
+    fn close(&self) -> EpochSummary {
+        // Unsettled epochs (no sample, or still out of band at the last
+        // sample) report NaN settling — excluded from the distribution but
+        // visible through `epochs_settled`.
+        let settling_ns = if self.samples == 0 {
+            f64::NAN
+        } else {
+            match self.last_out_ns {
+                None => 0.0,
+                Some(out) if out >= self.last_sample_ns => f64::NAN,
+                Some(out) => (out - self.start_ns) as f64,
+            }
+        };
+        let reaction_ns = match self.first_in_ns {
+            None => f64::NAN,
+            Some(t) => (t - self.start_ns) as f64,
+        };
+        let steady_err = if self.ss_count == 0 {
+            f64::NAN
+        } else {
+            self.ss_sum / self.ss_count as f64
+        };
+        EpochSummary {
+            settling_ns,
+            reaction_ns,
+            overshoot: self.overshoot,
+            steady_err,
+        }
+    }
+}
+
+/// One closed epoch's scalars (O(#retargets) total, not O(#events)).
+#[derive(Debug, Clone)]
+struct EpochSummary {
+    settling_ns: f64,
+    reaction_ns: f64,
+    overshoot: f64,
+    steady_err: f64,
+}
+
+/// Per-domain streaming counters.
+#[derive(Debug, Clone, Default)]
+struct DomainStat {
+    /// Component kind from the domain's `domain_scale` events.
+    kind: String,
+    /// `domain_scale` quanta observed.
+    quanta: u64,
+    /// Sum of finite `normalized_v` samples (for the mean).
+    norm_sum: f64,
+    norm_count: u64,
+    /// Health machine: time the domain entered a non-`healthy` state.
+    unhealthy_since: Option<u64>,
+    /// Accumulated non-`healthy` residency.
+    unhealthy_ns: u64,
+    /// Health transitions charged to this domain.
+    transitions: u64,
+}
+
+/// The one-pass analytics engine. Feed it events (live via
+/// [`crate::AnalyzingTracer`], offline via [`StreamAnalyzer::consume_jsonl`])
+/// and ask for a [`RunReport`] at any point — reporting is non-destructive,
+/// so a live analyzer can be snapshotted mid-run.
+#[derive(Debug, Clone)]
+pub struct StreamAnalyzer {
+    events: u64,
+    retargets: u64,
+    pid_steps: u64,
+    local_decisions: u64,
+    first_t_ns: Option<u64>,
+    last_t_ns: u64,
+    /// Control-quantum estimate: first positive delta between consecutive
+    /// `global_pid` timestamps.
+    prev_pid_t: Option<u64>,
+    dt_ns: Option<u64>,
+    p_now_sum: f64,
+    p_now_peak: f64,
+    epoch: Option<EpochState>,
+    epochs: Vec<EpochSummary>,
+    /// Over-budget run-length state (samples, converted via `dt_ns`).
+    over_run: u64,
+    over_longest: u64,
+    over_samples: u64,
+    over_episodes: u64,
+    vr_quanta: u64,
+    vr_saturated: u64,
+    domains: BTreeMap<u32, DomainStat>,
+    faults_injected: u64,
+    health_transitions: u64,
+    sensor_unhealthy_since: Option<u64>,
+    sensor_unhealthy_ns: u64,
+    emergency_engagements: u64,
+    emergency_since: Option<u64>,
+    emergency_ns: u64,
+}
+
+impl Default for StreamAnalyzer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamAnalyzer {
+    /// An analyzer with no events observed yet.
+    pub fn new() -> StreamAnalyzer {
+        StreamAnalyzer {
+            events: 0,
+            retargets: 0,
+            pid_steps: 0,
+            local_decisions: 0,
+            first_t_ns: None,
+            last_t_ns: 0,
+            prev_pid_t: None,
+            dt_ns: None,
+            p_now_sum: 0.0,
+            p_now_peak: f64::NAN,
+            epoch: None,
+            epochs: Vec::new(),
+            over_run: 0,
+            over_longest: 0,
+            over_samples: 0,
+            over_episodes: 0,
+            vr_quanta: 0,
+            vr_saturated: 0,
+            domains: BTreeMap::new(),
+            faults_injected: 0,
+            health_transitions: 0,
+            sensor_unhealthy_since: None,
+            sensor_unhealthy_ns: 0,
+            emergency_engagements: 0,
+            emergency_since: None,
+            emergency_ns: 0,
+        }
+    }
+
+    /// Number of events observed so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Fold one live event into the state machine.
+    pub fn observe(&mut self, e: &TraceEvent) {
+        let t_ns = e.time().as_nanos();
+        self.touch(t_ns);
+        match e {
+            TraceEvent::Retarget { target, .. } => self.on_retarget(t_ns, target.value()),
+            TraceEvent::GlobalPidStep { p_now, .. } => self.on_global_pid(t_ns, p_now.value()),
+            TraceEvent::VrSlew { setpoint, end, .. } => {
+                self.on_vr_slew(setpoint.value(), end.value())
+            }
+            TraceEvent::DomainScale {
+                domain,
+                kind,
+                normalized_v,
+                ..
+            } => self.on_domain_scale(*domain, kind, *normalized_v),
+            TraceEvent::LocalDecision { .. } => self.local_decisions += 1,
+            TraceEvent::FaultInjected { .. } => self.faults_injected += 1,
+            TraceEvent::HealthTransition {
+                subject,
+                domain,
+                to,
+                ..
+            } => self.on_health(t_ns, subject, *domain, to),
+            TraceEvent::EmergencyThrottle { engaged, .. } => self.on_emergency(t_ns, *engaged),
+        }
+    }
+
+    /// Fold one parsed JSONL event line (the offline path). The two paths
+    /// share every state transition, so an exported trace replays to the
+    /// same report the live tracer produced.
+    pub fn observe_json(&mut self, v: &JsonValue) -> Result<(), String> {
+        let kind = v
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| "event missing \"kind\"".to_string())?;
+        let t = v
+            .get("t_ns")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| "event missing numeric \"t_ns\"".to_string())?;
+        if !(t.is_finite() && t >= 0.0) {
+            return Err(format!("invalid t_ns {t}"));
+        }
+        let t_ns = t as u64;
+        let num = |k: &str| v.get(k).and_then(JsonValue::as_f64).unwrap_or(f64::NAN);
+        self.touch(t_ns);
+        match kind {
+            "retarget" => self.on_retarget(t_ns, num("target_w")),
+            "global_pid" => self.on_global_pid(t_ns, num("p_now_w")),
+            "vr_slew" => self.on_vr_slew(num("setpoint_v"), num("end_v")),
+            "domain_scale" => {
+                let domain = num("domain");
+                let comp = v.get("component").and_then(JsonValue::as_str).unwrap_or("");
+                if domain.is_finite() && domain >= 0.0 {
+                    self.on_domain_scale(domain as u32, comp, num("normalized_v"));
+                }
+            }
+            "local_decision" => self.local_decisions += 1,
+            "fault_injected" => self.faults_injected += 1,
+            "health_transition" => {
+                let subject = v.get("subject").and_then(JsonValue::as_str).unwrap_or("");
+                let to = v.get("to").and_then(JsonValue::as_str).unwrap_or("");
+                let d = num("domain");
+                let domain = if d.is_finite() && d >= 0.0 {
+                    Some(d as u32)
+                } else {
+                    None
+                };
+                self.on_health(t_ns, subject, domain, to);
+            }
+            "emergency_throttle" => {
+                let engaged = matches!(v.get("engaged"), Some(JsonValue::Bool(true)));
+                self.on_emergency(t_ns, engaged);
+            }
+            other => return Err(format!("unknown kind {other:?}")),
+        }
+        Ok(())
+    }
+
+    /// Replay a recorded `hcapp.trace` JSONL document (header line plus one
+    /// event per line) through the state machine.
+    pub fn consume_jsonl(&mut self, text: &str) -> Result<(), String> {
+        let mut lines = text.lines().enumerate();
+        let Some((_, first)) = lines.next() else {
+            return Err("empty trace: missing schema header".into());
+        };
+        let head = json::parse(first).map_err(|e| format!("header: {e}"))?;
+        match head.get("schema").and_then(JsonValue::as_str) {
+            Some(s) if s == hcapp_telemetry::jsonl::SCHEMA => {}
+            Some(s) => return Err(format!("unknown schema {s:?}")),
+            None => return Err("header missing \"schema\"".into()),
+        }
+        for (lineno, line) in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            self.observe_json(&v)
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        }
+        Ok(())
+    }
+
+    fn touch(&mut self, t_ns: u64) {
+        self.events += 1;
+        if self.first_t_ns.is_none() {
+            self.first_t_ns = Some(t_ns);
+        }
+        if t_ns > self.last_t_ns {
+            self.last_t_ns = t_ns;
+        }
+    }
+
+    fn on_retarget(&mut self, t_ns: u64, target: f64) {
+        self.retargets += 1;
+        if let Some(e) = self.epoch.take() {
+            self.epochs.push(e.close());
+        }
+        self.epoch = Some(EpochState::open(t_ns, target));
+        // A new target resets the over-budget run: an excursion against the
+        // old budget is not evidence against the new one.
+        self.over_run = 0;
+    }
+
+    fn on_global_pid(&mut self, t_ns: u64, p_now: f64) {
+        self.pid_steps += 1;
+        if let Some(prev) = self.prev_pid_t {
+            if self.dt_ns.is_none() && t_ns > prev {
+                self.dt_ns = Some(t_ns - prev);
+            }
+        }
+        self.prev_pid_t = Some(t_ns);
+        if p_now.is_finite() {
+            self.p_now_sum += p_now;
+            if !(p_now <= self.p_now_peak) {
+                self.p_now_peak = p_now;
+            }
+        }
+        if let Some(e) = self.epoch.as_mut() {
+            e.sample(t_ns, p_now);
+            // Over-budget episode structure against the current target
+            // (metrics::over_cap semantics: strictly above, maximal runs).
+            if p_now > e.target {
+                if self.over_run == 0 {
+                    self.over_episodes += 1;
+                }
+                self.over_run += 1;
+                self.over_samples += 1;
+                if self.over_run > self.over_longest {
+                    self.over_longest = self.over_run;
+                }
+            } else {
+                self.over_run = 0;
+            }
+        }
+    }
+
+    fn on_vr_slew(&mut self, setpoint: f64, end: f64) {
+        self.vr_quanta += 1;
+        if (end - setpoint).abs() > SLEW_EPS {
+            self.vr_saturated += 1;
+        }
+    }
+
+    fn on_domain_scale(&mut self, domain: u32, kind: &str, normalized_v: f64) {
+        let d = self.domains.entry(domain).or_default();
+        if d.kind.is_empty() && !kind.is_empty() {
+            d.kind = kind.to_string();
+        }
+        d.quanta += 1;
+        if normalized_v.is_finite() {
+            d.norm_sum += normalized_v;
+            d.norm_count += 1;
+        }
+    }
+
+    fn on_health(&mut self, t_ns: u64, subject: &str, domain: Option<u32>, to: &str) {
+        self.health_transitions += 1;
+        let healthy = to == "healthy";
+        match (subject, domain) {
+            ("domain", Some(idx)) => {
+                let d = self.domains.entry(idx).or_default();
+                d.transitions += 1;
+                if healthy {
+                    if let Some(since) = d.unhealthy_since.take() {
+                        d.unhealthy_ns += t_ns.saturating_sub(since);
+                    }
+                } else if d.unhealthy_since.is_none() {
+                    d.unhealthy_since = Some(t_ns);
+                }
+            }
+            _ => {
+                // Package power sensing (`subject == "sensor"`, no domain).
+                if healthy {
+                    if let Some(since) = self.sensor_unhealthy_since.take() {
+                        self.sensor_unhealthy_ns += t_ns.saturating_sub(since);
+                    }
+                } else if self.sensor_unhealthy_since.is_none() {
+                    self.sensor_unhealthy_since = Some(t_ns);
+                }
+            }
+        }
+    }
+
+    fn on_emergency(&mut self, t_ns: u64, engaged: bool) {
+        if engaged {
+            if self.emergency_since.is_none() {
+                self.emergency_engagements += 1;
+                self.emergency_since = Some(t_ns);
+            }
+        } else if let Some(since) = self.emergency_since.take() {
+            self.emergency_ns += t_ns.saturating_sub(since);
+        }
+    }
+
+    /// Build the report from the current state. Non-destructive: open
+    /// intervals (the running epoch, live throttle holds) are closed on a
+    /// clone at the last observed timestamp.
+    pub fn report(&self) -> RunReport {
+        let mut snap = self.clone();
+        let end = snap.last_t_ns;
+        if let Some(e) = snap.epoch.take() {
+            snap.epochs.push(e.close());
+        }
+        for d in snap.domains.values_mut() {
+            if let Some(since) = d.unhealthy_since.take() {
+                d.unhealthy_ns += end.saturating_sub(since);
+            }
+        }
+        if let Some(since) = snap.sensor_unhealthy_since.take() {
+            snap.sensor_unhealthy_ns += end.saturating_sub(since);
+        }
+        if let Some(since) = snap.emergency_since.take() {
+            snap.emergency_ns += end.saturating_sub(since);
+        }
+        snap.build_report()
+    }
+
+    fn build_report(&self) -> RunReport {
+        let span_ns = match self.first_t_ns {
+            Some(first) => (self.last_t_ns - first) as f64,
+            None => f64::NAN,
+        };
+        let frac_of_span = |ns: f64| {
+            if span_ns > 0.0 {
+                ns / span_ns
+            } else {
+                f64::NAN
+            }
+        };
+        let dt = self.dt_ns.map_or(f64::NAN, |d| d as f64);
+
+        let finite = |xs: &[f64]| -> Vec<f64> {
+            xs.iter().copied().filter(|x| x.is_finite()).collect()
+        };
+        let settling = finite(&self.epochs.iter().map(|e| e.settling_ns).collect::<Vec<_>>());
+        let reaction = finite(&self.epochs.iter().map(|e| e.reaction_ns).collect::<Vec<_>>());
+        let steady = finite(&self.epochs.iter().map(|e| e.steady_err).collect::<Vec<_>>());
+        let overshoot: Vec<f64> = self.epochs.iter().map(|e| e.overshoot).collect();
+        let pct = |xs: &[f64], q: f64| -> f64 {
+            percentiles(xs, &[q]).into_iter().next().unwrap_or(f64::NAN)
+        };
+        let vmax = |xs: &[f64]| xs.iter().copied().fold(f64::NAN, f64::max);
+        let mean = |xs: &[f64]| {
+            if xs.is_empty() {
+                f64::NAN
+            } else {
+                xs.iter().sum::<f64>() / xs.len() as f64
+            }
+        };
+
+        let mut m: Vec<(String, f64)> = Vec::new();
+        let mut put = |k: &str, v: f64| m.push((k.to_string(), v));
+
+        put("events", self.events as f64);
+        put("duration_ns", span_ns);
+        put("quantum_ns", dt);
+        put("retargets", self.retargets as f64);
+        put("pid_steps", self.pid_steps as f64);
+        put("local_decisions", self.local_decisions as f64);
+        put("domains", self.domains.len() as f64);
+        put(
+            "mean_p_now_w",
+            if self.pid_steps == 0 {
+                f64::NAN
+            } else {
+                self.p_now_sum / self.pid_steps as f64
+            },
+        );
+        put("peak_p_now_w", self.p_now_peak);
+
+        put("epochs", self.epochs.len() as f64);
+        put("epochs_settled", settling.len() as f64);
+        put("settling_ns_p50", pct(&settling, 0.5));
+        put("settling_ns_max", vmax(&settling));
+        put("reaction_ns_p50", pct(&reaction, 0.5));
+        put("reaction_ns_p90", pct(&reaction, 0.9));
+        put("reaction_ns_max", vmax(&reaction));
+        put("overshoot_w_max", vmax(&overshoot));
+        put("overshoot_w_mean", mean(&overshoot));
+        put("steady_err_w_mean", mean(&steady));
+
+        put("over_budget_episodes", self.over_episodes as f64);
+        put("over_budget_longest_ns", self.over_longest as f64 * dt);
+        put("over_budget_total_ns", self.over_samples as f64 * dt);
+        put(
+            "over_budget_frac",
+            if self.pid_steps == 0 {
+                f64::NAN
+            } else {
+                self.over_samples as f64 / self.pid_steps as f64
+            },
+        );
+
+        put("vr_quanta", self.vr_quanta as f64);
+        put(
+            "vr_slew_saturated_frac",
+            if self.vr_quanta == 0 {
+                f64::NAN
+            } else {
+                self.vr_saturated as f64 / self.vr_quanta as f64
+            },
+        );
+
+        put("faults_injected", self.faults_injected as f64);
+        put("health_transitions", self.health_transitions as f64);
+        put("emergency_engagements", self.emergency_engagements as f64);
+        put(
+            "emergency_residency_frac",
+            frac_of_span(self.emergency_ns as f64),
+        );
+        put(
+            "sensor_unhealthy_frac",
+            frac_of_span(self.sensor_unhealthy_ns as f64),
+        );
+
+        for (idx, d) in &self.domains {
+            put(
+                &format!("d{idx}_throttle_frac"),
+                frac_of_span(d.unhealthy_ns as f64),
+            );
+            put(
+                &format!("d{idx}_mean_norm_v"),
+                if d.norm_count == 0 {
+                    f64::NAN
+                } else {
+                    d.norm_sum / d.norm_count as f64
+                },
+            );
+            put(&format!("d{idx}_quanta"), d.quanta as f64);
+        }
+
+        RunReport {
+            version: REPORT_VERSION,
+            metrics: m,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcapp_sim_core::time::SimTime;
+    use hcapp_sim_core::units::{Volt, Watt};
+
+    fn pid(t_us: u64, p_now: f64) -> TraceEvent {
+        TraceEvent::GlobalPidStep {
+            t: SimTime::from_micros(t_us),
+            p_now: Watt::new(p_now),
+            setpoint: Watt::new(0.0),
+            v_err: 0.0,
+            p_term: 0.0,
+            i_term: 0.0,
+            d_term: 0.0,
+            v_next: Volt::new(1.0),
+        }
+    }
+
+    fn retarget(t_us: u64, target: f64) -> TraceEvent {
+        TraceEvent::Retarget {
+            t: SimTime::from_micros(t_us),
+            target: Watt::new(target),
+        }
+    }
+
+    /// The hand-computed golden fixture from the acceptance criteria:
+    /// a 1 µs quantum, target 100 W (band ±2 W), retarget to 80 W at t=5 µs
+    /// (band ±1.6 W).
+    ///
+    /// Epoch 1 samples (t µs, W): (0, 90) out, (1, 99) in, (2, 103) over+out,
+    /// (3, 101) in, (4, 100) in.
+    ///   settling = 2 µs (last out at t=2), reaction = 1 µs (first in at
+    ///   t=1), overshoot = 3 W, steady-state = mean(1, 0) = 0.5 W,
+    ///   over-budget: one episode of two samples (103 and 101 are both
+    ///   strictly over 100, even though 101 is inside the settling band).
+    /// Epoch 2 samples: (5, 95) over+out, (6, 85) over+out, (7, 79.5) in,
+    /// (8, 79.9) in.
+    ///   settling = 1 µs (last out at t=6, relative to start 5), reaction =
+    ///   2 µs, overshoot = 15 W, steady-state = mean(−0.5, −0.1) = −0.3 W,
+    ///   over-budget: one episode of two samples (95, 85 > 80).
+    fn golden() -> StreamAnalyzer {
+        let mut a = StreamAnalyzer::new();
+        a.observe(&retarget(0, 100.0));
+        for (t, p) in [(0, 90.0), (1, 99.0), (2, 103.0), (3, 101.0), (4, 100.0)] {
+            a.observe(&pid(t, p));
+        }
+        a.observe(&retarget(5, 80.0));
+        for (t, p) in [(5, 95.0), (6, 85.0), (7, 79.5), (8, 79.9)] {
+            a.observe(&pid(t, p));
+        }
+        a
+    }
+
+    fn get(r: &RunReport, k: &str) -> f64 {
+        r.get(k).unwrap_or_else(|| panic!("metric {k} missing"))
+    }
+
+    #[test]
+    fn golden_fixture_matches_hand_computation() {
+        let r = golden().report();
+        assert_eq!(get(&r, "epochs"), 2.0);
+        assert_eq!(get(&r, "epochs_settled"), 2.0);
+        assert_eq!(get(&r, "quantum_ns"), 1000.0);
+        // Sorted settling times: [1000, 2000] ns → p50 = 1000, max = 2000.
+        assert_eq!(get(&r, "settling_ns_p50"), 1000.0);
+        assert_eq!(get(&r, "settling_ns_max"), 2000.0);
+        // Reactions: [1000, 2000] ns.
+        assert_eq!(get(&r, "reaction_ns_p50"), 1000.0);
+        assert_eq!(get(&r, "reaction_ns_max"), 2000.0);
+        assert_eq!(get(&r, "overshoot_w_max"), 15.0);
+        assert!((get(&r, "overshoot_w_mean") - 9.0).abs() < 1e-12);
+        assert!((get(&r, "steady_err_w_mean") - 0.1).abs() < 1e-12);
+        // Over-budget: episodes {103, 101} and {95, 85} → 2 episodes,
+        // longest 2 samples = 2000 ns, total 4 samples = 4000 ns, 4/9 of
+        // pid steps.
+        assert_eq!(get(&r, "over_budget_episodes"), 2.0);
+        assert_eq!(get(&r, "over_budget_longest_ns"), 2000.0);
+        assert_eq!(get(&r, "over_budget_total_ns"), 4000.0);
+        assert!((get(&r, "over_budget_frac") - 4.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsettled_epoch_reports_nan_settling() {
+        let mut a = StreamAnalyzer::new();
+        a.observe(&retarget(0, 100.0));
+        a.observe(&pid(0, 50.0));
+        a.observe(&pid(1, 60.0));
+        let r = a.report();
+        assert_eq!(get(&r, "epochs"), 1.0);
+        assert_eq!(get(&r, "epochs_settled"), 0.0);
+        assert!(get(&r, "settling_ns_p50").is_nan());
+        // Never entered the band → reaction NaN too.
+        assert!(get(&r, "reaction_ns_p50").is_nan());
+        assert_eq!(get(&r, "overshoot_w_max"), 0.0);
+    }
+
+    #[test]
+    fn report_is_nondestructive_and_resumable() {
+        let mut a = golden();
+        let first = a.report().to_json();
+        assert_eq!(first, a.report().to_json(), "report must not consume state");
+        // Streaming continues after a snapshot.
+        a.observe(&pid(9, 80.0));
+        assert!(a.report().to_json() != first);
+    }
+
+    #[test]
+    fn offline_jsonl_replay_matches_live_observation() {
+        let live = golden();
+        let events: Vec<TraceEvent> = {
+            // Rebuild the same stream and export it.
+            let mut v = vec![retarget(0, 100.0)];
+            for (t, p) in [(0, 90.0), (1, 99.0), (2, 103.0), (3, 101.0), (4, 100.0)] {
+                v.push(pid(t, p));
+            }
+            v.push(retarget(5, 80.0));
+            for (t, p) in [(5, 95.0), (6, 85.0), (7, 79.5), (8, 79.9)] {
+                v.push(pid(t, p));
+            }
+            v
+        };
+        let text = hcapp_telemetry::jsonl::export(&events, &[]);
+        let mut offline = StreamAnalyzer::new();
+        offline.consume_jsonl(&text).unwrap();
+        assert_eq!(live.report().to_json(), offline.report().to_json());
+    }
+
+    #[test]
+    fn vr_slew_saturation_fraction() {
+        let mut a = StreamAnalyzer::new();
+        for (sp, end) in [(1.0, 1.0), (1.0, 0.9), (0.8, 0.8000000001), (0.9, 0.7)] {
+            a.observe(&TraceEvent::VrSlew {
+                t: SimTime::ZERO,
+                setpoint: Volt::new(sp),
+                start: Volt::new(end),
+                end: Volt::new(end),
+            });
+        }
+        let r = a.report();
+        assert_eq!(get(&r, "vr_quanta"), 4.0);
+        assert!((get(&r, "vr_slew_saturated_frac") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn health_and_emergency_residency() {
+        let mut a = StreamAnalyzer::new();
+        a.observe(&retarget(0, 100.0));
+        a.observe(&pid(0, 100.0));
+        a.observe(&TraceEvent::HealthTransition {
+            t: SimTime::from_micros(2),
+            subject: "domain",
+            domain: Some(1),
+            from: "healthy",
+            to: "stale",
+        });
+        a.observe(&TraceEvent::EmergencyThrottle {
+            t: SimTime::from_micros(3),
+            engaged: true,
+            estimate: Watt::new(120.0),
+            target: Watt::new(100.0),
+            scale: 0.7,
+        });
+        a.observe(&TraceEvent::HealthTransition {
+            t: SimTime::from_micros(6),
+            subject: "domain",
+            domain: Some(1),
+            from: "stale",
+            to: "healthy",
+        });
+        a.observe(&TraceEvent::EmergencyThrottle {
+            t: SimTime::from_micros(8),
+            engaged: false,
+            estimate: Watt::new(90.0),
+            target: Watt::new(100.0),
+            scale: 1.0,
+        });
+        a.observe(&pid(10, 100.0));
+        let r = a.report();
+        // Span 0..10 µs; domain 1 unhealthy 2..6 (40%), emergency 3..8 (50%).
+        assert!((get(&r, "d1_throttle_frac") - 0.4).abs() < 1e-12);
+        assert!((get(&r, "emergency_residency_frac") - 0.5).abs() < 1e-12);
+        assert_eq!(get(&r, "emergency_engagements"), 1.0);
+        assert_eq!(get(&r, "health_transitions"), 2.0);
+    }
+
+    #[test]
+    fn open_intervals_close_at_trace_end() {
+        let mut a = StreamAnalyzer::new();
+        a.observe(&pid(0, 10.0));
+        a.observe(&TraceEvent::HealthTransition {
+            t: SimTime::from_micros(4),
+            subject: "sensor",
+            domain: None,
+            from: "healthy",
+            to: "faulted",
+        });
+        a.observe(&pid(10, 10.0));
+        let r = a.report();
+        assert!((get(&r, "sensor_unhealthy_frac") - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_malformed_jsonl() {
+        let mut a = StreamAnalyzer::new();
+        assert!(a.consume_jsonl("").is_err());
+        assert!(a.consume_jsonl("{\"schema\":\"other\"}\n").is_err());
+        let head = hcapp_telemetry::jsonl::header(&[]);
+        assert!(a
+            .consume_jsonl(&format!("{head}\n{{\"kind\":\"retarget\"}}\n"))
+            .is_err());
+        assert!(a
+            .consume_jsonl(&format!("{head}\n{{\"t_ns\":0,\"kind\":\"mystery\"}}\n"))
+            .is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! The versioned `hcapp.report` document: an ordered, flat map of metric
+//! name → value, with deterministic JSON/markdown rendering, a parser, and
+//! a per-metric diff for regression gating.
+//!
+//! The metric map is *flat by design*: `hcapp analyze --diff` and
+//! `--assert` iterate it generically, so every metric the analyzer learns
+//! to compute is automatically diffable and assertable with no new code.
+//! Order is preserved (insertion order from the analyzer), values are
+//! `f64`, and non-finite values serialize as JSON `null` (the same
+//! canonicalization the trace exporter uses), parsing back to `NaN`.
+
+use hcapp_telemetry::json::{self, JsonValue, Obj};
+
+/// Schema tag carried by every report document.
+pub const REPORT_SCHEMA: &str = "hcapp.report";
+/// Current report schema version.
+pub const REPORT_VERSION: u64 = 1;
+
+/// A run's quantified health numbers. See DESIGN §6g for every formula.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Schema version this report was produced under.
+    pub version: u64,
+    /// Ordered `(metric, value)` pairs; `NaN` means "not applicable".
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl RunReport {
+    /// Look up one metric by name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Serialize as a single-line JSON document. Deterministic: metric
+    /// order is preserved and floats print via the shortest round-trip
+    /// form, so identical state yields identical bytes (the determinism
+    /// suite compares reports this way).
+    pub fn to_json(&self) -> String {
+        let mut body = String::from("{");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            json::push_str(&mut body, k);
+            body.push(':');
+            json::push_f64(&mut body, *v);
+        }
+        body.push('}');
+        let mut out = Obj::new()
+            .str("schema", REPORT_SCHEMA)
+            .int("version", self.version)
+            .raw("metrics", &body)
+            .finish();
+        out.push('\n');
+        out
+    }
+
+    /// Render as a markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("# hcapp run report (v{})\n\n| metric | value |\n|---|---|\n", self.version);
+        for (k, v) in &self.metrics {
+            out.push_str(&format!("| {k} | {} |\n", fmt_value(*v)));
+        }
+        out
+    }
+
+    /// Parse a document produced by [`RunReport::to_json`].
+    pub fn from_json(text: &str) -> Result<RunReport, String> {
+        let v = json::parse(text.trim()).map_err(|e| format!("report: {e}"))?;
+        match v.get("schema").and_then(JsonValue::as_str) {
+            Some(s) if s == REPORT_SCHEMA => {}
+            Some(s) => return Err(format!("unknown schema {s:?} (expected {REPORT_SCHEMA:?})")),
+            None => return Err("report missing \"schema\"".into()),
+        }
+        let version = match v.get("version").and_then(JsonValue::as_f64) {
+            Some(n) if n == REPORT_VERSION as f64 => REPORT_VERSION,
+            Some(n) => return Err(format!("unsupported report version {n}")),
+            None => return Err("report missing \"version\"".into()),
+        };
+        let Some(JsonValue::Obj(members)) = v.get("metrics") else {
+            return Err("report missing \"metrics\" object".into());
+        };
+        let mut metrics = Vec::with_capacity(members.len());
+        for (k, mv) in members {
+            let value = match mv {
+                JsonValue::Num(n) => *n,
+                JsonValue::Null => f64::NAN,
+                other => return Err(format!("metric {k:?}: non-numeric value {other:?}")),
+            };
+            metrics.push((k.clone(), value));
+        }
+        Ok(RunReport { version, metrics })
+    }
+
+    /// Per-metric comparison against `old`. A metric **regresses** when its
+    /// relative change `|new − old| / max(|old|, |new|, 1)` exceeds
+    /// `tolerance`, when it is `NaN` on only one side, or when it exists in
+    /// only one report. The `1` floor makes near-zero metrics compare by
+    /// absolute difference instead of exploding the ratio.
+    pub fn diff(old: &RunReport, new: &RunReport, tolerance: f64) -> Vec<DiffRow> {
+        let mut rows: Vec<DiffRow> = Vec::new();
+        for (name, old_v) in &old.metrics {
+            rows.push(DiffRow::compare(name, Some(*old_v), new.get(name), tolerance));
+        }
+        for (name, new_v) in &new.metrics {
+            if old.get(name).is_none() {
+                rows.push(DiffRow::compare(name, None, Some(*new_v), tolerance));
+            }
+        }
+        rows
+    }
+}
+
+/// One metric's diff outcome.
+#[derive(Debug, Clone)]
+pub struct DiffRow {
+    /// Metric name.
+    pub name: String,
+    /// Value in the old report, if present.
+    pub old: Option<f64>,
+    /// Value in the new report, if present.
+    pub new: Option<f64>,
+    /// Relative change (see [`RunReport::diff`]); `0.0` when both NaN.
+    pub rel_change: f64,
+    /// Whether this row breaches the tolerance.
+    pub regressed: bool,
+}
+
+impl DiffRow {
+    fn compare(name: &str, old: Option<f64>, new: Option<f64>, tolerance: f64) -> DiffRow {
+        let (rel, regressed) = match (old, new) {
+            (Some(a), Some(b)) => {
+                let a_nan = a.is_nan();
+                let b_nan = b.is_nan();
+                if a_nan && b_nan {
+                    (0.0, false)
+                } else if a_nan || b_nan {
+                    (f64::NAN, true)
+                } else {
+                    let denom = a.abs().max(b.abs()).max(1.0);
+                    let rel = (b - a).abs() / denom;
+                    (rel, rel > tolerance)
+                }
+            }
+            _ => (f64::NAN, true),
+        };
+        DiffRow {
+            name: name.to_string(),
+            old,
+            new,
+            rel_change: rel,
+            regressed,
+        }
+    }
+}
+
+/// Render a diff as a markdown table; regressed rows are flagged.
+pub fn render_diff(rows: &[DiffRow], tolerance: f64) -> String {
+    let mut out = format!(
+        "# report diff (tolerance {tolerance})\n\n| metric | old | new | rel change | |\n|---|---|---|---|---|\n"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} |\n",
+            r.name,
+            r.old.map_or_else(|| "—".to_string(), fmt_value),
+            r.new.map_or_else(|| "—".to_string(), fmt_value),
+            fmt_value(r.rel_change),
+            if r.regressed { "REGRESSED" } else { "ok" },
+        ));
+    }
+    let n = rows.iter().filter(|r| r.regressed).count();
+    out.push_str(&format!(
+        "\n{n} regressed / {} metrics\n",
+        rows.len()
+    ));
+    out
+}
+
+/// Human-friendly number formatting for tables: integers print bare,
+/// non-finite values print as `NaN`, everything else with full precision.
+pub fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(pairs: &[(&str, f64)]) -> RunReport {
+        RunReport {
+            version: REPORT_VERSION,
+            metrics: pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn json_round_trips_including_nan() {
+        let r = report(&[("events", 12.0), ("settling_ns_p50", f64::NAN), ("x", 0.125)]);
+        let text = r.to_json();
+        assert!(text.contains("\"settling_ns_p50\":null"), "{text}");
+        let back = RunReport::from_json(&text).unwrap();
+        assert_eq!(back.version, REPORT_VERSION);
+        assert_eq!(back.get("events"), Some(12.0));
+        assert_eq!(back.get("x"), Some(0.125));
+        assert!(back.get("settling_ns_p50").is_some_and(f64::is_nan));
+        // Serialization is deterministic.
+        assert_eq!(text, back.to_json());
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        assert!(RunReport::from_json("").is_err());
+        assert!(RunReport::from_json("{\"schema\":\"other\",\"version\":1}").is_err());
+        assert!(RunReport::from_json("{\"schema\":\"hcapp.report\",\"version\":9,\"metrics\":{}}").is_err());
+        assert!(RunReport::from_json("{\"schema\":\"hcapp.report\",\"version\":1}").is_err());
+        assert!(RunReport::from_json(
+            "{\"schema\":\"hcapp.report\",\"version\":1,\"metrics\":{\"a\":\"str\"}}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn diff_flags_regressions_beyond_tolerance() {
+        let old = report(&[("a", 100.0), ("b", 2.0), ("c", f64::NAN)]);
+        let new = report(&[("a", 104.0), ("b", 3.0), ("c", f64::NAN)]);
+        let rows = RunReport::diff(&old, &new, 0.1);
+        let by = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+        assert!(!by("a").regressed, "4% < 10%");
+        assert!(by("b").regressed, "|3-2|/3 = 33% > 10%");
+        assert!(!by("c").regressed, "NaN on both sides is agreement");
+    }
+
+    #[test]
+    fn diff_flags_nan_mismatch_and_missing_metrics() {
+        let old = report(&[("a", 1.0), ("only_old", 5.0)]);
+        let new = report(&[("a", f64::NAN), ("only_new", 7.0)]);
+        let rows = RunReport::diff(&old, &new, 0.5);
+        let by = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+        assert!(by("a").regressed, "value became NaN");
+        assert!(by("only_old").regressed);
+        assert!(by("only_new").regressed);
+        let rendered = render_diff(&rows, 0.5);
+        assert!(rendered.contains("REGRESSED"), "{rendered}");
+        assert!(rendered.contains("3 regressed / 3"), "{rendered}");
+    }
+
+    #[test]
+    fn near_zero_metrics_compare_absolutely() {
+        // 0.0 vs 0.01: ratio to old would be infinite, but the `1` floor
+        // keeps it at 1%, under a 5% tolerance.
+        let rows = RunReport::diff(&report(&[("z", 0.0)]), &report(&[("z", 0.01)]), 0.05);
+        assert!(!rows.iter().next().unwrap().regressed);
+    }
+
+    #[test]
+    fn markdown_renders_every_metric() {
+        let md = report(&[("events", 12.0), ("nanish", f64::NAN)]).to_markdown();
+        assert!(md.contains("| events | 12 |"), "{md}");
+        assert!(md.contains("| nanish | NaN |"), "{md}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Satellite 3: the `RunReport` is executor-independent.
+//!
+//! PR 2 pinned the *trace* byte-identical across the serial, pooled,
+//! batched and permuted executors; this suite pins the *report* the same
+//! way. Every run below attaches a fresh [`AnalyzingTracer`] and compares
+//! `RunReport::to_json()` bytes — any divergence (a reordered metric, a
+//! float that differs in the last ulp, a miscounted event) fails loudly.
+
+use std::sync::{Arc, Mutex};
+
+use hcapp::{ControlScheme, RunConfig, Simulation, SystemConfig};
+use hcapp_analyze::AnalyzingTracer;
+use hcapp_sim_core::time::{SimDuration, SimTime};
+use hcapp_sim_core::units::Watt;
+use hcapp_telemetry::SharedTracer;
+use hcapp_workloads::combo_suite;
+
+/// Hi-Hi paper system with a mid-run retarget: exercises both epochs of
+/// analytics plus the full retarget/PID/VR/domain event mix.
+fn config() -> (SystemConfig, RunConfig) {
+    let sys = SystemConfig::paper_system(combo_suite()[3], 7);
+    let run = RunConfig::new(
+        SimDuration::from_millis(2),
+        ControlScheme::Hcapp,
+        Watt::new(84.0),
+    )
+    .with_retarget(SimTime::from_millis(1), Watt::new(67.0));
+    (sys, run)
+}
+
+enum Exec {
+    Serial,
+    Pooled(usize),
+    Batched(usize),
+    Permuted(usize, u64),
+}
+
+fn report_json(exec: &Exec) -> String {
+    let (sys, mut run) = config();
+    let tracer = Arc::new(Mutex::new(AnalyzingTracer::new()));
+    run.tracer = Some(tracer.clone() as SharedTracer);
+    let run = match exec {
+        Exec::Batched(n) => run.with_batch_quanta(*n),
+        _ => run,
+    };
+    let sim = Simulation::new(sys, run);
+    match exec {
+        Exec::Serial | Exec::Batched(_) => {
+            sim.run();
+        }
+        Exec::Pooled(w) => {
+            sim.run_parallel(*w);
+        }
+        Exec::Permuted(w, seed) => {
+            sim.run_parallel_permuted(*w, *seed);
+        }
+    }
+    let json = tracer.lock().expect("analyzer lock").report().to_json();
+    json
+}
+
+#[test]
+fn report_is_byte_identical_across_executors() {
+    let baseline = report_json(&Exec::Serial);
+    assert!(
+        baseline.contains("\"schema\":\"hcapp.report\""),
+        "{baseline}"
+    );
+    let variants: Vec<(&str, Exec)> = vec![
+        ("pooled-2", Exec::Pooled(2)),
+        ("pooled-4", Exec::Pooled(4)),
+        ("batched-32", Exec::Batched(32)),
+        ("permuted-seed-1", Exec::Permuted(2, 1)),
+        ("permuted-seed-7", Exec::Permuted(2, 7)),
+        ("permuted-seed-23", Exec::Permuted(4, 23)),
+        ("permuted-seed-99", Exec::Permuted(4, 99)),
+    ];
+    for (name, exec) in &variants {
+        let json = report_json(exec);
+        assert_eq!(json, baseline, "{name} report diverged from serial");
+    }
+}
+
+#[test]
+fn live_report_matches_offline_replay_of_the_exported_trace() {
+    use hcapp_analyze::StreamAnalyzer;
+    use hcapp_telemetry::{jsonl, RingTracer};
+
+    let (sys, mut run) = config();
+    let ring = Arc::new(Mutex::new(RingTracer::new(1 << 20)));
+    let live = Arc::new(Mutex::new(AnalyzingTracer::wrapping(
+        ring.clone() as SharedTracer
+    )));
+    run.tracer = Some(live.clone() as SharedTracer);
+    Simulation::new(sys, run).run();
+
+    let live_json = live.lock().expect("analyzer lock").report().to_json();
+    let trace = {
+        let guard = ring.lock().expect("ring lock");
+        assert_eq!(guard.dropped(), 0, "ring must hold the full trace");
+        jsonl::export(guard.events(), &[])
+    };
+    let mut offline = StreamAnalyzer::new();
+    offline.consume_jsonl(&trace).expect("replay exported trace");
+    assert_eq!(offline.report().to_json(), live_json);
+}

@@ -1,5 +1,6 @@
 //! CLI subcommands.
 
+pub mod analyze;
 pub mod compare;
 pub mod faults;
 pub mod hist;
@@ -53,6 +54,15 @@ COMMANDS:
             --check PATH          validate an existing trace instead
     record  record a benchmark's phase trace (JSONL; --legacy for CSV)
             --bench NAME --work-ms N (50) --seed N --out PATH --legacy
+    analyze control-loop analytics: settling/overshoot/steady-state error,
+            over-budget episodes, throttle residency (schema hcapp.report)
+            (run flags) --retarget MS:W[,MS:W...]     live run (default mode)
+            --trace PATH                              replay a recorded trace
+            --format json|md      --out PATH          report rendering
+            --diff OLD --against NEW --tolerance T (0.1)  exit nonzero on
+                                                      per-metric regressions
+            --assert CHECKS --report FILE             exit nonzero on failed
+                                                      min/max bounds
     faults  run under a seeded fault plan, report resilience vs the clean run
             (run flags) --plan quiet|light|moderate|severe (moderate)
             --check               executor-determinism + cap-bound self-test

@@ -9,7 +9,7 @@ use hcapp::scheme::ControlScheme;
 use hcapp::software::ComponentKind;
 use hcapp::system::SystemConfig;
 use hcapp_pdn::RippleSpec;
-use hcapp_sim_core::time::SimDuration;
+use hcapp_sim_core::time::{SimDuration, SimTime};
 use hcapp_sim_core::units::Watt;
 use hcapp_workloads::benchmarks::Benchmark;
 use hcapp_telemetry::json::{self, JsonValue, Obj};
@@ -207,6 +207,40 @@ pub fn build(args: &Args) -> Result<(SystemConfig, RunConfig, PowerLimit), ArgEr
             return Err(bad("priority", other.to_string(), "cpu, gpu, sha or dynamic"));
         }
     }
+    // `--retarget MS:W[,MS:W...]`: schedule mid-run target changes (§5.2's
+    // dynamically adjustable limit). Times are milliseconds from run start
+    // (fractions allowed), values are raw watts — deliberately *not*
+    // guardbanded, so the spec reads exactly as it will appear in the
+    // trace's retarget events.
+    if let Some(spec) = args.opt_string("retarget")? {
+        let mut last = SimTime::ZERO;
+        for part in spec.split(',') {
+            let Some((ms_s, w_s)) = part.split_once(':') else {
+                return Err(bad("retarget", part.to_string(), "MS:WATTS[,MS:WATTS...]"));
+            };
+            let at_ms: f64 = ms_s
+                .trim()
+                .parse()
+                .map_err(|_| bad("retarget", part.to_string(), "a numeric millisecond offset"))?;
+            let watts: f64 = w_s
+                .trim()
+                .parse()
+                .map_err(|_| bad("retarget", part.to_string(), "a numeric wattage"))?;
+            if !(at_ms >= 0.0) || !(watts > 0.0) {
+                return Err(bad(
+                    "retarget",
+                    part.to_string(),
+                    "a non-negative time and positive wattage",
+                ));
+            }
+            let at = SimTime::from_nanos((at_ms * 1e6) as u64);
+            if at < last {
+                return Err(bad("retarget", spec.clone(), "chronologically ordered entries"));
+            }
+            last = at;
+            run = run.with_retarget(at, Watt::new(watts));
+        }
+    }
     Ok((sys, run, limit))
 }
 
@@ -338,6 +372,22 @@ mod tests {
             run.software,
             SoftwareConfig::StaticPriority(ComponentKind::Gpu)
         );
+    }
+
+    #[test]
+    fn retarget_decoding() {
+        let (_, run, _) = build(&parse("--combo Low-Low --ms 4 --retarget 1:90,2.5:70")).unwrap();
+        assert_eq!(
+            run.retargets,
+            vec![
+                (SimTime::from_micros(1000), Watt::new(90.0)),
+                (SimTime::from_micros(2500), Watt::new(70.0)),
+            ]
+        );
+        // Malformed specs are flag errors, not panics.
+        assert!(build(&parse("--combo Low-Low --retarget nonsense")).is_err());
+        assert!(build(&parse("--combo Low-Low --retarget 1:-5")).is_err());
+        assert!(build(&parse("--combo Low-Low --retarget 2:70,1:90")).is_err());
     }
 
     #[test]

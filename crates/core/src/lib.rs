@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod analyze;
 pub mod cache;
 pub mod controller;
 pub mod coordinator;
@@ -53,6 +54,7 @@ pub mod software;
 pub mod system;
 pub mod tuning;
 
+pub use analyze::run_analyzed;
 pub use cache::{run_all_cached, CacheStats, RunCache};
 pub use controller::domain::DomainController;
 pub use controller::global::GlobalController;

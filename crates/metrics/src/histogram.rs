@@ -211,13 +211,18 @@ impl PowerHistogram {
 
 /// Percentiles of a sample slice (nearest-rank). `qs` are in `[0, 1]`.
 ///
-/// Returns an empty vec for empty input. An out-of-range quantile is a
-/// caller bug: debug builds (and therefore the test suite) fail loudly on
-/// one, while release builds keep the historical clamp so a sweep is never
-/// thrown away over a malformed report request.
+/// Empty input has no order statistics, so every requested quantile comes
+/// back as `NaN` — the result is always `qs.len()` long, which keeps
+/// positional consumers (the CLI's `hist` table, the analyzer's
+/// `p50`/`p90` metrics) safe to index and lets "no data" flow through
+/// report serialization as JSON `null` instead of panicking. An
+/// out-of-range quantile is a caller bug: debug builds (and therefore the
+/// test suite) fail loudly on one, while release builds keep the
+/// historical clamp so a sweep is never thrown away over a malformed
+/// report request.
 pub fn percentiles(values: &[f64], qs: &[f64]) -> Vec<f64> {
     if values.is_empty() {
-        return Vec::new();
+        return vec![f64::NAN; qs.len()];
     }
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.total_cmp(b));
@@ -314,7 +319,17 @@ mod tests {
         assert_close!(ps[1], 95.0, 1e-12);
         assert_close!(ps[2], 99.0, 1e-12);
         assert_close!(ps[3], 100.0, 1e-12);
-        assert!(percentiles(&[], &[0.5]).is_empty());
+    }
+
+    #[test]
+    fn empty_input_yields_one_nan_per_quantile() {
+        // Pinned: the result stays `qs.len()` long so positional consumers
+        // never index out of range, and each entry is NaN ("no data"), not
+        // a panic — in release builds included.
+        let ps = percentiles(&[], &[0.1, 0.5, 0.9]);
+        assert_eq!(ps.len(), 3);
+        assert!(ps.iter().all(|p| p.is_nan()), "{ps:?}");
+        assert!(percentiles(&[], &[]).is_empty());
     }
 
     #[test]
@@ -395,5 +410,21 @@ mod tests {
     #[should_panic(expected = "outside [0, 1]")]
     fn out_of_range_quantile_fails_loudly_in_debug() {
         let _ = percentiles(&[1.0, 2.0], &[1.5]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn negative_quantile_fails_loudly_in_debug() {
+        let _ = percentiles(&[1.0, 2.0], &[-0.01]);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn out_of_range_quantile_clamps_in_release() {
+        // The historical release-mode behavior, pinned: clamp instead of
+        // panicking so a long sweep is never lost to a bad report request.
+        let ps = percentiles(&[1.0, 2.0, 3.0], &[-0.5, 1.5]);
+        assert_eq!(ps, vec![1.0, 3.0]);
     }
 }

@@ -16,11 +16,14 @@
 //!    level 2 components (`cpu-sim`, `gpu-sim`, `accel-sim`, `metrics`);
 //!    level 3 observability and adversaries (`telemetry`, which the
 //!    controller feeds, `faults`, whose plans the controller defends
-//!    against, and `cache`, which memoizes the controller's runs); level 4
-//!    the HCAPP controller (`core`); level 5 hosts (`cli`,
-//!    `experiments`); level 6 `bench` and the root harness. A crate may
-//!    only depend on *strictly lower* levels (dev-dependencies exempt, so
-//!    test utilities like `simlint` itself can go anywhere).
+//!    against, `cache`, which memoizes the controller's runs, and —
+//!    half a step above, since it consumes `telemetry`'s event stream —
+//!    `analyze`, the trace analytics engine); level 4 the HCAPP
+//!    controller (`core`); level 5 hosts (`cli`, `experiments`); level 6
+//!    `bench` and the root harness. A crate may only depend on *strictly
+//!    lower* levels (dev-dependencies exempt, so test utilities like
+//!    `simlint` itself can go anywhere). Ranks are spaced by 10 so
+//!    intra-level sublayers (analyze at 35) fit without renumbering.
 //!
 //! The parser below handles the TOML subset Cargo manifests actually use
 //! (sections, `k = v`, inline tables, dotted `name.workspace = true`) —
@@ -79,12 +82,16 @@ pub struct Manifest {
 pub fn level_of(package: &str) -> Option<u8> {
     Some(match package {
         "hcapp-sim-core" => 0,
-        "hcapp-power-model" | "hcapp-pdn" | "hcapp-workloads" => 1,
-        "hcapp-cpu-sim" | "hcapp-gpu-sim" | "hcapp-accel-sim" | "hcapp-metrics" => 2,
-        "hcapp-telemetry" | "hcapp-faults" | "hcapp-cache" => 3,
-        "hcapp" => 4,
-        "hcapp-cli" | "hcapp-experiments" => 5,
-        "hcapp-bench" | "hcapp-repro" => 6,
+        "hcapp-power-model" | "hcapp-pdn" | "hcapp-workloads" => 10,
+        "hcapp-cpu-sim" | "hcapp-gpu-sim" | "hcapp-accel-sim" | "hcapp-metrics" => 20,
+        "hcapp-telemetry" | "hcapp-faults" | "hcapp-cache" => 30,
+        // Observability sublayer: the analytics engine reads telemetry's
+        // event stream, so it sits strictly above telemetry but below the
+        // controller, which attaches it to the run path.
+        "hcapp-analyze" => 35,
+        "hcapp" => 40,
+        "hcapp-cli" | "hcapp-experiments" => 50,
+        "hcapp-bench" | "hcapp-repro" => 60,
         _ => return None,
     })
 }
@@ -425,6 +432,15 @@ mod tests {
         let mut out = Vec::new();
         l4_dep_layering(&[root(), m], &mut out);
         assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn analyze_sits_between_telemetry_and_core() {
+        // The analytics engine reads telemetry's events and is attached by
+        // the controller: telemetry < analyze < core, strictly.
+        assert!(level_of("hcapp-telemetry") < level_of("hcapp-analyze"));
+        assert!(level_of("hcapp-metrics") < level_of("hcapp-analyze"));
+        assert!(level_of("hcapp-analyze") < level_of("hcapp"));
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::{Finding, Rule};
 /// `experiments`, `bench`, `simlint` and the proptest shim are hosts/tools,
 /// not simulation code.
 pub const LIB_CRATES: &[&str] = &[
+    "analyze",
     "cache",
     "core",
     "sim-core",

@@ -189,7 +189,17 @@ impl ValidationReport {
 
 /// Check a JSONL trace end to end: the header names [`SCHEMA`]/[`VERSION`],
 /// every line parses as a JSON object, every event carries a known `kind`
-/// and a numeric `t_ns`, and timestamps never decrease.
+/// and a numeric `t_ns`, timestamps never decrease, and no event that the
+/// coordinator emits at most once per quantum appears twice at one `t_ns`.
+///
+/// The duplicate check covers the kinds with a uniqueness invariant:
+/// `retarget`, `global_pid` and `vr_slew` are package-global (keyed by
+/// `t_ns` alone), `domain_scale` and `local_decision` are per-domain
+/// (keyed by `t_ns` + `domain`). `fault_injected`, `health_transition` and
+/// `emergency_throttle` are exempt — several faults or transitions can
+/// legitimately land on the same quantum boundary. A duplicate means a
+/// corrupted or hand-spliced trace (e.g. two runs concatenated), which
+/// would silently double-count in downstream analytics.
 pub fn validate(text: &str) -> Result<ValidationReport, String> {
     let mut lines = text.lines().enumerate();
     let Some((_, first)) = lines.next() else {
@@ -213,6 +223,9 @@ pub fn validate(text: &str) -> Result<ValidationReport, String> {
         kind_counts: [0; EVENT_KINDS.len()],
         last_t_ns: None,
     };
+    // `(kind index, domain)` keys already seen at the current `t_ns`,
+    // cleared whenever time advances.
+    let mut seen_at_t: Vec<(usize, Option<u64>)> = Vec::new();
     for (lineno, line) in lines {
         if line.is_empty() {
             continue;
@@ -240,6 +253,31 @@ pub fn validate(text: &str) -> Result<ValidationReport, String> {
                     lineno + 1
                 ));
             }
+            if t > prev {
+                seen_at_t.clear();
+            }
+        }
+        // Uniqueness keys for the current quantum boundary; the O(1)-ish
+        // scan is over at most one quantum's worth of events.
+        let unique_key = match kind {
+            "retarget" | "global_pid" | "vr_slew" => Some((ki, None)),
+            "domain_scale" | "local_decision" => v
+                .get("domain")
+                .and_then(JsonValue::as_f64)
+                .map(|d| (ki, Some(d as u64))),
+            _ => None,
+        };
+        if let Some(key) = unique_key {
+            if seen_at_t.contains(&key) {
+                let dom = key
+                    .1
+                    .map_or(String::new(), |d| format!(" for domain {d}"));
+                return Err(format!(
+                    "line {}: duplicate {kind} event at t_ns {t}{dom}",
+                    lineno + 1
+                ));
+            }
+            seen_at_t.push(key);
         }
         report.last_t_ns = Some(t);
         report.kind_counts[ki] += 1;
@@ -397,6 +435,44 @@ mod tests {
         );
         let err = validate(&out_of_order).unwrap_err();
         assert!(err.contains("backwards"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_global_events_at_one_quantum() {
+        // Corruption: the same global_pid line spliced in twice — e.g. two
+        // trace fragments concatenated without deduplication.
+        let head = header(&[]);
+        let pid = "{\"t_ns\":1000,\"kind\":\"global_pid\",\"p_now_w\":80,\"setpoint_w\":84,\"v_err\":0,\"p_term_v\":0,\"i_term_v\":0,\"d_term_v\":0,\"v_next_v\":1}";
+        let err = validate(&format!("{head}\n{pid}\n{pid}\n")).unwrap_err();
+        assert!(err.contains("duplicate global_pid"), "{err}");
+        assert!(err.contains("t_ns 1000"), "{err}");
+        // The same event at a *different* quantum is fine.
+        let pid2 = pid.replace("\"t_ns\":1000", "\"t_ns\":2000");
+        assert!(validate(&format!("{head}\n{pid}\n{pid2}\n")).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_per_domain_events_at_one_quantum() {
+        let head = header(&[]);
+        let d0 = "{\"t_ns\":0,\"kind\":\"domain_scale\",\"domain\":0,\"component\":\"CPU\",\"v_domain_v\":0.9,\"normalized_v\":1,\"priority\":1}";
+        let d1 = d0.replace("\"domain\":0", "\"domain\":1");
+        // Different domains at one quantum: legitimate.
+        assert!(validate(&format!("{head}\n{d0}\n{d1}\n")).is_ok());
+        // The same domain twice: corruption.
+        let err = validate(&format!("{head}\n{d0}\n{d1}\n{d0}\n")).unwrap_err();
+        assert!(err.contains("duplicate domain_scale"), "{err}");
+        assert!(err.contains("domain 0"), "{err}");
+    }
+
+    #[test]
+    fn repeatable_kinds_are_exempt_from_the_duplicate_check() {
+        // Two identical fault injections at one boundary can be real (e.g.
+        // a plan firing the same point twice); the validator must not
+        // reject them.
+        let head = header(&[]);
+        let fault =
+            "{\"t_ns\":500,\"kind\":\"fault_injected\",\"point\":\"sensor_noise\",\"domain\":null,\"magnitude\":1.1}";
+        assert!(validate(&format!("{head}\n{fault}\n{fault}\n")).is_ok());
     }
 
     #[test]

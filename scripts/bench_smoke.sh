@@ -16,3 +16,10 @@ test -s results/BENCH_parallel.json || {
     echo "bench_smoke: results/BENCH_parallel.json was not written" >&2
     exit 1
 }
+
+# Perf regression gate: the committed thresholds are deliberately loose
+# (smoke timings are noisy) — they catch order-of-magnitude regressions
+# like batching or the warm cache silently stopping to engage, not
+# percent-level drift. Re-baseline via results/BENCH_thresholds.json.
+cargo run --release -q -p hcapp-cli -- analyze \
+    --assert results/BENCH_thresholds.json --report results/BENCH_parallel.json

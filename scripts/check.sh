@@ -43,6 +43,23 @@ for kind in retarget global_pid vr_slew domain_scale local_decision; do
 done
 rm -f "$smoke"
 
+echo "==> hcapp analyze smoke (report vs committed baseline + bounds)"
+smoke=results/analyze_smoke.json
+rm -f "$smoke"
+cargo run --release -p hcapp-cli -q -- analyze \
+    --combo Hi-Hi --scheme hcapp --ms 2 --retarget 1:70 \
+    --out "$smoke" > /dev/null
+# The run is fully deterministic, so the fresh report must match the
+# committed baseline within a tight tolerance (re-baseline deliberately
+# with the command in README.md's Observability section)...
+cargo run --release -p hcapp-cli -q -- analyze \
+    --diff results/REPORT_baseline.json --against "$smoke" \
+    --tolerance 0.01 > /dev/null
+# ...and satisfy the absolute control-quality bounds.
+cargo run --release -p hcapp-cli -q -- analyze \
+    --assert results/REPORT_checks.json --report "$smoke" > /dev/null
+rm -f "$smoke"
+
 echo "==> hcapp faults smoke (executor determinism + cap bound)"
 cargo run --release -p hcapp-cli -q -- faults --seed 7 --check
 
