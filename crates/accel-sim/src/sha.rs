@@ -86,6 +86,19 @@ impl ShaAccelerator {
     }
 }
 
+impl hcapp_sim_core::state::Snapshot for ShaAccelerator {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        self.workload.save_state(w);
+        w.f64("sha.last_power", self.last_power.0);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        self.workload.load_state(r)?;
+        self.last_power = Watt(r.f64("sha.last_power")?);
+        Some(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

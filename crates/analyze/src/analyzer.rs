@@ -599,6 +599,139 @@ impl StreamAnalyzer {
     }
 }
 
+impl hcapp_sim_core::state::Snapshot for StreamAnalyzer {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        w.u64("an.events", self.events);
+        w.u64("an.retargets", self.retargets);
+        w.u64("an.pid_steps", self.pid_steps);
+        w.u64("an.local_decisions", self.local_decisions);
+        w.opt_u64("an.first_t_ns", self.first_t_ns);
+        w.u64("an.last_t_ns", self.last_t_ns);
+        w.opt_u64("an.prev_pid_t", self.prev_pid_t);
+        w.opt_u64("an.dt_ns", self.dt_ns);
+        w.f64("an.p_now_sum", self.p_now_sum);
+        w.f64("an.p_now_peak", self.p_now_peak);
+        w.bool("an.epoch_open", self.epoch.is_some());
+        if let Some(e) = &self.epoch {
+            w.u64("an.ep.start_ns", e.start_ns);
+            w.f64("an.ep.target", e.target);
+            w.f64("an.ep.tol", e.tol);
+            w.u64("an.ep.samples", e.samples);
+            w.u64("an.ep.last_sample_ns", e.last_sample_ns);
+            w.opt_u64("an.ep.last_out_ns", e.last_out_ns);
+            w.opt_u64("an.ep.first_in_ns", e.first_in_ns);
+            w.f64("an.ep.overshoot", e.overshoot);
+            w.f64("an.ep.ss_sum", e.ss_sum);
+            w.u64("an.ep.ss_count", e.ss_count);
+        }
+        w.usize("an.epochs", self.epochs.len());
+        for s in &self.epochs {
+            w.f64_slice(
+                "an.epoch",
+                &[s.settling_ns, s.reaction_ns, s.overshoot, s.steady_err],
+            );
+        }
+        w.u64("an.over_run", self.over_run);
+        w.u64("an.over_longest", self.over_longest);
+        w.u64("an.over_samples", self.over_samples);
+        w.u64("an.over_episodes", self.over_episodes);
+        w.u64("an.vr_quanta", self.vr_quanta);
+        w.u64("an.vr_saturated", self.vr_saturated);
+        w.usize("an.domains", self.domains.len());
+        for (idx, d) in &self.domains {
+            w.u32("an.dom.index", *idx);
+            w.token("an.dom.kind", if d.kind.is_empty() { "-" } else { &d.kind });
+            w.u64("an.dom.quanta", d.quanta);
+            w.f64("an.dom.norm_sum", d.norm_sum);
+            w.u64("an.dom.norm_count", d.norm_count);
+            w.opt_u64("an.dom.unhealthy_since", d.unhealthy_since);
+            w.u64("an.dom.unhealthy_ns", d.unhealthy_ns);
+            w.u64("an.dom.transitions", d.transitions);
+        }
+        w.u64("an.faults_injected", self.faults_injected);
+        w.u64("an.health_transitions", self.health_transitions);
+        w.opt_u64("an.sensor_unhealthy_since", self.sensor_unhealthy_since);
+        w.u64("an.sensor_unhealthy_ns", self.sensor_unhealthy_ns);
+        w.u64("an.emergency_engagements", self.emergency_engagements);
+        w.opt_u64("an.emergency_since", self.emergency_since);
+        w.u64("an.emergency_ns", self.emergency_ns);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        self.events = r.u64("an.events")?;
+        self.retargets = r.u64("an.retargets")?;
+        self.pid_steps = r.u64("an.pid_steps")?;
+        self.local_decisions = r.u64("an.local_decisions")?;
+        self.first_t_ns = r.opt_u64("an.first_t_ns")?;
+        self.last_t_ns = r.u64("an.last_t_ns")?;
+        self.prev_pid_t = r.opt_u64("an.prev_pid_t")?;
+        self.dt_ns = r.opt_u64("an.dt_ns")?;
+        self.p_now_sum = r.f64("an.p_now_sum")?;
+        self.p_now_peak = r.f64("an.p_now_peak")?;
+        self.epoch = if r.bool("an.epoch_open")? {
+            Some(EpochState {
+                start_ns: r.u64("an.ep.start_ns")?,
+                target: r.f64("an.ep.target")?,
+                tol: r.f64("an.ep.tol")?,
+                samples: r.u64("an.ep.samples")?,
+                last_sample_ns: r.u64("an.ep.last_sample_ns")?,
+                last_out_ns: r.opt_u64("an.ep.last_out_ns")?,
+                first_in_ns: r.opt_u64("an.ep.first_in_ns")?,
+                overshoot: r.f64("an.ep.overshoot")?,
+                ss_sum: r.f64("an.ep.ss_sum")?,
+                ss_count: r.u64("an.ep.ss_count")?,
+            })
+        } else {
+            None
+        };
+        let n_epochs = r.usize("an.epochs")?;
+        self.epochs = Vec::with_capacity(n_epochs);
+        for _ in 0..n_epochs {
+            let v = r.f64_vec("an.epoch")?;
+            let [settling_ns, reaction_ns, overshoot, steady_err] =
+                <[f64; 4]>::try_from(v).ok()?;
+            self.epochs.push(EpochSummary {
+                settling_ns,
+                reaction_ns,
+                overshoot,
+                steady_err,
+            });
+        }
+        self.over_run = r.u64("an.over_run")?;
+        self.over_longest = r.u64("an.over_longest")?;
+        self.over_samples = r.u64("an.over_samples")?;
+        self.over_episodes = r.u64("an.over_episodes")?;
+        self.vr_quanta = r.u64("an.vr_quanta")?;
+        self.vr_saturated = r.u64("an.vr_saturated")?;
+        let n_domains = r.usize("an.domains")?;
+        self.domains = BTreeMap::new();
+        for _ in 0..n_domains {
+            let idx = r.u32("an.dom.index")?;
+            let kind = r.token("an.dom.kind")?;
+            let stat = DomainStat {
+                kind: if kind == "-" { String::new() } else { kind.to_string() },
+                quanta: r.u64("an.dom.quanta")?,
+                norm_sum: r.f64("an.dom.norm_sum")?,
+                norm_count: r.u64("an.dom.norm_count")?,
+                unhealthy_since: r.opt_u64("an.dom.unhealthy_since")?,
+                unhealthy_ns: r.u64("an.dom.unhealthy_ns")?,
+                transitions: r.u64("an.dom.transitions")?,
+            };
+            if self.domains.insert(idx, stat).is_some() {
+                return None;
+            }
+        }
+        self.faults_injected = r.u64("an.faults_injected")?;
+        self.health_transitions = r.u64("an.health_transitions")?;
+        self.sensor_unhealthy_since = r.opt_u64("an.sensor_unhealthy_since")?;
+        self.sensor_unhealthy_ns = r.u64("an.sensor_unhealthy_ns")?;
+        self.emergency_engagements = r.u64("an.emergency_engagements")?;
+        self.emergency_since = r.opt_u64("an.emergency_since")?;
+        self.emergency_ns = r.u64("an.emergency_ns")?;
+        Some(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

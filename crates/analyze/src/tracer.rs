@@ -83,6 +83,16 @@ impl Tracer for AnalyzingTracer {
     }
 }
 
+impl hcapp_sim_core::state::Snapshot for AnalyzingTracer {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        self.analyzer.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        self.analyzer.load_state(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -38,8 +38,9 @@ fn bad(flag: &str, value: String, expected: &'static str) -> ArgError {
 }
 
 /// The contract from DESIGN.md: the longest tolerated over-budget episode
-/// under any valid plan.
-fn reaction_bound() -> SimDuration {
+/// under any valid plan. Shared with `hcapp soak`, whose stitched runs must
+/// honor the same bound.
+pub(crate) fn reaction_bound() -> SimDuration {
     SimDuration::from_micros(u64::from(
         DegradedConfig::default().reaction_quanta() * SLEW_STRETCH,
     ))
@@ -59,7 +60,7 @@ pub fn execute(args: &Args) -> Result<String, ArgError> {
     let workers = shared::parallel_workers(args)?;
     args.finish()?;
     let plan = FaultPlan::preset(&plan_name, seed)
-        .ok_or_else(|| bad("plan", plan_name.clone(), "quiet, light, moderate or severe"))?;
+        .ok_or_else(|| bad("plan", plan_name.clone(), hcapp_faults::PRESET_LIST))?;
 
     let go = |run: RunConfig| shared::execute_sim(Simulation::new(sys.clone(), run), workers);
     let clean = go(run.clone().with_trace());
@@ -248,5 +249,15 @@ mod tests {
     fn unknown_plan_rejected() {
         let e = run_cli("--combo Hi-Hi --ms 1 --plan loud").unwrap_err();
         assert!(e.to_string().contains("plan"));
+    }
+
+    #[test]
+    fn unknown_plan_error_lists_every_valid_preset() {
+        let msg = run_cli("--combo Hi-Hi --ms 1 --plan loud")
+            .unwrap_err()
+            .to_string();
+        for name in hcapp_faults::PRESET_NAMES {
+            assert!(msg.contains(name), "error {msg:?} does not list preset {name}");
+        }
     }
 }

@@ -8,6 +8,7 @@ pub mod record;
 pub mod run;
 pub mod sanitize;
 pub mod shared;
+pub mod soak;
 pub mod sweep;
 pub mod trace;
 pub mod tune;
@@ -71,6 +72,16 @@ COMMANDS:
             byte-identical to the serial run
             (run flags) --orderings N (16)   permutation seeds per worker count
             --parallel N          single worker count (absent = 2 and 3)
+    soak    chaos soak: kill a checkpointing run at seeded quanta, resume
+            from hcapp.ckpt, gate the stitched outcome/trace/report against
+            the uninterrupted oracle at tolerance zero
+            (run flags) --plan quiet|light|moderate|severe|none (moderate)
+            --kills N (3)         kill/resume links per campaign
+            --every N (64)        checkpoint cadence in control quanta
+            --dir PATH (results/soak)  checkpoint + trace directory
+            --keep                retain hcapp.ckpt / hcapp.trace artifacts
+            --worker [--stop-at Q]  single resumable link (scripts/soak.sh
+                                  SIGKILLs these to soak real process death)
     list    available combos, benchmarks and schemes
     help    this text
 "

@@ -102,6 +102,22 @@ pub fn limit(args: &Args) -> Result<PowerLimit, ArgError> {
     ))
 }
 
+/// Decode the degraded-mode tuning flags (`--stale-after`,
+/// `--faulted-after`, `--violation-window`, `--safe-ratio`) over the
+/// default [`hcapp::DegradedConfig`]. Inconsistent values surface as a
+/// clean [`ArgError`] through [`hcapp::DegradedConfig::try_validate`] —
+/// never as the panicking internal `validate`.
+pub fn degraded(args: &Args) -> Result<hcapp::DegradedConfig, ArgError> {
+    let mut cfg = hcapp::DegradedConfig::default();
+    cfg.stale_after = args.u64("stale-after", u64::from(cfg.stale_after))? as u32;
+    cfg.faulted_after = args.u64("faulted-after", u64::from(cfg.faulted_after))? as u32;
+    cfg.violation_window = args.u64("violation-window", u64::from(cfg.violation_window))? as u32;
+    cfg.safe_ratio = args.f64("safe-ratio", cfg.safe_ratio)?;
+    cfg.try_validate()
+        .map_err(|msg| ArgError::Failed(format!("invalid degraded config: {msg}")))?;
+    Ok(cfg)
+}
+
 /// Decode `--parallel N`: `None` (flag absent or `0`) selects the serial
 /// coordinator, `Some(n)` the pooled executor with `n` workers. `--parallel
 /// 1` therefore means "pooled with one worker" — useful for isolating
@@ -190,7 +206,8 @@ pub fn build(args: &Args) -> Result<(SystemConfig, RunConfig, PowerLimit), ArgEr
         SimDuration::from_millis(ms),
         scheme,
         limit.guardbanded_target(),
-    );
+    )
+    .with_degraded(degraded(args)?);
     run.track_windows = vec![
         limit.window,
         SimDuration::from_micros(20),
@@ -388,6 +405,29 @@ mod tests {
         assert!(build(&parse("--combo Low-Low --retarget nonsense")).is_err());
         assert!(build(&parse("--combo Low-Low --retarget 1:-5")).is_err());
         assert!(build(&parse("--combo Low-Low --retarget 2:70,1:90")).is_err());
+    }
+
+    #[test]
+    fn degraded_flags_apply_and_invalid_values_are_arg_errors_not_panics() {
+        let (_, run, _) = build(&parse(
+            "--combo Low-Low --ms 2 --stale-after 3 --faulted-after 9 --violation-window 40 --safe-ratio 0.5",
+        ))
+        .unwrap();
+        assert_eq!(run.degraded.stale_after, 3);
+        assert_eq!(run.degraded.faulted_after, 9);
+        assert_eq!(run.degraded.violation_window, 40);
+        assert_eq!(run.degraded.safe_ratio, 0.5);
+
+        // `faulted_after < stale_after` is inconsistent: a clean ArgError
+        // naming the field, not a panic from the internal validate().
+        let e = build(&parse("--combo Low-Low --stale-after 9 --faulted-after 3"))
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("faulted_after"), "{e}");
+        let e = build(&parse("--combo Low-Low --safe-ratio 1.5"))
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("safe_ratio"), "{e}");
     }
 
     #[test]

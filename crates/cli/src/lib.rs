@@ -9,6 +9,7 @@
 //! hcapp trace --combo Hi-Hi --scheme hcapp --ms 2         # JSONL event trace
 //! hcapp faults --plan severe --ms 4                       # fault campaign
 //! hcapp faults --check --seed 7                           # resilience self-test
+//! hcapp soak --ms 2 --kills 3                             # kill/resume chaos soak
 //! hcapp list                                              # combos/benchmarks/schemes
 //! ```
 //!
@@ -41,6 +42,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "record" => commands::record::execute(&args).map_err(|e| e.to_string()),
         "faults" => commands::faults::execute(&args).map_err(|e| e.to_string()),
         "sanitize" => commands::sanitize::execute(&args).map_err(|e| e.to_string()),
+        "soak" => commands::soak::execute(&args).map_err(|e| e.to_string()),
         "list" => Ok(commands::list()),
         "help" | "--help" | "-h" => Ok(commands::help()),
         other => Err(format!(

@@ -98,6 +98,23 @@ impl DomainController {
     }
 }
 
+impl hcapp_sim_core::state::Snapshot for DomainController {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        // `mode` / `v_min` / `v_max` are construction-time configuration;
+        // only the software priority register mutates during a run.
+        w.f64("domctl.priority", self.priority);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        let priority = r.f64("domctl.priority")?;
+        if !(priority > 0.0) {
+            return None;
+        }
+        self.priority = priority;
+        Some(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -73,6 +73,23 @@ impl GlobalController {
     }
 }
 
+impl hcapp_sim_core::state::Snapshot for GlobalController {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        hcapp_sim_core::state::Snapshot::save_state(&self.pid, w);
+        w.f64("global.target", self.target.value());
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        hcapp_sim_core::state::Snapshot::load_state(&mut self.pid, r)?;
+        let target = r.f64("global.target")?;
+        if !(target > 0.0) {
+            return None;
+        }
+        self.target = Watt::new(target);
+        Some(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -46,6 +46,16 @@ pub trait LocalController: Send + std::fmt::Debug {
     fn decision_thresholds(&self) -> Option<(f64, f64)> {
         None
     }
+
+    /// Checkpoint the controller's mutable state (default: stateless —
+    /// writes nothing). Stateful controllers override both methods.
+    fn save_state(&self, _w: &mut hcapp_sim_core::state::StateWriter) {}
+
+    /// Restore state written by [`LocalController::save_state`] (default:
+    /// stateless — reads nothing).
+    fn load_state(&mut self, _r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        Some(())
+    }
 }
 
 /// Bounds shared by the ratio-stepping controllers.
@@ -108,6 +118,20 @@ impl LocalController for CpuIpcStaticController {
 
     fn decision_thresholds(&self) -> Option<(f64, f64)> {
         Some((self.up_threshold, self.down_threshold))
+    }
+
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        // Thresholds are configuration; only the ratios mutate.
+        w.f64_slice("local.ratios", &self.ratios);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        let ratios = r.f64_vec("local.ratios")?;
+        if ratios.len() != self.ratios.len() {
+            return None;
+        }
+        self.ratios = ratios;
+        Some(())
     }
 }
 
@@ -191,6 +215,29 @@ impl LocalController for GpuIpcDynamicController {
 
     fn decision_thresholds(&self) -> Option<(f64, f64)> {
         Some(self.thresholds())
+    }
+
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        w.f64_slice("local.ratios", &self.ratios);
+        // Unlike the static controller, the thresholds themselves adapt.
+        w.f64("local.up", self.up_threshold);
+        w.f64("local.down", self.down_threshold);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        let ratios = r.f64_vec("local.ratios")?;
+        if ratios.len() != self.ratios.len() {
+            return None;
+        }
+        let up = r.f64("local.up")?;
+        let down = r.f64("local.down")?;
+        if !(0.0 < down && down < up && up < 1.0) {
+            return None;
+        }
+        self.ratios = ratios;
+        self.up_threshold = up;
+        self.down_threshold = down;
+        Some(())
     }
 }
 

@@ -113,6 +113,23 @@ impl ThermalGuard {
     }
 }
 
+impl hcapp_sim_core::state::Snapshot for ThermalGuard {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        hcapp_sim_core::state::Snapshot::save_state(&self.node, w);
+        w.f64("guard.derate", self.derate);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        hcapp_sim_core::state::Snapshot::load_state(&mut self.node, r)?;
+        let derate = r.f64("guard.derate")?;
+        if !(0.0..=1.0).contains(&derate) {
+            return None;
+        }
+        self.derate = derate;
+        Some(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

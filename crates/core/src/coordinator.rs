@@ -258,7 +258,7 @@ impl RunConfig {
 }
 
 /// The fallback quantum for the uncontrolled fixed-voltage baseline.
-const FIXED_QUANTUM: SimDuration = SimDuration::from_micros(100);
+pub(crate) const FIXED_QUANTUM: SimDuration = SimDuration::from_micros(100);
 
 /// Default number of control quanta the coordinator ships to an executor in
 /// one batch. Batching only happens when there is provably no per-quantum
@@ -318,6 +318,33 @@ pub(crate) trait DomainExecutor {
         heartbeats: &mut [bool],
         events: Option<&mut Vec<TraceEvent>>,
     );
+
+    /// Serialize every domain's checkpoint payload, in domain-index order
+    /// (the resume layer stores them as `domain.<i>` sections). Must only
+    /// be called at a batch boundary, where no quantum is in flight.
+    fn domain_states(&mut self) -> Vec<String>;
+
+    /// Restore payloads produced by [`DomainExecutor::domain_states`]
+    /// (same indexing). `None` if any payload is missing, malformed, or
+    /// shaped for a different system configuration.
+    fn restore_domain_states(&mut self, states: &[String]) -> Option<()>;
+}
+
+/// Serialize one domain with the sim-core state codec.
+pub(crate) fn encode_domain_state(d: &Domain) -> String {
+    use hcapp_sim_core::state::Snapshot;
+    let mut w = hcapp_sim_core::state::StateWriter::new();
+    d.save_state(&mut w);
+    w.finish()
+}
+
+/// Restore one domain from [`encode_domain_state`]'s payload, requiring the
+/// payload to be fully consumed.
+pub(crate) fn decode_domain_state(d: &mut Domain, payload: &str) -> Option<()> {
+    use hcapp_sim_core::state::Snapshot;
+    let mut r = hcapp_sim_core::state::StateReader::new(payload);
+    d.load_state(&mut r)?;
+    r.finished()
 }
 
 /// In-process executor over the owned domain list.
@@ -365,6 +392,20 @@ impl DomainExecutor for SerialExecutor {
                 );
             }
         }
+    }
+
+    fn domain_states(&mut self) -> Vec<String> {
+        self.domains.iter().map(encode_domain_state).collect()
+    }
+
+    fn restore_domain_states(&mut self, states: &[String]) -> Option<()> {
+        if states.len() != self.domains.len() {
+            return None;
+        }
+        for (d, s) in self.domains.iter_mut().zip(states) {
+            decode_domain_state(d, s)?;
+        }
+        Some(())
     }
 }
 
@@ -440,446 +481,607 @@ impl Simulation {
 pub(crate) fn run_loop<E: DomainExecutor>(
     sys: SystemConfig,
     run: RunConfig,
-    mut global_ctl: GlobalController,
-    mut vr: VoltageRegulator,
-    mut sensor: PowerSensor,
-    mut policy: Box<dyn SoftwarePolicy>,
-    mut executor: E,
+    global_ctl: GlobalController,
+    vr: VoltageRegulator,
+    sensor: PowerSensor,
+    policy: Box<dyn SoftwarePolicy>,
+    executor: E,
 ) -> RunOutcome {
-    let tick = sys.tick;
-    let tick_s = tick.as_secs_f64();
-    let dynamic = run.scheme.control_period().is_some();
-    let period = run.scheme.control_period().unwrap_or(FIXED_QUANTUM);
-    let quantum_ticks = period.ticks(tick) as usize;
-    let total_ticks = run.duration.ticks(tick) as usize;
+    let mut driver = LoopDriver::new(sys, run, global_ctl, vr, sensor, policy, executor);
+    while !driver.is_done() {
+        driver.step_batch();
+    }
+    driver.finish()
+}
 
-    let mut trackers: Vec<WindowedMaxTracker> = run
-        .track_windows
-        .iter()
-        .map(|w| WindowedMaxTracker::new(w.ticks(tick) as usize))
-        .collect();
+/// The run loop reified as a stepwise driver, so the checkpoint/resume
+/// layer ([`crate::resume`]) can pause a run at any batch boundary.
+/// `new` + `step_batch`-until-done + `finish` execute the exact statement
+/// sequence the single-function loop used to, so the reification cannot
+/// change results — [`run_loop`] is that composition, and every existing
+/// determinism test pins it.
+pub(crate) struct LoopDriver<E: DomainExecutor> {
+    // Configuration and values derived from it once in `new` (rebuilt, not
+    // checkpointed: a resumed run re-derives them from the same config).
+    sys: SystemConfig,
+    run: RunConfig,
+    tick: SimDuration,
+    tick_s: f64,
+    dynamic: bool,
+    period: SimDuration,
+    quantum_ticks: usize,
+    total_ticks: usize,
+    trace_ticks: usize,
+    kinds: Vec<ComponentKind>,
+    nominal_rates: Vec<f64>,
+    sw_interval: u64,
+    n_domains: usize,
+    injector: Option<FaultInjector>,
+    degraded: DegradedConfig,
+    tracer: Option<SharedTracer>,
+    tracing: bool,
+    profiler: Option<Arc<Profiler>>,
+    v_floor: Volt,
+    v_ceil: Volt,
+    max_batch: usize,
+    // The controlled components.
+    global_ctl: GlobalController,
+    vr: VoltageRegulator,
+    sensor: PowerSensor,
+    policy: Box<dyn SoftwarePolicy>,
+    executor: E,
+    // Loop state proper (checkpointed by `save_sections`).
+    trackers: Vec<WindowedMaxTracker>,
+    trace: Option<TimeSeries>,
+    voltage_trace: Option<TimeSeries>,
+    trace_sum: f64,
+    vtrace_sum: f64,
+    trace_count: usize,
+    energy: f64,
+    voltage_sum: f64,
+    work_snapshot: Vec<f64>,
+    progress: Vec<DomainProgress>,
+    priorities: Vec<f64>,
+    last_policy_tick: usize,
+    ctls: Vec<QuantumCtl>,
+    heartbeats: Vec<bool>,
+    dom_health: Vec<DomainHealth>,
+    sensor_dog: SensorWatchdog,
+    emergency: EmergencyThrottle,
+    held_reading: Watt,
+    sensor_fault_active: bool,
+    slew_fault_active: bool,
+    link_fault_active: Vec<bool>,
+    ctl_fault_active: Vec<bool>,
+    resilience: ResilienceCounters,
+    ev_buf: Vec<TraceEvent>,
+    done: usize,
+    quantum_index: u64,
+    peak_hold: f64,
+    retarget_cursor: usize,
+    prev_t0: Option<SimTime>,
+    // Batch-scoped scratch buffers (never live across a boundary).
+    v_sched: Vec<f64>,
+    power_acc: Vec<f64>,
+    batch: Vec<QuantumSpec>,
+}
 
-    let mut trace = run.record_trace.then(|| {
-        TimeSeries::with_capacity(
-            run.trace_interval,
-            (run.duration / run.trace_interval) as usize + 1,
-        )
-    });
-    let mut voltage_trace = run.record_voltage_trace.then(|| {
-        TimeSeries::with_capacity(
-            run.trace_interval,
-            (run.duration / run.trace_interval) as usize + 1,
-        )
-    });
-    let trace_ticks = run.trace_interval.ticks(tick) as usize;
-    let mut trace_sum = 0.0;
-    let mut vtrace_sum = 0.0;
-    let mut trace_count = 0usize;
+impl<E: DomainExecutor> LoopDriver<E> {
+    /// Everything the original loop did before its first iteration.
+    pub(crate) fn new(
+        sys: SystemConfig,
+        run: RunConfig,
+        global_ctl: GlobalController,
+        mut vr: VoltageRegulator,
+        sensor: PowerSensor,
+        policy: Box<dyn SoftwarePolicy>,
+        mut executor: E,
+    ) -> Self {
+        let tick = sys.tick;
+        let tick_s = tick.as_secs_f64();
+        let dynamic = run.scheme.control_period().is_some();
+        let period = run.scheme.control_period().unwrap_or(FIXED_QUANTUM);
+        let quantum_ticks = period.ticks(tick) as usize;
+        let total_ticks = run.duration.ticks(tick) as usize;
 
-    let mut energy = 0.0f64;
-    let mut voltage_sum = 0.0f64;
+        let trackers: Vec<WindowedMaxTracker> = run
+            .track_windows
+            .iter()
+            .map(|w| WindowedMaxTracker::new(w.ticks(tick) as usize))
+            .collect();
 
-    // Software-policy bookkeeping.
-    let kinds = executor.kinds();
-    let nominal_rates = executor.nominal_rates();
-    let sw_interval = policy.interval_periods().max(1);
-    let mut work_snapshot = executor.work_done();
-    let mut progress: Vec<DomainProgress> = kinds
-        .iter()
-        .map(|&kind| DomainProgress {
-            kind,
-            relative_rate: 1.0,
-        })
-        .collect();
-    let mut priorities: Vec<f64> = vec![1.0; kinds.len()];
-    let mut last_policy_tick = 0usize;
-
-    // Fault injection + graceful degradation. Without a plan the injector is
-    // never built and every guard below is a single branch on `None`; the
-    // clean path multiplies by bitwise-1.0 throttles only, so fault-free
-    // runs stay byte-identical to a coordinator without this layer.
-    let n_domains = kinds.len();
-    let injector = run
-        .faults
-        .as_ref()
-        .map(|p| FaultInjector::new(p.clone(), period));
-    let degraded = run.degraded;
-    let mut ctls: Vec<QuantumCtl> = vec![QuantumCtl::clean(1.0); n_domains];
-    let mut heartbeats = vec![true; n_domains];
-    let mut dom_health: Vec<DomainHealth> = vec![DomainHealth::new(); n_domains];
-    let mut sensor_dog = SensorWatchdog::new();
-    let mut emergency = EmergencyThrottle::new();
-    // Last reading taken while the sense path was fault-free — what a
-    // stuck-at sensor replays.
-    let mut held_reading = Watt::ZERO;
-    // Rising-edge trackers so episode-long faults log one event at onset.
-    let mut sensor_fault_active = false;
-    let mut slew_fault_active = false;
-    let mut link_fault_active = vec![false; n_domains];
-    let mut ctl_fault_active = vec![false; n_domains];
-    let mut resilience = ResilienceCounters::default();
-
-    // Telemetry: resolve the hooks once per run. Without a tracer (or with
-    // a disabled one, e.g. NullTracer) `tracing` stays false and no event
-    // is ever constructed on the quantum path below.
-    let tracer = run.tracer.clone();
-    let tracing = tracer
-        .as_ref()
-        .map(|t| {
-            t.lock()
-                .expect("invariant: tracer mutex never poisoned")
-                .enabled()
-        })
-        .unwrap_or(false);
-    let profiler = run.profiler.clone();
-    let mut ev_buf: Vec<TraceEvent> = Vec::new();
-    if tracing {
-        // Make every trace self-contained: the initial target is emitted as
-        // a retarget at t = 0, so a reader sees all target changes.
-        ev_buf.push(TraceEvent::Retarget {
-            t: SimTime::ZERO,
-            target: run.power_target,
+        let trace = run.record_trace.then(|| {
+            TimeSeries::with_capacity(
+                run.trace_interval,
+                (run.duration / run.trace_interval) as usize + 1,
+            )
         });
+        let voltage_trace = run.record_voltage_trace.then(|| {
+            TimeSeries::with_capacity(
+                run.trace_interval,
+                (run.duration / run.trace_interval) as usize + 1,
+            )
+        });
+        let trace_ticks = run.trace_interval.ticks(tick) as usize;
+
+        // Software-policy bookkeeping.
+        let kinds = executor.kinds();
+        let nominal_rates = executor.nominal_rates();
+        let sw_interval = policy.interval_periods().max(1);
+        let work_snapshot = executor.work_done();
+        let progress: Vec<DomainProgress> = kinds
+            .iter()
+            .map(|&kind| DomainProgress {
+                kind,
+                relative_rate: 1.0,
+            })
+            .collect();
+        let priorities: Vec<f64> = vec![1.0; kinds.len()];
+
+        // Fault injection + graceful degradation. Without a plan the
+        // injector is never built and every guard below is a single branch
+        // on `None`; the clean path multiplies by bitwise-1.0 throttles
+        // only, so fault-free runs stay byte-identical to a coordinator
+        // without this layer.
+        let n_domains = kinds.len();
+        let injector = run
+            .faults
+            .as_ref()
+            .map(|p| FaultInjector::new(p.clone(), period));
+        let degraded = run.degraded;
+        let ctls: Vec<QuantumCtl> = vec![QuantumCtl::clean(1.0); n_domains];
+        let heartbeats = vec![true; n_domains];
+        let dom_health: Vec<DomainHealth> = vec![DomainHealth::new(); n_domains];
+
+        // Telemetry: resolve the hooks once per run. Without a tracer (or
+        // with a disabled one, e.g. NullTracer) `tracing` stays false and no
+        // event is ever constructed on the quantum path below.
+        let tracer = run.tracer.clone();
+        let tracing = tracer
+            .as_ref()
+            .map(|t| {
+                t.lock()
+                    .expect("invariant: tracer mutex never poisoned")
+                    .enabled()
+            })
+            .unwrap_or(false);
+        let profiler = run.profiler.clone();
+        let mut ev_buf: Vec<TraceEvent> = Vec::new();
+        if tracing {
+            // Make every trace self-contained: the initial target is emitted
+            // as a retarget at t = 0, so a reader sees all target changes.
+            ev_buf.push(TraceEvent::Retarget {
+                t: SimTime::ZERO,
+                target: run.power_target,
+            });
+        }
+
+        // Fixed baseline: pin the VR target once.
+        if let ControlScheme::FixedVoltage(v) = run.scheme {
+            vr.set_target(SimTime::ZERO, v);
+        }
+
+        let (v_floor, v_ceil) = (Volt::new(sys.pid.out_min), Volt::new(sys.pid.out_max));
+
+        // Batch sizing. Multi-quantum dispatch is only sound when nothing
+        // below consumes per-quantum feedback: no dynamic control (the
+        // global PID reads the previous quantum's sensed power at every
+        // boundary), no fault plan (injection decisions and the watchdogs
+        // act per quantum) and no tracer (events flush per quantum).
+        // Otherwise every batch is a single quantum, which reproduces the
+        // pre-batching loop op for op.
+        let max_batch = if dynamic || injector.is_some() || tracing {
+            1
+        } else {
+            run.batch_quanta.max(1)
+        };
+        let v_sched = vec![0.0f64; quantum_ticks * max_batch];
+        let power_acc = vec![0.0f64; quantum_ticks * max_batch];
+        let batch: Vec<QuantumSpec> = Vec::with_capacity(max_batch);
+
+        LoopDriver {
+            sys,
+            run,
+            tick,
+            tick_s,
+            dynamic,
+            period,
+            quantum_ticks,
+            total_ticks,
+            trace_ticks,
+            kinds,
+            nominal_rates,
+            sw_interval,
+            n_domains,
+            injector,
+            degraded,
+            tracer,
+            tracing,
+            profiler,
+            v_floor,
+            v_ceil,
+            max_batch,
+            global_ctl,
+            vr,
+            sensor,
+            policy,
+            executor,
+            trackers,
+            trace,
+            voltage_trace,
+            trace_sum: 0.0,
+            vtrace_sum: 0.0,
+            trace_count: 0,
+            energy: 0.0,
+            voltage_sum: 0.0,
+            work_snapshot,
+            progress,
+            priorities,
+            last_policy_tick: 0,
+            ctls,
+            heartbeats,
+            dom_health,
+            sensor_dog: SensorWatchdog::new(),
+            emergency: EmergencyThrottle::new(),
+            held_reading: Watt::ZERO,
+            sensor_fault_active: false,
+            slew_fault_active: false,
+            link_fault_active: vec![false; n_domains],
+            ctl_fault_active: vec![false; n_domains],
+            resilience: ResilienceCounters::default(),
+            ev_buf,
+            done: 0,
+            quantum_index: 0,
+            peak_hold: 0.0,
+            retarget_cursor: 0,
+            prev_t0: None,
+            v_sched,
+            power_acc,
+            batch,
+        }
     }
 
-    // Fixed baseline: pin the VR target once.
-    if let ControlScheme::FixedVoltage(v) = run.scheme {
-        vr.set_target(SimTime::ZERO, v);
+    /// True once every tick of the run has been simulated.
+    pub(crate) fn is_done(&self) -> bool {
+        self.done >= self.total_ticks
     }
 
-    let mut done = 0usize;
-    let mut quantum_index = 0u64;
-    let mut peak_hold = 0.0f64;
-    let mut retargets = run.retargets.iter().peekable();
-    let mut prev_t0: Option<SimTime> = None;
-    let (v_floor, v_ceil) = (Volt::new(sys.pid.out_min), Volt::new(sys.pid.out_max));
+    /// Control quanta completed so far.
+    pub(crate) fn quanta_completed(&self) -> u64 {
+        self.quantum_index
+    }
 
-    // Batch sizing. Multi-quantum dispatch is only sound when nothing below
-    // consumes per-quantum feedback: no dynamic control (the global PID
-    // reads the previous quantum's sensed power at every boundary), no
-    // fault plan (injection decisions and the watchdogs act per quantum)
-    // and no tracer (events flush per quantum). Otherwise every batch is a
-    // single quantum, which reproduces the pre-batching loop op for op.
-    let max_batch = if dynamic || injector.is_some() || tracing {
-        1
-    } else {
-        run.batch_quanta.max(1)
-    };
-    let mut v_sched = vec![0.0f64; quantum_ticks * max_batch];
-    let mut power_acc = vec![0.0f64; quantum_ticks * max_batch];
-    let mut batch: Vec<QuantumSpec> = Vec::with_capacity(max_batch);
-
-    while done < total_ticks {
+    /// One iteration of the original `while done < total_ticks` loop:
+    /// assemble a batch of quanta, dispatch it to the executor, fold the
+    /// results into the package-level accumulators. After it returns the
+    /// driver sits at a batch boundary — the only place a checkpoint is
+    /// coherent.
+    pub(crate) fn step_batch(&mut self) {
         // Assemble up to `max_batch` quanta. The per-quantum head (fault
         // injection, global control, VR scheduling, command assembly) runs
         // once per quantum exactly as before; only the executor dispatch
         // below is amortized across the batch.
-        batch.clear();
+        self.batch.clear();
         let mut batch_ticks = 0usize;
-        while batch.len() < max_batch && done + batch_ticks < total_ticks {
-        let n = quantum_ticks.min(total_ticks - done - batch_ticks);
-        let t0 = SimTime::from_nanos((done + batch_ticks) as u64 * tick.as_nanos());
-        crate::invariants::check_time_monotonic("run_loop quantum", prev_t0, t0);
-        prev_t0 = Some(t0);
+        while self.batch.len() < self.max_batch && self.done + batch_ticks < self.total_ticks {
+            let n = self.quantum_ticks.min(self.total_ticks - self.done - batch_ticks);
+            let t0 = SimTime::from_nanos((self.done + batch_ticks) as u64 * self.tick.as_nanos());
+            crate::invariants::check_time_monotonic("run_loop quantum", self.prev_t0, t0);
+            self.prev_t0 = Some(t0);
 
-        // VR-side faults apply at the quantum boundary, before the control
-        // step, so the controller reacts to a post-droop world.
-        if let Some(inj) = injector.as_ref() {
-            if let Some(depth) = inj.vr_droop(t0) {
-                vr.droop(depth);
-                resilience.faults_injected += 1;
-                if tracing {
-                    ev_buf.push(TraceEvent::FaultInjected {
-                        t: t0,
-                        point: "vr_droop",
-                        domain: None,
-                        magnitude: depth,
-                    });
-                }
-            }
-            let derate = inj.vr_slew_derate(t0);
-            vr.set_slew_derate(derate.unwrap_or(1.0));
-            if let Some(factor) = derate {
-                if !slew_fault_active {
-                    resilience.faults_injected += 1;
-                    if tracing {
-                        ev_buf.push(TraceEvent::FaultInjected {
+            // VR-side faults apply at the quantum boundary, before the
+            // control step, so the controller reacts to a post-droop world.
+            if let Some(inj) = self.injector.as_ref() {
+                if let Some(depth) = inj.vr_droop(t0) {
+                    self.vr.droop(depth);
+                    self.resilience.faults_injected += 1;
+                    if self.tracing {
+                        self.ev_buf.push(TraceEvent::FaultInjected {
                             t: t0,
-                            point: "vr_slew_derate",
+                            point: "vr_droop",
                             domain: None,
-                            magnitude: factor,
+                            magnitude: depth,
+                        });
+                    }
+                }
+                let derate = inj.vr_slew_derate(t0);
+                self.vr.set_slew_derate(derate.unwrap_or(1.0));
+                if let Some(factor) = derate {
+                    if !self.slew_fault_active {
+                        self.resilience.faults_injected += 1;
+                        if self.tracing {
+                            self.ev_buf.push(TraceEvent::FaultInjected {
+                                t: t0,
+                                point: "vr_slew_derate",
+                                domain: None,
+                                magnitude: factor,
+                            });
+                        }
+                    }
+                }
+                self.slew_fault_active = derate.is_some();
+            }
+
+            if self.dynamic {
+                let _span = self.profiler.as_deref().map(|p| p.span("control"));
+                // Apply any scheduled power-target changes that have
+                // matured.
+                while self.retarget_cursor < self.run.retargets.len() {
+                    // simlint: allow(L6): cursor bounds-checked by the loop condition one line up
+                    let (at, target) = self.run.retargets[self.retarget_cursor];
+                    if at <= t0 {
+                        self.global_ctl.set_target(target);
+                        if self.tracing {
+                            self.ev_buf.push(TraceEvent::Retarget { t: t0, target });
+                        }
+                        self.retarget_cursor += 1;
+                    } else {
+                        break;
+                    }
+                }
+                // Software policy at its (much slower) interval.
+                if self.quantum_index.is_multiple_of(self.sw_interval) {
+                    let work_now = self.executor.work_done();
+                    let elapsed_ticks = (self.done - self.last_policy_tick).max(1);
+                    let elapsed_ns = elapsed_ticks as f64 * self.tick.as_nanos() as f64;
+                    for (i, kind) in self.kinds.iter().enumerate() {
+                        let delta = work_now[i] - self.work_snapshot[i];
+                        self.progress[i] = DomainProgress {
+                            kind: *kind,
+                            relative_rate: if self.nominal_rates[i] > 0.0 {
+                                delta / (elapsed_ns * self.nominal_rates[i])
+                            } else {
+                                1.0
+                            },
+                        };
+                    }
+                    self.work_snapshot = work_now;
+                    self.policy.update(&self.progress, &mut self.priorities);
+                    self.last_policy_tick = self.done;
+                }
+                // Global control action (Eq. 1 + Eq. 2). The controller
+                // reads the sensing circuitry's *peak-hold* register — the
+                // maximum power observed since its last action. For HCAPP's
+                // 1 µs period this is essentially the instantaneous power;
+                // for the slower schemes it is what a capping firmware
+                // actually consults, and it is what makes them conservative
+                // (they see every spike they were too slow to prevent).
+                let sensed = self.peak_hold.max(self.sensor.read().value());
+                self.peak_hold = 0.0;
+                let mut p_input = Watt::new(sensed);
+                let mut clamped = false;
+                if let Some(inj) = self.injector.as_ref() {
+                    // Pass the true reading through any active sensor fault
+                    // — the controller only ever sees the (possibly lying)
+                    // result, never the injector's oracle.
+                    let fault = inj.sensor_fault(t0);
+                    let reading = match fault {
+                        Some(f) => {
+                            PowerSensor::faulted_reading(Watt::new(sensed), f, self.held_reading)
+                        }
+                        None => {
+                            self.held_reading = Watt::new(sensed);
+                            Watt::new(sensed)
+                        }
+                    };
+                    if let Some(f) = fault {
+                        if !self.sensor_fault_active {
+                            self.resilience.faults_injected += 1;
+                            if self.tracing {
+                                let (point, magnitude) = match f {
+                                    SensorFault::Noise { factor } => ("sensor_noise", factor),
+                                    SensorFault::StuckAt => ("sensor_stuck", f64::NAN),
+                                    SensorFault::Dropout => ("sensor_dropout", f64::NAN),
+                                };
+                                self.ev_buf.push(TraceEvent::FaultInjected {
+                                    t: t0,
+                                    point,
+                                    domain: None,
+                                    magnitude,
+                                });
+                            }
+                        }
+                    }
+                    self.sensor_fault_active = fault.is_some();
+                    // Watchdog on the observable symptom: a reading that
+                    // stays frozen while the rail moves away from it.
+                    if let Some((from, to)) =
+                        self.sensor_dog
+                            .observe(reading.value(), self.vr.output().value(), &self.degraded)
+                    {
+                        self.resilience.health_transitions += 1;
+                        if self.tracing {
+                            self.ev_buf.push(TraceEvent::HealthTransition {
+                                t: t0,
+                                subject: "sensor",
+                                domain: None,
+                                from: from.name(),
+                                to: to.name(),
+                            });
+                        }
+                    }
+                    // A faulted sensor is replaced by the worst-case power
+                    // at the present rail voltage: regulation errs low, not
+                    // blind.
+                    p_input = if self.sensor_dog.state() == HealthState::Faulted {
+                        self.sys.peak_power_at(self.vr.output())
+                    } else {
+                        reading
+                    };
+                    // Trip strictly above P_SPEC × margin: settled
+                    // regulation hovers a hair over the setpoint by design
+                    // (see the near-miss counter), and must not engage the
+                    // clamp.
+                    let over = p_input.value()
+                        > self.global_ctl.target().value() * self.degraded.trip_margin;
+                    if let Some(engaged) = self.emergency.observe(over, &self.degraded) {
+                        if engaged {
+                            self.resilience.emergency_engagements += 1;
+                        }
+                        if self.tracing {
+                            self.ev_buf.push(TraceEvent::EmergencyThrottle {
+                                t: t0,
+                                engaged,
+                                estimate: p_input,
+                                target: self.global_ctl.target(),
+                                scale: self.emergency.scale(),
+                            });
+                        }
+                    }
+                    clamped = self.emergency.engaged();
+                }
+                if clamped {
+                    // Emergency: rail pinned to its floor, PID frozen (its
+                    // state resumes unchanged on release, so the incident
+                    // does not wind up the integrator).
+                    self.resilience.emergency_quanta += 1;
+                    self.vr.set_target(t0, self.v_floor);
+                } else {
+                    let v_next = self.global_ctl.update(p_input, self.period);
+                    self.vr.set_target(t0, v_next);
+                    if self.tracing {
+                        let terms = self.global_ctl.pid().last_terms();
+                        self.ev_buf.push(TraceEvent::GlobalPidStep {
+                            t: t0,
+                            p_now: p_input,
+                            setpoint: self.global_ctl.target(),
+                            v_err: terms.error,
+                            p_term: terms.p,
+                            i_term: terms.i,
+                            d_term: terms.d,
+                            v_next,
                         });
                     }
                 }
             }
-            slew_fault_active = derate.is_some();
-        }
 
-        if dynamic {
-            let _span = profiler.as_deref().map(|p| p.span("control"));
-            // Apply any scheduled power-target changes that have matured.
-            while let Some(&&(at, target)) = retargets.peek() {
-                if at <= t0 {
-                    global_ctl.set_target(target);
-                    if tracing {
-                        ev_buf.push(TraceEvent::Retarget { t: t0, target });
-                    }
-                    retargets.next();
-                } else {
-                    break;
+            // Precompute the global voltage schedule for this quantum, into
+            // this quantum's slice of the batch-wide buffer.
+            {
+                let _span = self.profiler.as_deref().map(|p| p.span("vr-schedule"));
+                for (i, v) in self.v_sched[batch_ticks..batch_ticks + n]
+                    .iter_mut()
+                    .enumerate()
+                {
+                    self.vr.step(t0 + self.tick * i as u64, self.tick);
+                    *v = self.vr.output().value();
+                    crate::invariants::check_voltage_in_range(
+                        "run_loop voltage schedule",
+                        Volt::new(*v),
+                        self.v_floor,
+                        self.v_ceil,
+                    );
                 }
             }
-            // Software policy at its (much slower) interval.
-            if quantum_index.is_multiple_of(sw_interval) {
-                let work_now = executor.work_done();
-                let elapsed_ticks = (done - last_policy_tick).max(1);
-                let elapsed_ns = elapsed_ticks as f64 * tick.as_nanos() as f64;
-                for (i, kind) in kinds.iter().enumerate() {
-                    let delta = work_now[i] - work_snapshot[i];
-                    progress[i] = DomainProgress {
-                        kind: *kind,
-                        relative_rate: if nominal_rates[i] > 0.0 {
-                            delta / (elapsed_ns * nominal_rates[i])
-                        } else {
-                            1.0
-                        },
+            if self.tracing {
+                self.ev_buf.push(TraceEvent::VrSlew {
+                    t: t0,
+                    setpoint: self.vr.target(),
+                    start: Volt::new(self.v_sched[batch_ticks]),
+                    end: Volt::new(self.v_sched[batch_ticks + n - 1]),
+                });
+            }
+
+            // Assemble this quantum's per-domain commands. All fault
+            // decisions are made here, on the coordinator thread, from pure
+            // functions of (seed, point, domain index, quantum index) — the
+            // executors only ever see the resulting `QuantumCtl`s, which is
+            // why serial and pooled runs are byte-identical under any plan.
+            if let Some(inj) = self.injector.as_ref() {
+                let em_scale = self.emergency.scale();
+                for i in 0..self.n_domains {
+                    let link = inj.link_fault(t0, i);
+                    let ctlf = inj.ctl_fault(t0, i);
+                    if let Some(f) = link {
+                        if !self.link_fault_active[i] {
+                            self.resilience.faults_injected += 1;
+                            if self.tracing {
+                                let (point, magnitude) = match f {
+                                    LinkFault::Delay { ticks } => {
+                                        ("link_delay", f64::from(ticks))
+                                    }
+                                    LinkFault::Loss => ("link_loss", f64::NAN),
+                                };
+                                self.ev_buf.push(TraceEvent::FaultInjected {
+                                    t: t0,
+                                    point,
+                                    domain: Some(i as u32),
+                                    magnitude,
+                                });
+                            }
+                        }
+                    }
+                    self.link_fault_active[i] = link.is_some();
+                    if let Some(f) = ctlf {
+                        if !self.ctl_fault_active[i] {
+                            self.resilience.faults_injected += 1;
+                            if self.tracing {
+                                let point = match f {
+                                    CtlFault::DomainStuck => "ctl_stuck",
+                                    CtlFault::LocalSilent => "ctl_silent",
+                                };
+                                self.ev_buf.push(TraceEvent::FaultInjected {
+                                    t: t0,
+                                    point,
+                                    domain: Some(i as u32),
+                                    magnitude: f64::NAN,
+                                });
+                            }
+                        }
+                    }
+                    self.ctl_fault_active[i] = ctlf.is_some();
+                    self.ctls[i] = QuantumCtl {
+                        priority: self.priorities[i],
+                        throttle: self.dom_health[i].throttle() * em_scale,
+                        link_fault: link,
+                        ctl_fault: ctlf,
                     };
                 }
-                work_snapshot = work_now;
-                policy.update(&progress, &mut priorities);
-                last_policy_tick = done;
-            }
-            // Global control action (Eq. 1 + Eq. 2). The controller reads
-            // the sensing circuitry's *peak-hold* register — the maximum
-            // power observed since its last action. For HCAPP's 1 µs period
-            // this is essentially the instantaneous power; for the slower
-            // schemes it is what a capping firmware actually consults, and
-            // it is what makes them conservative (they see every spike they
-            // were too slow to prevent).
-            let sensed = peak_hold.max(sensor.read().value());
-            peak_hold = 0.0;
-            let mut p_input = Watt::new(sensed);
-            let mut clamped = false;
-            if let Some(inj) = injector.as_ref() {
-                // Pass the true reading through any active sensor fault —
-                // the controller only ever sees the (possibly lying) result,
-                // never the injector's oracle.
-                let fault = inj.sensor_fault(t0);
-                let reading = match fault {
-                    Some(f) => PowerSensor::faulted_reading(Watt::new(sensed), f, held_reading),
-                    None => {
-                        held_reading = Watt::new(sensed);
-                        Watt::new(sensed)
-                    }
-                };
-                if let Some(f) = fault {
-                    if !sensor_fault_active {
-                        resilience.faults_injected += 1;
-                        if tracing {
-                            let (point, magnitude) = match f {
-                                SensorFault::Noise { factor } => ("sensor_noise", factor),
-                                SensorFault::StuckAt => ("sensor_stuck", f64::NAN),
-                                SensorFault::Dropout => ("sensor_dropout", f64::NAN),
-                            };
-                            ev_buf.push(TraceEvent::FaultInjected {
-                                t: t0,
-                                point,
-                                domain: None,
-                                magnitude,
-                            });
-                        }
-                    }
-                }
-                sensor_fault_active = fault.is_some();
-                // Watchdog on the observable symptom: a reading that stays
-                // frozen while the rail moves away from it.
-                if let Some((from, to)) =
-                    sensor_dog.observe(reading.value(), vr.output().value(), &degraded)
-                {
-                    resilience.health_transitions += 1;
-                    if tracing {
-                        ev_buf.push(TraceEvent::HealthTransition {
-                            t: t0,
-                            subject: "sensor",
-                            domain: None,
-                            from: from.name(),
-                            to: to.name(),
-                        });
-                    }
-                }
-                // A faulted sensor is replaced by the worst-case power at
-                // the present rail voltage: regulation errs low, not blind.
-                p_input = if sensor_dog.state() == HealthState::Faulted {
-                    sys.peak_power_at(vr.output())
-                } else {
-                    reading
-                };
-                // Trip strictly above P_SPEC × margin: settled regulation
-                // hovers a hair over the setpoint by design (see the
-                // near-miss counter), and must not engage the clamp.
-                let over = p_input.value() > global_ctl.target().value() * degraded.trip_margin;
-                if let Some(engaged) = emergency.observe(over, &degraded) {
-                    if engaged {
-                        resilience.emergency_engagements += 1;
-                    }
-                    if tracing {
-                        ev_buf.push(TraceEvent::EmergencyThrottle {
-                            t: t0,
-                            engaged,
-                            estimate: p_input,
-                            target: global_ctl.target(),
-                            scale: emergency.scale(),
-                        });
-                    }
-                }
-                clamped = emergency.engaged();
-            }
-            if clamped {
-                // Emergency: rail pinned to its floor, PID frozen (its state
-                // resumes unchanged on release, so the incident does not
-                // wind up the integrator).
-                resilience.emergency_quanta += 1;
-                vr.set_target(t0, v_floor);
             } else {
-                let v_next = global_ctl.update(p_input, period);
-                vr.set_target(t0, v_next);
-                if tracing {
-                    let terms = global_ctl.pid().last_terms();
-                    ev_buf.push(TraceEvent::GlobalPidStep {
-                        t: t0,
-                        p_now: p_input,
-                        setpoint: global_ctl.target(),
-                        v_err: terms.error,
-                        p_term: terms.p,
-                        i_term: terms.i,
-                        d_term: terms.d,
-                        v_next,
-                    });
+                for (c, &p) in self.ctls.iter_mut().zip(&self.priorities) {
+                    c.priority = p;
                 }
             }
-        }
 
-        // Precompute the global voltage schedule for this quantum, into
-        // this quantum's slice of the batch-wide buffer.
-        {
-            let _span = profiler.as_deref().map(|p| p.span("vr-schedule"));
-            for (i, v) in v_sched[batch_ticks..batch_ticks + n].iter_mut().enumerate() {
-                vr.step(t0 + tick * i as u64, tick);
-                *v = vr.output().value();
-                crate::invariants::check_voltage_in_range(
-                    "run_loop voltage schedule",
-                    Volt::new(*v),
-                    v_floor,
-                    v_ceil,
-                );
-            }
-        }
-        if tracing {
-            ev_buf.push(TraceEvent::VrSlew {
-                t: t0,
-                setpoint: vr.target(),
-                start: Volt::new(v_sched[batch_ticks]),
-                end: Volt::new(v_sched[batch_ticks + n - 1]),
+            self.batch.push(QuantumSpec {
+                t0,
+                offset: batch_ticks,
+                n,
+                update_local: self.dynamic,
             });
-        }
-
-        // Assemble this quantum's per-domain commands. All fault decisions
-        // are made here, on the coordinator thread, from pure functions of
-        // (seed, point, domain index, quantum index) — the executors only
-        // ever see the resulting `QuantumCtl`s, which is why serial and
-        // pooled runs are byte-identical under any plan.
-        if let Some(inj) = injector.as_ref() {
-            let em_scale = emergency.scale();
-            for i in 0..n_domains {
-                let link = inj.link_fault(t0, i);
-                let ctlf = inj.ctl_fault(t0, i);
-                if let Some(f) = link {
-                    if !link_fault_active[i] {
-                        resilience.faults_injected += 1;
-                        if tracing {
-                            let (point, magnitude) = match f {
-                                LinkFault::Delay { ticks } => ("link_delay", f64::from(ticks)),
-                                LinkFault::Loss => ("link_loss", f64::NAN),
-                            };
-                            ev_buf.push(TraceEvent::FaultInjected {
-                                t: t0,
-                                point,
-                                domain: Some(i as u32),
-                                magnitude,
-                            });
-                        }
-                    }
-                }
-                link_fault_active[i] = link.is_some();
-                if let Some(f) = ctlf {
-                    if !ctl_fault_active[i] {
-                        resilience.faults_injected += 1;
-                        if tracing {
-                            let point = match f {
-                                CtlFault::DomainStuck => "ctl_stuck",
-                                CtlFault::LocalSilent => "ctl_silent",
-                            };
-                            ev_buf.push(TraceEvent::FaultInjected {
-                                t: t0,
-                                point,
-                                domain: Some(i as u32),
-                                magnitude: f64::NAN,
-                            });
-                        }
-                    }
-                }
-                ctl_fault_active[i] = ctlf.is_some();
-                ctls[i] = QuantumCtl {
-                    priority: priorities[i],
-                    throttle: dom_health[i].throttle() * em_scale,
-                    link_fault: link,
-                    ctl_fault: ctlf,
-                };
-            }
-        } else {
-            for (c, &p) in ctls.iter_mut().zip(&priorities) {
-                c.priority = p;
-            }
-        }
-
-        batch.push(QuantumSpec {
-            t0,
-            offset: batch_ticks,
-            n,
-            update_local: dynamic,
-        });
-        batch_ticks += n;
-        quantum_index += 1;
+            batch_ticks += n;
+            self.quantum_index += 1;
         }
 
         // Advance every domain through the batch.
-        power_acc[..batch_ticks].fill(0.0);
+        self.power_acc[..batch_ticks].fill(0.0);
         {
-            let _span = profiler.as_deref().map(|p| p.span("domains"));
-            executor.run_batch(
-                &batch,
-                &v_sched[..batch_ticks],
-                &ctls,
-                tick,
-                &mut power_acc[..batch_ticks],
-                &mut heartbeats,
-                tracing.then_some(&mut ev_buf),
+            let _span = self.profiler.as_deref().map(|p| p.span("domains"));
+            self.executor.run_batch(
+                &self.batch,
+                &self.v_sched[..batch_ticks],
+                &self.ctls,
+                self.tick,
+                &mut self.power_acc[..batch_ticks],
+                &mut self.heartbeats,
+                self.tracing.then_some(&mut self.ev_buf),
             );
         }
         // Feed the heartbeats back into the per-domain watchdogs — appended
         // after the executor's per-domain events, still in domain order. A
         // fault plan forces single-quantum batches, so the batch's last (and
         // only) quantum is the one the heartbeats belong to.
-        if injector.is_some() {
-            let t_beat = batch
+        if self.injector.is_some() {
+            let t_beat = self
+                .batch
                 .last()
                 .expect("invariant: the run loop never dispatches an empty batch")
                 .t0;
-            for (i, dh) in dom_health.iter_mut().enumerate() {
-                if let Some((from, to)) = dh.observe(heartbeats[i], &degraded) {
-                    resilience.health_transitions += 1;
-                    if tracing {
-                        ev_buf.push(TraceEvent::HealthTransition {
+            for (i, dh) in self.dom_health.iter_mut().enumerate() {
+                if let Some((from, to)) = dh.observe(self.heartbeats[i], &self.degraded) {
+                    self.resilience.health_transitions += 1;
+                    if self.tracing {
+                        self.ev_buf.push(TraceEvent::HealthTransition {
                             t: t_beat,
                             subject: "domain",
                             domain: Some(i as u32),
@@ -890,73 +1092,278 @@ pub(crate) fn run_loop<E: DomainExecutor>(
                 }
             }
         }
-        for &p in &power_acc[..batch_ticks] {
+        for &p in &self.power_acc[..batch_ticks] {
             crate::invariants::check_power_sane("run_loop package power", Watt::new(p));
         }
         // Flush the quantum's events with a single lock acquisition. The
         // buffer holds global events first, then per-domain events in
         // domain order — identical for the serial and parallel executors.
-        if tracing {
-            if let Some(t) = tracer.as_ref() {
+        if self.tracing {
+            if let Some(t) = self.tracer.as_ref() {
                 t.lock()
                     .expect("invariant: tracer mutex never poisoned")
-                    .record_all(&mut ev_buf);
+                    .record_all(&mut self.ev_buf);
             }
         }
 
         // Aggregate package-level signals, tick-ordered across the batch.
-        let _agg_span = profiler.as_deref().map(|p| p.span("aggregate"));
+        let _agg_span = self.profiler.as_deref().map(|p| p.span("aggregate"));
         for i in 0..batch_ticks {
-            let p = power_acc[i];
-            let seen = sensor.sample(Watt::new(p)).value();
-            if seen > peak_hold {
-                peak_hold = seen;
+            let p = self.power_acc[i];
+            let seen = self.sensor.sample(Watt::new(p)).value();
+            if seen > self.peak_hold {
+                self.peak_hold = seen;
             }
-            for tr in &mut trackers {
+            for tr in &mut self.trackers {
                 tr.push(p);
             }
-            energy += p * tick_s;
-            voltage_sum += v_sched[i];
-            if trace.is_some() || voltage_trace.is_some() {
-                trace_sum += p;
-                vtrace_sum += v_sched[i];
-                trace_count += 1;
-                if trace_count == trace_ticks {
-                    if let Some(series) = trace.as_mut() {
-                        series.push(trace_sum / trace_ticks as f64);
+            self.energy += p * self.tick_s;
+            self.voltage_sum += self.v_sched[i];
+            if self.trace.is_some() || self.voltage_trace.is_some() {
+                self.trace_sum += p;
+                self.vtrace_sum += self.v_sched[i];
+                self.trace_count += 1;
+                if self.trace_count == self.trace_ticks {
+                    if let Some(series) = self.trace.as_mut() {
+                        series.push(self.trace_sum / self.trace_ticks as f64);
                     }
-                    if let Some(series) = voltage_trace.as_mut() {
-                        series.push(vtrace_sum / trace_ticks as f64);
+                    if let Some(series) = self.voltage_trace.as_mut() {
+                        series.push(self.vtrace_sum / self.trace_ticks as f64);
                     }
-                    trace_sum = 0.0;
-                    vtrace_sum = 0.0;
-                    trace_count = 0;
+                    self.trace_sum = 0.0;
+                    self.vtrace_sum = 0.0;
+                    self.trace_count = 0;
                 }
             }
         }
 
-        done += batch_ticks;
+        self.done += batch_ticks;
     }
 
-    let duration_s = run.duration.as_secs_f64();
-    let final_work = executor.work_done();
-    RunOutcome {
-        scheme: run.scheme,
-        duration: run.duration,
-        avg_power: Watt::new(energy / duration_s),
-        energy_j: energy,
-        windowed_max: run
-            .track_windows
-            .iter()
-            .zip(&trackers)
-            .map(|(w, tr)| (*w, Watt::new(tr.max().unwrap_or(0.0))))
-            .collect(),
-        work: kinds.into_iter().zip(final_work).collect(),
-        mean_global_voltage: voltage_sum / total_ticks as f64,
-        trace,
-        voltage_trace,
-        resilience,
+    /// Everything the original loop did after its last iteration.
+    pub(crate) fn finish(mut self) -> RunOutcome {
+        let duration_s = self.run.duration.as_secs_f64();
+        let final_work = self.executor.work_done();
+        RunOutcome {
+            scheme: self.run.scheme,
+            duration: self.run.duration,
+            avg_power: Watt::new(self.energy / duration_s),
+            energy_j: self.energy,
+            windowed_max: self
+                .run
+                .track_windows
+                .iter()
+                .zip(&self.trackers)
+                .map(|(w, tr)| (*w, Watt::new(tr.max().unwrap_or(0.0))))
+                .collect(),
+            work: self.kinds.into_iter().zip(final_work).collect(),
+            mean_global_voltage: self.voltage_sum / self.total_ticks as f64,
+            trace: self.trace,
+            voltage_trace: self.voltage_trace,
+            resilience: self.resilience,
+        }
     }
+}
+
+impl<E: DomainExecutor> LoopDriver<E> {
+    /// Collect every checkpoint section at a batch boundary, in a fixed
+    /// order: the coordinator's own loop state, the three package-level
+    /// components, then one section per domain. Panics if called
+    /// mid-quantum (unflushed trace events) — the resume driver only calls
+    /// it right after `step_batch`.
+    pub(crate) fn save_sections(&mut self) -> Vec<(String, String)> {
+        use hcapp_sim_core::state::{Snapshot, StateWriter};
+        assert!(
+            self.ev_buf.is_empty(),
+            "checkpoint mid-quantum: unflushed trace events"
+        );
+        let mut sections = Vec::with_capacity(4 + self.n_domains);
+        let mut w = StateWriter::new();
+        self.save_loop(&mut w);
+        sections.push(("loop".to_string(), w.finish()));
+        let mut w = StateWriter::new();
+        self.global_ctl.save_state(&mut w);
+        sections.push(("pid".to_string(), w.finish()));
+        let mut w = StateWriter::new();
+        self.vr.save_state(&mut w);
+        sections.push(("vr".to_string(), w.finish()));
+        let mut w = StateWriter::new();
+        self.sensor.save_state(&mut w);
+        sections.push(("sensor".to_string(), w.finish()));
+        for (i, s) in self.executor.domain_states().into_iter().enumerate() {
+            sections.push((format!("domain.{i}"), s));
+        }
+        sections
+    }
+
+    /// Restore a freshly-built driver from [`LoopDriver::save_sections`]
+    /// payloads (`get` maps a section name to its payload). `None` on any
+    /// missing/malformed section or configuration mismatch — the caller
+    /// falls back to a fresh run.
+    pub(crate) fn restore_sections<'a>(
+        &mut self,
+        get: impl Fn(&str) -> Option<&'a str>,
+    ) -> Option<()> {
+        use hcapp_sim_core::state::{Snapshot, StateReader};
+        let mut r = StateReader::new(get("loop")?);
+        self.load_loop(&mut r)?;
+        r.finished()?;
+        let mut r = StateReader::new(get("pid")?);
+        self.global_ctl.load_state(&mut r)?;
+        r.finished()?;
+        let mut r = StateReader::new(get("vr")?);
+        self.vr.load_state(&mut r)?;
+        r.finished()?;
+        let mut r = StateReader::new(get("sensor")?);
+        self.sensor.load_state(&mut r)?;
+        r.finished()?;
+        let states: Vec<String> = (0..self.n_domains)
+            .map(|i| get(&format!("domain.{i}")).map(str::to_string))
+            .collect::<Option<_>>()?;
+        self.executor.restore_domain_states(&states)?;
+        // The original process already flushed its boundary events
+        // (including the t = 0 retarget preamble `new` re-pushed); a
+        // resumed run must not emit them again.
+        self.ev_buf.clear();
+        Some(())
+    }
+
+    /// The coordinator-side mutable state, one tagged line per field.
+    fn save_loop(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        use hcapp_sim_core::state::Snapshot;
+        w.usize("loop.done", self.done);
+        w.u64("loop.quantum_index", self.quantum_index);
+        w.usize("loop.retarget_cursor", self.retarget_cursor);
+        w.opt_u64("loop.prev_t0", self.prev_t0.map(|t| t.as_nanos()));
+        w.f64("loop.peak_hold", self.peak_hold);
+        w.f64("loop.energy", self.energy);
+        w.f64("loop.voltage_sum", self.voltage_sum);
+        w.f64("loop.trace_sum", self.trace_sum);
+        w.f64("loop.vtrace_sum", self.vtrace_sum);
+        w.usize("loop.trace_count", self.trace_count);
+        for tr in &self.trackers {
+            tr.save_state(w);
+        }
+        w.bool("loop.trace", self.trace.is_some());
+        if let Some(series) = self.trace.as_ref() {
+            series.save_state(w);
+        }
+        w.bool("loop.voltage_trace", self.voltage_trace.is_some());
+        if let Some(series) = self.voltage_trace.as_ref() {
+            series.save_state(w);
+        }
+        w.f64_slice("loop.work_snapshot", &self.work_snapshot);
+        let rates: Vec<f64> = self.progress.iter().map(|p| p.relative_rate).collect();
+        w.f64_slice("loop.progress", &rates);
+        w.f64_slice("loop.priorities", &self.priorities);
+        w.usize("loop.last_policy_tick", self.last_policy_tick);
+        for dh in &self.dom_health {
+            dh.save_state(w);
+        }
+        self.sensor_dog.save_state(w);
+        self.emergency.save_state(w);
+        w.f64("loop.held_reading", self.held_reading.value());
+        w.bool("loop.sensor_fault_active", self.sensor_fault_active);
+        w.bool("loop.slew_fault_active", self.slew_fault_active);
+        w.u64_slice("loop.link_fault_active", &bools_to_u64(&self.link_fault_active));
+        w.u64_slice("loop.ctl_fault_active", &bools_to_u64(&self.ctl_fault_active));
+        w.u64("loop.res.faults_injected", self.resilience.faults_injected);
+        w.u64("loop.res.health_transitions", self.resilience.health_transitions);
+        w.u64(
+            "loop.res.emergency_engagements",
+            self.resilience.emergency_engagements,
+        );
+        w.u64("loop.res.emergency_quanta", self.resilience.emergency_quanta);
+    }
+
+    /// Inverse of [`LoopDriver::save_loop`], with shape checks against the
+    /// (rebuilt) configuration. Not restored because they are rebuilt or
+    /// batch-scoped: `ctls`/`heartbeats` (fully reassembled before every
+    /// use), `ev_buf` (flushed at every boundary), and the
+    /// `v_sched`/`power_acc`/`batch` scratch buffers.
+    fn load_loop(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        use hcapp_sim_core::state::Snapshot;
+        let done = r.usize("loop.done")?;
+        if done > self.total_ticks {
+            return None;
+        }
+        self.done = done;
+        self.quantum_index = r.u64("loop.quantum_index")?;
+        let cursor = r.usize("loop.retarget_cursor")?;
+        if cursor > self.run.retargets.len() {
+            return None;
+        }
+        self.retarget_cursor = cursor;
+        self.prev_t0 = r.opt_u64("loop.prev_t0")?.map(SimTime::from_nanos);
+        self.peak_hold = r.f64("loop.peak_hold")?;
+        self.energy = r.f64("loop.energy")?;
+        self.voltage_sum = r.f64("loop.voltage_sum")?;
+        self.trace_sum = r.f64("loop.trace_sum")?;
+        self.vtrace_sum = r.f64("loop.vtrace_sum")?;
+        self.trace_count = r.usize("loop.trace_count")?;
+        for tr in &mut self.trackers {
+            tr.load_state(r)?;
+        }
+        if r.bool("loop.trace")? != self.trace.is_some() {
+            return None;
+        }
+        if let Some(series) = self.trace.as_mut() {
+            series.load_state(r)?;
+        }
+        if r.bool("loop.voltage_trace")? != self.voltage_trace.is_some() {
+            return None;
+        }
+        if let Some(series) = self.voltage_trace.as_mut() {
+            series.load_state(r)?;
+        }
+        let work_snapshot = r.f64_vec("loop.work_snapshot")?;
+        if work_snapshot.len() != self.n_domains {
+            return None;
+        }
+        self.work_snapshot = work_snapshot;
+        let rates = r.f64_vec("loop.progress")?;
+        if rates.len() != self.n_domains {
+            return None;
+        }
+        for (p, rate) in self.progress.iter_mut().zip(rates) {
+            p.relative_rate = rate;
+        }
+        let priorities = r.f64_vec("loop.priorities")?;
+        if priorities.len() != self.n_domains {
+            return None;
+        }
+        self.priorities = priorities;
+        self.last_policy_tick = r.usize("loop.last_policy_tick")?;
+        for dh in &mut self.dom_health {
+            dh.load_state(r)?;
+        }
+        self.sensor_dog.load_state(r)?;
+        self.emergency.load_state(r)?;
+        self.held_reading = Watt::new(r.f64("loop.held_reading")?);
+        self.sensor_fault_active = r.bool("loop.sensor_fault_active")?;
+        self.slew_fault_active = r.bool("loop.slew_fault_active")?;
+        self.link_fault_active = u64_to_bools(&r.u64_vec("loop.link_fault_active")?, self.n_domains)?;
+        self.ctl_fault_active = u64_to_bools(&r.u64_vec("loop.ctl_fault_active")?, self.n_domains)?;
+        self.resilience.faults_injected = r.u64("loop.res.faults_injected")?;
+        self.resilience.health_transitions = r.u64("loop.res.health_transitions")?;
+        self.resilience.emergency_engagements = r.u64("loop.res.emergency_engagements")?;
+        self.resilience.emergency_quanta = r.u64("loop.res.emergency_quanta")?;
+        Some(())
+    }
+}
+
+/// Bool-vector codec for the checkpoint (the state format has no bool
+/// slices; 0/1 words keep the lines grep-able).
+fn bools_to_u64(bs: &[bool]) -> Vec<u64> {
+    bs.iter().map(|&b| u64::from(b)).collect()
+}
+
+/// Inverse of [`bools_to_u64`], length-checked and rejecting non-0/1 words.
+fn u64_to_bools(vs: &[u64], expect: usize) -> Option<Vec<bool>> {
+    if vs.len() != expect || vs.iter().any(|&v| v > 1) {
+        return None;
+    }
+    Some(vs.iter().map(|&v| v == 1).collect())
 }
 
 #[cfg(test)]

@@ -52,6 +52,16 @@ impl HealthState {
             HealthState::Faulted => "faulted",
         }
     }
+
+    /// Inverse of [`HealthState::name`] (checkpoint decoding).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "healthy" => Some(HealthState::Healthy),
+            "stale" => Some(HealthState::Stale),
+            "faulted" => Some(HealthState::Faulted),
+            _ => None,
+        }
+    }
 }
 
 /// Tuning for the degradation layer. The defaults are expressed in control
@@ -110,39 +120,55 @@ impl Default for DegradedConfig {
 }
 
 impl DegradedConfig {
+    /// Sanity-check thresholds and ratios, reporting the first offending
+    /// field instead of panicking. This is the entry point for
+    /// externally-sourced configs (CLI flags, files); internal invariants
+    /// keep using [`DegradedConfig::validate`].
+    pub fn try_validate(&self) -> Result<(), String> {
+        fn req(ok: bool, msg: &str) -> Result<(), String> {
+            if ok {
+                Ok(())
+            } else {
+                Err(msg.to_string())
+            }
+        }
+        req(self.stale_after >= 1, "stale_after must be at least 1")?;
+        req(
+            self.faulted_after >= self.stale_after,
+            "faulted_after below stale_after",
+        )?;
+        req(self.recover_after >= 1, "recover_after must be at least 1")?;
+        req(
+            self.violation_window >= 1,
+            "violation_window must be at least 1",
+        )?;
+        req(
+            self.safe_ratio > 0.0 && self.safe_ratio <= 1.0,
+            "safe_ratio outside (0, 1]",
+        )?;
+        req(
+            self.hold_decay > 0.0 && self.hold_decay < 1.0,
+            "hold_decay outside (0, 1)",
+        )?;
+        req(self.recovery_growth > 1.0, "recovery_growth must exceed 1.0")?;
+        req(self.trip_margin >= 1.0, "trip_margin below 1.0")?;
+        req(
+            self.sensor_deadband_v > 0.0,
+            "sensor_deadband_v must be positive",
+        )?;
+        Ok(())
+    }
+
     /// Sanity-check thresholds and ratios.
     ///
     /// # Panics
     /// Panics (naming the field) on a zero window, inverted thresholds, or
     /// ratios outside their documented ranges.
     pub fn validate(&self) {
-        assert!(self.stale_after >= 1, "stale_after must be at least 1");
-        assert!(
-            self.faulted_after >= self.stale_after,
-            "faulted_after below stale_after"
-        );
-        assert!(self.recover_after >= 1, "recover_after must be at least 1");
-        assert!(
-            self.violation_window >= 1,
-            "violation_window must be at least 1"
-        );
-        assert!(
-            self.safe_ratio > 0.0 && self.safe_ratio <= 1.0,
-            "safe_ratio outside (0, 1]"
-        );
-        assert!(
-            self.hold_decay > 0.0 && self.hold_decay < 1.0,
-            "hold_decay outside (0, 1)"
-        );
-        assert!(
-            self.recovery_growth > 1.0,
-            "recovery_growth must exceed 1.0"
-        );
-        assert!(self.trip_margin >= 1.0, "trip_margin below 1.0");
-        assert!(
-            self.sensor_deadband_v > 0.0,
-            "sensor_deadband_v must be positive"
-        );
+        if let Err(msg) = self.try_validate() {
+            // simlint: allow(L2, L6): documented panicking validator for internal invariants; externally-sourced configs go through try_validate
+            panic!("invalid DegradedConfig: {msg}");
+        }
     }
 
     /// Upper bound (in control quanta) on the reaction path from "a fault
@@ -378,6 +404,72 @@ impl EmergencyThrottle {
 impl Default for EmergencyThrottle {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl hcapp_sim_core::state::Snapshot for Watchdog {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        w.token("dog.state", self.state.name());
+        w.u32("dog.bad", self.bad_streak);
+        w.u32("dog.good", self.good_streak);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        self.state = HealthState::from_name(r.token("dog.state")?)?;
+        self.bad_streak = r.u32("dog.bad")?;
+        self.good_streak = r.u32("dog.good")?;
+        Some(())
+    }
+}
+
+impl hcapp_sim_core::state::Snapshot for SensorWatchdog {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        self.dog.save_state(w);
+        w.u64("sw.last_bits", self.last_bits);
+        w.f64("sw.anchor_v", self.anchor_v);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        self.dog.load_state(r)?;
+        self.last_bits = r.u64("sw.last_bits")?;
+        self.anchor_v = r.f64("sw.anchor_v")?;
+        Some(())
+    }
+}
+
+impl hcapp_sim_core::state::Snapshot for DomainHealth {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        self.dog.save_state(w);
+        w.f64("dh.throttle", self.throttle);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        self.dog.load_state(r)?;
+        let throttle = r.f64("dh.throttle")?;
+        if !(0.0..=1.0).contains(&throttle) {
+            return None;
+        }
+        self.throttle = throttle;
+        Some(())
+    }
+}
+
+impl hcapp_sim_core::state::Snapshot for EmergencyThrottle {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        w.u32("em.level", self.level);
+        w.bool("em.engaged", self.engaged);
+        w.f64("em.scale", self.scale);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        self.level = r.u32("em.level")?;
+        self.engaged = r.bool("em.engaged")?;
+        let scale = r.f64("em.scale")?;
+        if !(0.0..=1.0).contains(&scale) {
+            return None;
+        }
+        self.scale = scale;
+        Some(())
     }
 }
 

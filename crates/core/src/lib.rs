@@ -48,6 +48,7 @@ pub mod limits;
 pub mod outcome;
 pub mod parallel;
 pub mod pid;
+pub mod resume;
 pub mod scheme;
 pub mod simsan;
 pub mod software;
@@ -68,6 +69,9 @@ pub use health::{DegradedConfig, HealthState};
 pub use limits::PowerLimit;
 pub use outcome::{ResilienceCounters, RunOutcome};
 pub use pid::{PidController, PidGains};
+pub use resume::{
+    outcome_digest, run_resumable, total_quanta, ResumeEnd, ResumeOptions, ResumeSummary,
+};
 pub use scheme::ControlScheme;
 pub use software::{ComponentKind, SoftwarePolicy, StaticPriorityPolicy};
 pub use system::{DomainSpec, SystemConfig};

@@ -36,7 +36,10 @@ use std::thread;
 use hcapp_sim_core::time::SimDuration;
 use hcapp_telemetry::TraceEvent;
 
-use crate::coordinator::{run_loop, DomainExecutor, QuantumCtl, QuantumSpec, RunConfig, Simulation};
+use crate::coordinator::{
+    decode_domain_state, encode_domain_state, run_loop, DomainExecutor, QuantumCtl, QuantumSpec,
+    RunConfig, Simulation,
+};
 use crate::outcome::RunOutcome;
 use crate::software::ComponentKind;
 use crate::system::{Domain, SystemConfig};
@@ -218,10 +221,13 @@ struct DomainBatch {
     /// Per-tick power across the whole batch.
     powers: Vec<f64>,
     work_done: f64,
-    /// Heartbeat: the domain's controller accepted the batch's last quantum.
+    /// Heartbeat: the domain's controller accepted the batch's last quantum
+    /// (for a `LoadState` reply: the payload restored cleanly).
     responded: bool,
     /// Trace events this domain emitted (empty unless collecting).
     events: Vec<TraceEvent>,
+    /// Serialized domain state (non-empty only for `SaveState` replies).
+    state: String,
 }
 
 /// One worker's reply to a [`WorkerMsg`]: results for every domain it owns.
@@ -236,6 +242,10 @@ enum WorkerMsg {
     Batch(Arc<BatchCmd>),
     /// Request current work figures without advancing.
     ReportWork,
+    /// Serialize each owned domain's checkpoint payload without advancing.
+    SaveState,
+    /// Restore each owned domain from the payload at its global index.
+    LoadState(Arc<Vec<String>>),
 }
 
 /// Deterministic splitmix64 step — the sanitizer's only entropy source, so
@@ -283,7 +293,7 @@ impl ReplyPermuter {
 }
 
 /// Executor that fans domains out to persistent worker threads.
-struct PooledExecutor<'scope> {
+pub(crate) struct PooledExecutor<'scope> {
     cmd_txs: Vec<Sender<WorkerMsg>>,
     reply_rx: Receiver<WorkerReply>,
     kinds: Vec<ComponentKind>,
@@ -394,6 +404,37 @@ impl DomainExecutor for PooledExecutor<'_> {
             }
         }
     }
+
+    fn domain_states(&mut self) -> Vec<String> {
+        for tx in &self.cmd_txs {
+            tx.send(WorkerMsg::SaveState)
+                // simlint: allow(L6): checkpoint boundary, not per-tick; worker channels live for the executor scope
+                .expect("invariant: workers outlive the executor inside the thread scope");
+        }
+        let mut states = vec![String::new(); self.n_domains];
+        self.collect_replies(|dom| {
+            // simlint: allow(L6): checkpoint boundary; domain_idx < n_domains by construction
+            states[dom.domain_idx] = dom.state;
+        });
+        states
+    }
+
+    fn restore_domain_states(&mut self, states: &[String]) -> Option<()> {
+        if states.len() != self.n_domains {
+            return None;
+        }
+        let payload = Arc::new(states.to_vec());
+        for tx in &self.cmd_txs {
+            tx.send(WorkerMsg::LoadState(Arc::clone(&payload)))
+                // simlint: allow(L6): checkpoint boundary, not per-tick; worker channels live for the executor scope
+                .expect("invariant: workers outlive the executor inside the thread scope");
+        }
+        let mut ok = true;
+        self.collect_replies(|dom| {
+            ok &= dom.responded;
+        });
+        ok.then_some(())
+    }
 }
 
 impl Simulation {
@@ -422,7 +463,25 @@ impl Simulation {
             sensor,
             policy,
         } = self;
+        with_pooled_executor(domains, workers, permuter, move |executor| {
+            run_loop(sys, run, global_ctl, vr, sensor, policy, executor)
+        })
+    }
+}
 
+/// Spawn the chiplet-parallel worker threads for `domains`, build the
+/// [`PooledExecutor`] over them, and hand it to `f`. Workers exit when the
+/// executor's command channels drop at the end of `f`. Shared by
+/// [`Simulation::run_parallel`] and the resume driver
+/// ([`crate::resume::run_resumable`]), which needs the same executor under
+/// a stepwise loop instead of `run_loop`.
+pub(crate) fn with_pooled_executor<R>(
+    domains: Vec<Domain>,
+    workers: usize,
+    permuter: Option<ReplyPermuter>,
+    f: impl FnOnce(PooledExecutor<'_>) -> R,
+) -> R {
+    {
         let n_domains = domains.len();
         let workers = workers.max(1).min(n_domains);
         let kinds: Vec<ComponentKind> = domains.iter().map(|d| d.kind).collect();
@@ -472,6 +531,7 @@ impl Simulation {
                                             work_done: d.sim.work_done(),
                                             responded,
                                             events,
+                                            state: String::new(),
                                         }
                                     })
                                     .collect();
@@ -486,6 +546,39 @@ impl Simulation {
                                         work_done: d.sim.work_done(),
                                         responded: true,
                                         events: Vec::new(),
+                                        state: String::new(),
+                                    })
+                                    .collect(),
+                            },
+                            WorkerMsg::SaveState => WorkerReply {
+                                domains: part
+                                    .iter()
+                                    .map(|(idx, d)| DomainBatch {
+                                        domain_idx: *idx,
+                                        powers: Vec::new(),
+                                        work_done: d.sim.work_done(),
+                                        responded: true,
+                                        events: Vec::new(),
+                                        state: encode_domain_state(d),
+                                    })
+                                    .collect(),
+                            },
+                            WorkerMsg::LoadState(states) => WorkerReply {
+                                domains: part
+                                    .iter_mut()
+                                    .map(|(idx, d)| {
+                                        let ok = states
+                                            .get(*idx)
+                                            .and_then(|s| decode_domain_state(d, s))
+                                            .is_some();
+                                        DomainBatch {
+                                            domain_idx: *idx,
+                                            powers: Vec::new(),
+                                            work_done: d.sim.work_done(),
+                                            responded: ok,
+                                            events: Vec::new(),
+                                            state: String::new(),
+                                        }
                                     })
                                     .collect(),
                             },
@@ -509,8 +602,8 @@ impl Simulation {
                 _marker: std::marker::PhantomData,
             };
             // Workers exit when their command channels drop with the
-            // executor at the end of run_loop.
-            run_loop(sys, run, global_ctl, vr, sensor, policy, executor)
+            // executor at the end of `f`.
+            f(executor)
         })
     }
 }

@@ -230,6 +230,31 @@ impl PidController {
     }
 }
 
+impl hcapp_sim_core::state::Snapshot for PidController {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        w.f64("pid.integral", self.integral);
+        w.opt_f64("pid.prev_error", self.prev_error);
+        w.opt_f64("pid.prev_output", self.prev_output);
+        w.f64("pid.t.error", self.last_terms.error);
+        w.f64("pid.t.p", self.last_terms.p);
+        w.f64("pid.t.i", self.last_terms.i);
+        w.f64("pid.t.d", self.last_terms.d);
+        w.f64("pid.t.output", self.last_terms.output);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        self.integral = r.f64("pid.integral")?;
+        self.prev_error = r.opt_f64("pid.prev_error")?;
+        self.prev_output = r.opt_f64("pid.prev_output")?;
+        self.last_terms.error = r.f64("pid.t.error")?;
+        self.last_terms.p = r.f64("pid.t.p")?;
+        self.last_terms.i = r.f64("pid.t.i")?;
+        self.last_terms.d = r.f64("pid.t.d")?;
+        self.last_terms.output = r.f64("pid.t.output")?;
+        Some(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -589,6 +589,81 @@ fn mean(xs: &[f64]) -> f64 {
     xs.iter().sum::<f64>() / xs.len() as f64
 }
 
+impl hcapp_sim_core::state::Snapshot for ChipletSim {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        match self {
+            ChipletSim::Cpu(c) => c.save_state(w),
+            ChipletSim::Gpu(g) => g.save_state(w),
+            ChipletSim::Sha(s) => s.save_state(w),
+            ChipletSim::Memory(m, traffic) => {
+                m.save_state(w);
+                traffic.save_state(w);
+            }
+        }
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        match self {
+            ChipletSim::Cpu(c) => c.load_state(r),
+            ChipletSim::Gpu(g) => g.load_state(r),
+            ChipletSim::Sha(s) => s.load_state(r),
+            ChipletSim::Memory(m, traffic) => {
+                m.load_state(r)?;
+                traffic.load_state(r)
+            }
+        }
+    }
+}
+
+impl hcapp_sim_core::state::Snapshot for Domain {
+    /// Everything `run_quantum` mutates, in declaration order. Deliberately
+    /// *not* saved: `index`/`kind`/`nominal_rate` (configuration) and
+    /// `unit_voltages` (a scratch buffer fully overwritten every tick
+    /// before it is read).
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        self.ctl.save_state(w);
+        self.local.save_state(w);
+        self.sim.save_state(w);
+        self.network.save_state(w);
+        self.link.save_state(w);
+        w.bool("domain.ripple", self.ripple.is_some());
+        if let Some(injector) = self.ripple.as_ref() {
+            injector.save_state(w);
+        }
+        w.bool("domain.thermal", self.thermal.is_some());
+        if let Some(guard) = self.thermal.as_ref() {
+            guard.save_state(w);
+        }
+        w.f64("domain.last_power", self.last_power.value());
+        w.f64("domain.last_delivered", self.last_delivered.value());
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        self.ctl.load_state(r)?;
+        self.local.load_state(r)?;
+        self.sim.load_state(r)?;
+        self.network.load_state(r)?;
+        self.link.load_state(r)?;
+        // Optional-part presence is fixed by the system config; a mismatch
+        // means the checkpoint belongs to a different configuration.
+        if r.bool("domain.ripple")? != self.ripple.is_some() {
+            return None;
+        }
+        if let Some(injector) = self.ripple.as_mut() {
+            injector.load_state(r)?;
+        }
+        if r.bool("domain.thermal")? != self.thermal.is_some() {
+            return None;
+        }
+        if let Some(guard) = self.thermal.as_mut() {
+            guard.load_state(r)?;
+        }
+        self.last_power = Watt::new(r.f64("domain.last_power")?);
+        self.last_delivered = Volt::new(r.f64("domain.last_delivered")?);
+        Some(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,136 @@
+//! Property-based resume equivalence: for *arbitrary* valid fault plans,
+//! kill quanta, and checkpoint cadences, a killed-and-resumed run encodes
+//! to the same bytes as the uninterrupted run (`encode_outcome`, IEEE-754
+//! bit patterns — satellite of the crash-safe checkpoint/resume contract,
+//! DESIGN §6h).
+//!
+//! Compiled only with `--features proptest` (local shim, no registry).
+//! Each case is two full 1 ms simulations plus a resume, so case counts
+//! stay small.
+
+#![cfg(feature = "proptest")]
+
+use std::fs;
+use std::path::PathBuf;
+
+use hcapp::cache::encode_outcome;
+use hcapp::coordinator::{RunConfig, Simulation};
+use hcapp::limits::PowerLimit;
+use hcapp::resume::{run_resumable, ResumeEnd, ResumeOptions};
+use hcapp::scheme::ControlScheme;
+use hcapp::system::SystemConfig;
+use hcapp_faults::{EpisodeSpec, FaultPlan};
+use hcapp_sim_core::time::SimDuration;
+use hcapp_workloads::combos::combo_suite;
+use proptest::prelude::*;
+
+fn arb_spec(max_rate: f64) -> impl Strategy<Value = EpisodeSpec> {
+    (0.0f64..max_rate, 1u32..48).prop_map(|(rate, dur)| EpisodeSpec::new(rate, dur))
+}
+
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        arb_spec(0.01),
+        arb_spec(0.005),
+        arb_spec(0.005),
+        arb_spec(0.01),
+        (arb_spec(0.005), arb_spec(0.01), arb_spec(0.005)),
+        (arb_spec(0.003), arb_spec(0.003)),
+        (0.0f64..0.3, 0.0f64..0.15, 0.25f64..1.0, 1u32..8),
+    )
+        .prop_map(
+            |(
+                seed,
+                sensor_noise,
+                sensor_stuck,
+                sensor_dropout,
+                vr_droop,
+                (vr_slew_derate, link_delay, link_loss),
+                (ctl_stuck, ctl_silent),
+                (noise_amplitude, droop_depth, slew_floor, delay_ticks),
+            )| FaultPlan {
+                seed,
+                sensor_noise,
+                sensor_stuck,
+                sensor_dropout,
+                vr_droop,
+                vr_slew_derate,
+                link_delay,
+                link_loss,
+                ctl_stuck,
+                ctl_silent,
+                noise_amplitude,
+                droop_depth,
+                slew_floor,
+                delay_ticks,
+            },
+        )
+}
+
+/// The 1 ms HCAPP scenario under test: 1000 control quanta.
+fn scenario(plan: FaultPlan) -> (SystemConfig, RunConfig) {
+    let sys = SystemConfig::paper_system(combo_suite()[3], 11); // Hi-Hi
+    let run = RunConfig::new(
+        SimDuration::from_millis(1),
+        ControlScheme::Hcapp,
+        PowerLimit::package_pin().guardbanded_target(),
+    )
+    .with_faults(plan);
+    (sys, run)
+}
+
+fn scratch(case: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "hcapp_resume_prop_{}_{case}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// ∀ (plan, kill quantum, checkpoint cadence): killing at the quantum
+    /// and resuming from the last checkpoint reproduces the uninterrupted
+    /// outcome bit-exactly.
+    #[test]
+    fn killed_and_resumed_outcome_is_bit_identical(
+        plan in arb_plan(),
+        kill in 1u64..1000,
+        every in 1u64..200,
+    ) {
+        let (sys, run) = scenario(plan);
+        let want = Simulation::new(sys.clone(), run.clone()).run();
+        // A distinct scratch dir per generated case (the kill/cadence pair
+        // is as good a discriminator as any).
+        let dir = scratch(kill * 1000 + every);
+        let base = ResumeOptions::new(dir.join("hcapp.ckpt")).with_checkpoint_every(every);
+        let stopped = run_resumable(sys.clone(), run.clone(), &base.clone().with_stop_at(kill))
+            .expect("checkpointing run failed");
+        prop_assert!(
+            matches!(stopped.end, ResumeEnd::Stopped { .. }),
+            "kill at {kill} did not stop the run"
+        );
+        let resumed = run_resumable(sys, run, &base).expect("resumed run failed");
+        if kill >= every {
+            prop_assert!(
+                resumed.resumed_from.is_some(),
+                "kill at {kill} with cadence {every} left no checkpoint to resume"
+            );
+        }
+        let got = match resumed.end {
+            ResumeEnd::Completed(out) => out,
+            ResumeEnd::Stopped { quantum } => {
+                let _ = fs::remove_dir_all(&dir);
+                return Err(proptest::test_runner::TestCaseError::Fail(format!(
+                    "final run stopped at {quantum}"
+                )));
+            }
+        };
+        let _ = fs::remove_dir_all(&dir);
+        prop_assert_eq!(encode_outcome(&got), encode_outcome(&want));
+    }
+}

@@ -177,6 +177,32 @@ impl CpuChiplet {
     }
 }
 
+impl hcapp_sim_core::state::Snapshot for CpuChiplet {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        for core in &self.cores {
+            core.save_state(w);
+        }
+        self.program.save_state(w);
+        w.f64_slice("cpu.last_ipc", &self.last_ipc);
+        w.f64("cpu.last_power", self.last_power.0);
+        self.breakdown.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        for core in &mut self.cores {
+            core.load_state(r)?;
+        }
+        self.program.load_state(r)?;
+        let ipc = r.f64_vec("cpu.last_ipc")?;
+        if ipc.len() != self.last_ipc.len() {
+            return None;
+        }
+        self.last_ipc = ipc;
+        self.last_power = Watt(r.f64("cpu.last_power")?);
+        self.breakdown.load_state(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

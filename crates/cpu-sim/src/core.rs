@@ -115,6 +115,20 @@ impl Core {
     }
 }
 
+impl hcapp_sim_core::state::Snapshot for Core {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        w.f64("core.jitter", self.jitter);
+        w.u64("core.jitter_countdown", self.jitter_countdown);
+        self.rng.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        self.jitter = r.f64("core.jitter")?;
+        self.jitter_countdown = r.u64("core.jitter_countdown")?;
+        self.rng.load_state(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

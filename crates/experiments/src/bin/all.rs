@@ -22,6 +22,7 @@ fn main() {
         scaling::run(&cfg),
         hcapp_experiments::robustness::run(&cfg),
         hcapp_experiments::faults::run(&cfg),
+        hcapp_experiments::soak::run(&cfg),
     ] {
         println!("{}", table.render());
     }

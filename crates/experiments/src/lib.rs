@@ -39,6 +39,7 @@ pub mod profile;
 pub mod robustness;
 pub mod runner;
 pub mod scaling;
+pub mod soak;
 pub mod summary;
 pub mod tables;
 

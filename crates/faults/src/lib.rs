@@ -29,4 +29,4 @@ pub mod injector;
 pub mod plan;
 
 pub use injector::{CtlFault, FaultInjector};
-pub use plan::{EpisodeSpec, FaultPlan};
+pub use plan::{EpisodeSpec, FaultPlan, PRESET_LIST, PRESET_NAMES};

@@ -77,6 +77,12 @@ impl EpisodeSpec {
 
 /// A complete, seeded description of the faults one run is subjected to.
 ///
+/// The names [`FaultPlan::preset`] accepts, in escalating severity.
+pub const PRESET_NAMES: [&str; 4] = ["quiet", "light", "moderate", "severe"];
+
+/// [`PRESET_NAMES`] pre-joined for CLI error messages ("expected ...").
+pub const PRESET_LIST: &str = "one of the fault-plan presets: quiet, light, moderate or severe";
+
 /// Global points (sensor, VR) perturb the package-level control loop; the
 /// per-domain points (link, controller) roll independently for every
 /// domain index, so a 40-chiplet run sees proportionally more of them.
@@ -194,7 +200,8 @@ impl FaultPlan {
         }
     }
 
-    /// Look a preset up by its CLI name.
+    /// Look a preset up by its CLI name; [`PRESET_NAMES`] lists the names
+    /// this accepts.
     pub fn preset(name: &str, seed: u64) -> Option<FaultPlan> {
         match name {
             "quiet" => Some(FaultPlan::quiet(seed)),
@@ -249,10 +256,20 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        for name in ["quiet", "light", "moderate", "severe"] {
+        for name in PRESET_NAMES {
             FaultPlan::preset(name, 7).expect("known preset").validate();
         }
         assert!(FaultPlan::preset("loud", 7).is_none());
+    }
+
+    #[test]
+    fn preset_names_stay_in_sync_with_preset() {
+        // Every advertised name resolves, and the pre-joined error-message
+        // list mentions each one — so a CLI miss names every valid choice.
+        for name in PRESET_NAMES {
+            assert!(FaultPlan::preset(name, 1).is_some(), "{name} missing");
+            assert!(PRESET_LIST.contains(name), "{name} absent from PRESET_LIST");
+        }
     }
 
     #[test]

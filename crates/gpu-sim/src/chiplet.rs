@@ -163,6 +163,32 @@ impl GpuChiplet {
     }
 }
 
+impl hcapp_sim_core::state::Snapshot for GpuChiplet {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        for sm in &self.sms {
+            sm.save_state(w);
+        }
+        self.program.save_state(w);
+        w.f64_slice("gpu.last_ipc", &self.last_ipc);
+        w.f64("gpu.last_power", self.last_power.0);
+        self.breakdown.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        for sm in &mut self.sms {
+            sm.load_state(r)?;
+        }
+        self.program.load_state(r)?;
+        let ipc = r.f64_vec("gpu.last_ipc")?;
+        if ipc.len() != self.last_ipc.len() {
+            return None;
+        }
+        self.last_ipc = ipc;
+        self.last_power = Watt(r.f64("gpu.last_power")?);
+        self.breakdown.load_state(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

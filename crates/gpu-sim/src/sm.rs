@@ -108,6 +108,20 @@ impl StreamingMultiprocessor {
     }
 }
 
+impl hcapp_sim_core::state::Snapshot for StreamingMultiprocessor {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        w.f64("sm.jitter", self.jitter);
+        w.u64("sm.jitter_countdown", self.jitter_countdown);
+        self.rng.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        self.jitter = r.f64("sm.jitter")?;
+        self.jitter_countdown = r.u64("sm.jitter_countdown")?;
+        self.rng.load_state(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

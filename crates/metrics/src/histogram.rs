@@ -236,6 +236,31 @@ pub fn percentiles(values: &[f64], qs: &[f64]) -> Vec<f64> {
         .collect()
 }
 
+impl hcapp_sim_core::state::Snapshot for PowerHistogram {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        w.u64_slice("hist.counts", &self.counts);
+        w.u64("hist.total", self.total);
+        w.u64("hist.under", self.under);
+        w.u64("hist.over", self.over);
+        w.u64("hist.non_finite", self.non_finite);
+        w.f64("hist.sum", self.sum);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        let counts = r.u64_vec("hist.counts")?;
+        if counts.len() != self.counts.len() {
+            return None;
+        }
+        self.counts = counts;
+        self.total = r.u64("hist.total")?;
+        self.under = r.u64("hist.under")?;
+        self.over = r.u64("hist.over")?;
+        self.non_finite = r.u64("hist.non_finite")?;
+        self.sum = r.f64("hist.sum")?;
+        Some(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

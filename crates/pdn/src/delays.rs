@@ -192,6 +192,17 @@ impl BroadcastLink {
     }
 }
 
+impl hcapp_sim_core::state::Snapshot for BroadcastLink {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        w.opt_f64("link.last_good", self.last_good);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        self.last_good = r.opt_f64("link.last_good")?;
+        Some(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -93,6 +93,33 @@ impl SupplyNetwork {
     }
 }
 
+impl hcapp_sim_core::state::Snapshot for SupplyNetwork {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        w.usize("net.branches", self.lines.len());
+        for line in &self.lines {
+            let vs: Vec<f64> = line.iter().map(|v| v.0).collect();
+            w.f64_slice("net.line", &vs);
+        }
+        let dv: Vec<f64> = self.delivered.iter().map(|v| v.0).collect();
+        w.f64_slice("net.delivered", &dv);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        if r.usize("net.branches")? != self.lines.len() {
+            return None;
+        }
+        for line in &mut self.lines {
+            *line = r.f64_vec("net.line")?.into_iter().map(Volt).collect();
+        }
+        let dv = r.f64_vec("net.delivered")?;
+        if dv.len() != self.delivered.len() {
+            return None;
+        }
+        self.delivered = dv.into_iter().map(Volt).collect();
+        Some(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,6 +7,7 @@
 //! regulator's legal range — the domain regulators use this to normalize the
 //! global voltage into each chiplet's allowable window (§3.2).
 
+use hcapp_sim_core::state::{Snapshot, StateReader, StateWriter};
 use hcapp_sim_core::time::{SimDuration, SimTime};
 use hcapp_sim_core::units::Volt;
 use std::collections::VecDeque;
@@ -172,6 +173,33 @@ impl VoltageRegulator {
     pub fn full_transition_time(&self) -> SimDuration {
         let span = self.v_max.value() - self.v_min.value();
         self.response_delay + SimDuration::from_secs_f64(span / self.slew_volts_per_sec)
+    }
+}
+
+impl Snapshot for VoltageRegulator {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.f64("vr.output", self.output.0);
+        w.f64("vr.target", self.target.0);
+        w.usize("vr.pending", self.pending.len());
+        for (t, v) in &self.pending {
+            w.u64("vr.pending.t", t.as_nanos());
+            w.f64("vr.pending.v", v.0);
+        }
+        w.f64("vr.slew_derate", self.slew_derate);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Option<()> {
+        self.output = Volt(r.f64("vr.output")?);
+        self.target = Volt(r.f64("vr.target")?);
+        let n = r.usize("vr.pending")?;
+        self.pending.clear();
+        for _ in 0..n {
+            let t = SimTime::from_nanos(r.u64("vr.pending.t")?);
+            let v = Volt(r.f64("vr.pending.v")?);
+            self.pending.push_back((t, v));
+        }
+        self.slew_derate = r.f64("vr.slew_derate")?;
+        Some(())
     }
 }
 

@@ -111,6 +111,19 @@ impl RippleInjector {
     }
 }
 
+impl hcapp_sim_core::state::Snapshot for RippleInjector {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        self.rng.save_state(w);
+        w.u32("ripple.glitch", self.glitch_remaining);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        self.rng.load_state(r)?;
+        self.glitch_remaining = r.u32("ripple.glitch")?;
+        Some(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

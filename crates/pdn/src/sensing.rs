@@ -119,6 +119,20 @@ impl PowerSensor {
     }
 }
 
+impl hcapp_sim_core::state::Snapshot for PowerSensor {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        let line: Vec<f64> = self.line.iter().map(|p| p.0).collect();
+        w.f64_slice("sensor.line", &line);
+        w.f64("sensor.latest", self.latest_output.0);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        self.line = r.f64_vec("sensor.line")?.into_iter().map(Watt).collect();
+        self.latest_output = Watt(r.f64("sensor.latest")?);
+        Some(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

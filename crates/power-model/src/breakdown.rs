@@ -63,6 +63,21 @@ impl PowerBreakdown {
     }
 }
 
+impl hcapp_sim_core::state::Snapshot for PowerBreakdown {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        self.unit_dynamic.save_state(w);
+        self.unit_leakage.save_state(w);
+        self.uncore.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        self.unit_dynamic.load_state(r)?;
+        self.unit_leakage.load_state(r)?;
+        self.uncore.load_state(r)?;
+        Some(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

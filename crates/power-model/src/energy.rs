@@ -63,6 +63,19 @@ impl EnergyAccount {
     }
 }
 
+impl hcapp_sim_core::state::Snapshot for EnergyAccount {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        w.f64("energy.joules", self.joules);
+        w.u64("energy.elapsed_ns", self.elapsed_ns);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        self.joules = r.f64("energy.joules")?;
+        self.elapsed_ns = r.u64("energy.elapsed_ns")?;
+        Some(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

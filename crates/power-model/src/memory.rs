@@ -80,6 +80,19 @@ impl MemoryStack {
     }
 }
 
+impl hcapp_sim_core::state::Snapshot for MemoryStack {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        w.f64("mem.traffic", self.traffic);
+        w.f64("mem.serviced", self.serviced);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        self.traffic = r.f64("mem.traffic")?;
+        self.serviced = r.f64("mem.serviced")?;
+        Some(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -80,6 +80,17 @@ impl ThermalModel {
     }
 }
 
+impl hcapp_sim_core::state::Snapshot for ThermalModel {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        w.f64("thermal.t_junction", self.t_junction);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        self.t_junction = r.f64("thermal.t_junction")?;
+        Some(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,8 @@
+//! Static-analysis gate: the whole workspace must pass simlint's rules
+//! (unit safety, no-panic, determinism, dependency layering, controller doc
+//! coverage). See crates/simlint for the rules and the allowlist syntax.
+
+#[test]
+fn simlint_workspace_clean() {
+    simlint::assert_workspace_clean(env!("CARGO_MANIFEST_DIR"));
+}

@@ -30,6 +30,7 @@ pub mod approx;
 pub mod report;
 pub mod rng;
 pub mod series;
+pub mod state;
 pub mod stats;
 pub mod time;
 pub mod units;
@@ -38,6 +39,7 @@ pub mod window;
 pub use approx::approx_eq;
 pub use rng::DeterministicRng;
 pub use series::TimeSeries;
+pub use state::{Snapshot, StateReader, StateWriter};
 pub use stats::{geometric_mean, OnlineStats};
 pub use time::{SimDuration, SimTime};
 pub use units::{Hertz, Volt, Watt};

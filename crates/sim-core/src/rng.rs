@@ -121,6 +121,18 @@ impl DeterministicRng {
     }
 }
 
+impl crate::state::Snapshot for DeterministicRng {
+    fn save_state(&self, w: &mut crate::state::StateWriter) {
+        w.u64_slice("rng.s", &self.s);
+    }
+
+    fn load_state(&mut self, r: &mut crate::state::StateReader<'_>) -> Option<()> {
+        let s = r.u64_vec("rng.s")?;
+        self.s = s.try_into().ok()?;
+        Some(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

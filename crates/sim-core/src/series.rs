@@ -193,6 +193,23 @@ impl TimeSeries {
     }
 }
 
+impl crate::state::Snapshot for TimeSeries {
+    fn save_state(&self, w: &mut crate::state::StateWriter) {
+        w.u64("ts.dt_ns", self.dt.as_nanos());
+        w.f64_slice("ts.values", &self.values);
+    }
+
+    fn load_state(&mut self, r: &mut crate::state::StateReader<'_>) -> Option<()> {
+        // The interval is configuration; require it to match rather than
+        // silently rescaling the time axis of a restored trace.
+        if r.u64("ts.dt_ns")? != self.dt.as_nanos() {
+            return None;
+        }
+        self.values = r.f64_vec("ts.values")?;
+        Some(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

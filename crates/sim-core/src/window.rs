@@ -192,6 +192,47 @@ impl WindowedMaxTracker {
     }
 }
 
+impl crate::state::Snapshot for SlidingWindowAvg {
+    fn save_state(&self, w: &mut crate::state::StateWriter) {
+        w.f64_slice("win.buf", &self.buf);
+        w.usize("win.head", self.head);
+        w.usize("win.filled", self.filled);
+        w.f64("win.sum", self.sum);
+        w.usize("win.resync", self.since_resync);
+    }
+
+    fn load_state(&mut self, r: &mut crate::state::StateReader<'_>) -> Option<()> {
+        let buf = r.f64_vec("win.buf")?;
+        if buf.len() != self.buf.len() {
+            return None;
+        }
+        self.buf = buf;
+        self.head = r.usize("win.head")?;
+        self.filled = r.usize("win.filled")?;
+        if self.head >= self.buf.len() || self.filled > self.buf.len() {
+            return None;
+        }
+        self.sum = r.f64("win.sum")?;
+        self.since_resync = r.usize("win.resync")?;
+        Some(())
+    }
+}
+
+impl crate::state::Snapshot for WindowedMaxTracker {
+    fn save_state(&self, w: &mut crate::state::StateWriter) {
+        self.window.save_state(w);
+        w.f64("win.max", self.max);
+        w.bool("win.seen_full", self.seen_full);
+    }
+
+    fn load_state(&mut self, r: &mut crate::state::StateReader<'_>) -> Option<()> {
+        self.window.load_state(r)?;
+        self.max = r.f64("win.max")?;
+        self.seen_full = r.bool("win.seen_full")?;
+        Some(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

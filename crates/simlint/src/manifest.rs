@@ -89,6 +89,11 @@ pub fn level_of(package: &str) -> Option<u8> {
         // event stream, so it sits strictly above telemetry but below the
         // controller, which attaches it to the run path.
         "hcapp-analyze" => 35,
+        // Persistence sublayer: the checkpoint codec serializes component
+        // state (sim-core's codec + cache's hashing) for the controller's
+        // resume driver, so it sits beside analyze — above the leaf crates,
+        // below the controller.
+        "hcapp-resume" => 35,
         "hcapp" => 40,
         "hcapp-cli" | "hcapp-experiments" => 50,
         "hcapp-bench" | "hcapp-repro" => 60,

@@ -75,6 +75,7 @@ impl Profiler {
     pub fn phases(&self) -> Vec<(&'static str, PhaseStat)> {
         self.phases
             .lock()
+            // simlint: allow(L6): reporting path only; poisoning is unrecoverable and the graph edge here is a load_state name collision
             .expect("invariant: profiler mutex never poisoned")
             .clone()
     }

@@ -104,6 +104,23 @@ impl Default for TraceStats {
     }
 }
 
+impl hcapp_sim_core::state::Snapshot for TraceStats {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        w.u64_slice("stats.kinds", &self.kind_counts);
+        w.u64("stats.near_misses", self.near_misses);
+        w.f64("stats.peak", self.peak.0);
+        self.hist.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        let kinds = r.u64_vec("stats.kinds")?;
+        self.kind_counts = kinds.try_into().ok()?;
+        self.near_misses = r.u64("stats.near_misses")?;
+        self.peak = Watt(r.f64("stats.peak")?);
+        self.hist.load_state(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

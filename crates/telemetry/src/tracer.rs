@@ -119,6 +119,29 @@ impl RingTracer {
     }
 }
 
+/// Checkpointable half of the ring: drop/aggregate counters only.
+///
+/// Buffered events are deliberately *not* serialized — the resume driver
+/// drains the ring into the durable trace sink immediately before every
+/// checkpoint, so at a snapshot boundary the buffer is empty by
+/// construction. `load_state` refuses a snapshot taken from a non-drained
+/// ring (and a non-empty ring at load time), keeping the contract honest.
+impl hcapp_sim_core::state::Snapshot for RingTracer {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        w.usize("ring.buffered", self.buf.len());
+        w.u64("ring.dropped", self.dropped);
+        self.stats.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        if r.usize("ring.buffered")? != 0 || !self.buf.is_empty() {
+            return None;
+        }
+        self.dropped = r.u64("ring.dropped")?;
+        self.stats.load_state(r)
+    }
+}
+
 impl Tracer for RingTracer {
     fn record(&mut self, event: TraceEvent) {
         self.stats.observe(&event);

@@ -116,6 +116,41 @@ impl PhaseCursor {
     }
 }
 
+impl hcapp_sim_core::state::Snapshot for PhaseCursor {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        self.rng.save_state(w);
+        w.token(
+            "cursor.pattern_state",
+            match self.state {
+                PatternState::Low => "low",
+                PatternState::High => "high",
+            },
+        );
+        w.f64("cursor.activity", self.current.activity);
+        w.f64("cursor.mem", self.current.mem_intensity);
+        w.f64("cursor.work_ns", self.current.work_ns);
+        w.f64("cursor.remaining", self.remaining);
+        w.f64("cursor.consumed", self.consumed);
+        w.u64("cursor.phases_started", self.phases_started);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        self.rng.load_state(r)?;
+        self.state = match r.token("cursor.pattern_state")? {
+            "low" => PatternState::Low,
+            "high" => PatternState::High,
+            _ => return None,
+        };
+        self.current.activity = r.f64("cursor.activity")?;
+        self.current.mem_intensity = r.f64("cursor.mem")?;
+        self.current.work_ns = r.f64("cursor.work_ns")?;
+        self.remaining = r.f64("cursor.remaining")?;
+        self.consumed = r.f64("cursor.consumed")?;
+        self.phases_started = r.u64("cursor.phases_started")?;
+        Some(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -95,6 +95,22 @@ impl WorkloadProgram {
     }
 }
 
+impl hcapp_sim_core::state::Snapshot for WorkloadProgram {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        match self {
+            WorkloadProgram::Generated(c) => c.save_state(w),
+            WorkloadProgram::Recorded(p) => p.save_state(w),
+        }
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        match self {
+            WorkloadProgram::Generated(c) => c.load_state(r),
+            WorkloadProgram::Recorded(p) => p.load_state(r),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -85,6 +85,19 @@ impl ShaWorkload {
     }
 }
 
+impl hcapp_sim_core::state::Snapshot for ShaWorkload {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        w.f64("sha.remaining_gbits", self.remaining_gbits);
+        w.f64("sha.completed_gbits", self.completed_gbits);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        self.remaining_gbits = r.f64("sha.remaining_gbits")?;
+        self.completed_gbits = r.f64("sha.completed_gbits")?;
+        Some(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -206,6 +206,25 @@ impl TracePlayer {
     }
 }
 
+impl hcapp_sim_core::state::Snapshot for TracePlayer {
+    fn save_state(&self, w: &mut hcapp_sim_core::state::StateWriter) {
+        w.usize("player.index", self.index);
+        w.f64("player.remaining", self.remaining);
+        w.f64("player.consumed", self.consumed);
+    }
+
+    fn load_state(&mut self, r: &mut hcapp_sim_core::state::StateReader<'_>) -> Option<()> {
+        let index = r.usize("player.index")?;
+        if index >= self.trace.phases().len() {
+            return None;
+        }
+        self.index = index;
+        self.remaining = r.f64("player.remaining")?;
+        self.consumed = r.f64("player.consumed")?;
+        Some(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

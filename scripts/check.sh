@@ -66,4 +66,14 @@ cargo run --release -p hcapp-cli -q -- faults --seed 7 --check
 echo "==> scaling bench smoke (results/BENCH_parallel.json)"
 scripts/bench_smoke.sh
 
+echo "==> hcapp soak smoke (kill-and-resume vs uninterrupted oracle, tolerance 0)"
+# A short chaos campaign: the run is killed twice at seeded quanta and
+# resumed from hcapp.ckpt; outcome, stitched JSONL trace and replayed
+# report must be byte-identical to the never-interrupted oracle, and the
+# over-budget bound from the fault contract must still hold.
+cargo run --release -p hcapp-cli -q -- soak \
+    --combo Hi-Hi --ms 2 --kills 2 --every 64 --seed 7 \
+    --dir results/soak_smoke > /dev/null
+rmdir results/soak_smoke 2>/dev/null || true
+
 echo "==> all checks passed"

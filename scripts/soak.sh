@@ -1,0 +1,82 @@
+#!/bin/sh
+# Chaos soak with REAL process death: spawn `hcapp soak --worker` children
+# that checkpoint as they run, SIGKILL them mid-flight, resume from
+# hcapp.ckpt, and diff the final stitched run against a never-interrupted
+# oracle at tolerance zero (outcome digest, trace bytes, replayed report).
+#
+# This complements the in-process campaign (`hcapp soak`, also run by
+# scripts/check.sh): there the kill point is a deterministic quantum; here
+# the process dies wherever the signal lands, so the resume path is soaked
+# against arbitrary interruption points. Knobs (all optional):
+#   HCAPP_SOAK_MS      simulated milliseconds per run      (default 10)
+#   HCAPP_SOAK_KILLS   SIGKILLed generations before letting one finish (3)
+#   HCAPP_SOAK_SEED    scenario seed                       (default 11)
+#   HCAPP_SOAK_PLAN    fault plan preset                   (default moderate)
+#   HCAPP_SOAK_EVERY   checkpoint cadence in quanta        (default 64)
+set -eu
+cd "$(dirname "$0")/.."
+
+MS="${HCAPP_SOAK_MS:-10}"
+KILLS="${HCAPP_SOAK_KILLS:-3}"
+SEED="${HCAPP_SOAK_SEED:-11}"
+PLAN="${HCAPP_SOAK_PLAN:-moderate}"
+EVERY="${HCAPP_SOAK_EVERY:-64}"
+
+cargo build --release -q -p hcapp-cli
+HCAPP=./target/release/hcapp
+
+work=results/soak_sigkill
+rm -rf "$work"
+mkdir -p "$work/run" "$work/oracle"
+
+common="--combo Hi-Hi --ms $MS --seed $SEED --plan $PLAN --every $EVERY --keep"
+
+# Oracle: one uninterrupted worker in its own directory.
+$HCAPP soak --worker $common --dir "$work/oracle" > "$work/oracle.out"
+oracle_digest=$(sed -n 's/.*outcome=\([0-9a-f]*\).*/\1/p' "$work/oracle.out")
+[ -n "$oracle_digest" ] || { echo "soak.sh: oracle worker printed no digest" >&2; exit 1; }
+
+# Kill generations: each worker resumes from the previous one's checkpoint
+# and is SIGKILLed mid-run. If a fast generation finishes before the signal
+# lands, that is fine — the final comparison still gates the full contract.
+gen=0
+while [ "$gen" -lt "$KILLS" ]; do
+    $HCAPP soak --worker $common --dir "$work/run" > "$work/gen$gen.out" 2>/dev/null &
+    pid=$!
+    # Let it get some checkpoints down, then kill it dead.
+    sleep 0.2
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    gen=$((gen + 1))
+done
+
+# Final generation: run to completion.
+$HCAPP soak --worker $common --dir "$work/run" > "$work/final.out"
+final_digest=$(sed -n 's/.*outcome=\([0-9a-f]*\).*/\1/p' "$work/final.out")
+[ -n "$final_digest" ] || { echo "soak.sh: final worker did not complete" >&2; cat "$work/final.out" >&2; exit 1; }
+
+fail=0
+if [ "$final_digest" != "$oracle_digest" ]; then
+    echo "soak.sh: outcome digest diverged ($final_digest vs oracle $oracle_digest)" >&2
+    fail=1
+fi
+if ! cmp -s "$work/run/hcapp.trace" "$work/oracle/hcapp.trace"; then
+    echo "soak.sh: stitched trace differs from the oracle trace" >&2
+    fail=1
+fi
+# The stitched trace must also be internally valid (no duplicated or
+# missing seam quanta) and replay to the identical report.
+$HCAPP trace --check "$work/run/hcapp.trace" > /dev/null
+$HCAPP analyze --trace "$work/run/hcapp.trace" --out "$work/run.report" > /dev/null
+$HCAPP analyze --trace "$work/oracle/hcapp.trace" --out "$work/oracle.report" > /dev/null
+if ! cmp -s "$work/run.report" "$work/oracle.report"; then
+    echo "soak.sh: replayed report differs from the oracle report" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "soak.sh: FAILED (artifacts kept in $work)" >&2
+    exit 1
+fi
+echo "soak.sh: ok — $KILLS SIGKILLed generation(s), resumed run byte-identical to the oracle"
+rm -rf "$work"
