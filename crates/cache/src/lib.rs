@@ -25,4 +25,4 @@ pub mod hash;
 pub mod store;
 
 pub use hash::{ContentHash, Hasher};
-pub use store::CacheStore;
+pub use store::{CacheStore, Load};

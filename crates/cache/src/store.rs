@@ -20,6 +20,25 @@ const ENTRY_EXT: &str = "entry";
 /// Monotonic counter distinguishing temporary files within one process.
 static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// Outcome of a classified entry read ([`CacheStore::load_classified`]).
+///
+/// The distinction matters operationally: an [`Load::Absent`] key is the
+/// normal cold-cache path, while [`Load::Unreadable`] means a file *is*
+/// sitting at the entry's path but could not be read as UTF-8 text —
+/// evidence of on-disk damage (truncation, permissions, bit rot) that the
+/// caller may want to count, report, or clean up rather than silently
+/// recompute around forever.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Load {
+    /// The entry exists and its body was read completely.
+    Hit(String),
+    /// No file exists for this key — an ordinary miss.
+    Absent,
+    /// A file exists for this key but reading it failed (I/O error or
+    /// invalid UTF-8).
+    Unreadable,
+}
+
 /// A directory of content-addressed entries.
 #[derive(Debug, Clone)]
 pub struct CacheStore {
@@ -42,9 +61,34 @@ impl CacheStore {
         self.dir.join(format!("{}.{ENTRY_EXT}", key.to_hex()))
     }
 
-    /// Read an entry's body; `None` on any miss or I/O failure.
+    /// Read an entry's body; `None` on any miss or I/O failure. Callers
+    /// that need to tell damage apart from a cold key use
+    /// [`CacheStore::load_classified`].
     pub fn load(&self, key: ContentHash) -> Option<String> {
-        std::fs::read_to_string(self.entry_path(key)).ok()
+        match self.load_classified(key) {
+            Load::Hit(body) => Some(body),
+            Load::Absent | Load::Unreadable => None,
+        }
+    }
+
+    /// Read an entry's body, distinguishing "no such entry" from "an entry
+    /// file exists but cannot be read" (see [`Load`]). A missing parent
+    /// directory counts as [`Load::Absent`]: a never-written store is cold,
+    /// not damaged.
+    pub fn load_classified(&self, key: ContentHash) -> Load {
+        match std::fs::read_to_string(self.entry_path(key)) {
+            Ok(body) => Load::Hit(body),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Load::Absent,
+            Err(_) => Load::Unreadable,
+        }
+    }
+
+    /// Delete one entry; `true` if a file was actually removed. Used to
+    /// evict entries a caller has diagnosed as corrupt, so the damage is
+    /// repaired (by the re-store that follows the recompute) instead of
+    /// being rediscovered on every warm pass.
+    pub fn remove(&self, key: ContentHash) -> bool {
+        std::fs::remove_file(self.entry_path(key)).is_ok()
     }
 
     /// Install an entry. Returns whether the body is durably in place;
@@ -170,6 +214,28 @@ mod tests {
         assert_eq!(store.wipe(), 2);
         assert!(store.is_empty());
         assert!(bystander.exists());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn classified_load_separates_absent_from_unreadable() {
+        let store = temp_store("classified");
+        let k = key("job");
+        // Cold store (directory does not even exist yet): absent, not
+        // damaged.
+        assert_eq!(store.load_classified(k), Load::Absent);
+        assert!(store.save(k, "body"));
+        assert_eq!(store.load_classified(k), Load::Hit("body".into()));
+        // A non-UTF-8 body at the entry path is unreadable, not a plain
+        // miss.
+        std::fs::write(store.dir().join(format!("{}.entry", k.to_hex())), [0xFF, 0xFE, 0x80])
+            .expect("writable temp dir");
+        assert_eq!(store.load_classified(k), Load::Unreadable);
+        assert_eq!(store.load(k), None, "lossy load still degrades to a miss");
+        // Eviction clears the damage; a second remove is a no-op.
+        assert!(store.remove(k));
+        assert!(!store.remove(k));
+        assert_eq!(store.load_classified(k), Load::Absent);
         let _ = std::fs::remove_dir_all(store.dir());
     }
 

@@ -3,6 +3,7 @@
 pub mod analyze;
 pub mod compare;
 pub mod faults;
+pub mod fuzz;
 pub mod hist;
 pub mod record;
 pub mod run;
@@ -82,6 +83,14 @@ COMMANDS:
             --keep                retain hcapp.ckpt / hcapp.trace artifacts
             --worker [--stop-at Q]  single resumable link (scripts/soak.sh
                                   SIGKILLs these to soak real process death)
+    fuzz    deterministic config-space fuzzer: differential legs (serial vs
+            pooled vs permuted vs batched vs kill-and-resume vs cache) plus
+            metamorphic paper invariants, with failing-case shrinking
+            --seed N (0xC0FFEE)   --cases N (64)      campaign knobs
+            --smoke               fixed-seed CI corpus (byte-stable log)
+            --plant pooled|cache [--out PATH]  plant a defect, verify the
+                                  catch -> shrink -> replay pipeline
+            --replay PATH         rerun a committed hcapp.fuzzcase exactly
     list    available combos, benchmarks and schemes
     help    this text
 "

@@ -103,13 +103,15 @@ pub fn limit(args: &Args) -> Result<PowerLimit, ArgError> {
 }
 
 /// Decode the degraded-mode tuning flags (`--stale-after`,
-/// `--faulted-after`, `--violation-window`, `--safe-ratio`) over the
-/// default [`hcapp::DegradedConfig`]. Inconsistent values surface as a
-/// clean [`ArgError`] through [`hcapp::DegradedConfig::try_validate`] —
-/// never as the panicking internal `validate`.
+/// `--stale-dwell`, `--faulted-after`, `--violation-window`,
+/// `--safe-ratio`) over the default [`hcapp::DegradedConfig`].
+/// Inconsistent values surface as a clean [`ArgError`] through
+/// [`hcapp::DegradedConfig::try_validate`] — never as the panicking
+/// internal `validate`.
 pub fn degraded(args: &Args) -> Result<hcapp::DegradedConfig, ArgError> {
     let mut cfg = hcapp::DegradedConfig::default();
     cfg.stale_after = args.u64("stale-after", u64::from(cfg.stale_after))? as u32;
+    cfg.stale_dwell = args.u64("stale-dwell", u64::from(cfg.stale_dwell))? as u32;
     cfg.faulted_after = args.u64("faulted-after", u64::from(cfg.faulted_after))? as u32;
     cfg.violation_window = args.u64("violation-window", u64::from(cfg.violation_window))? as u32;
     cfg.safe_ratio = args.f64("safe-ratio", cfg.safe_ratio)?;
@@ -230,7 +232,7 @@ pub fn build(args: &Args) -> Result<(SystemConfig, RunConfig, PowerLimit), ArgEr
     // guardbanded, so the spec reads exactly as it will appear in the
     // trace's retarget events.
     if let Some(spec) = args.opt_string("retarget")? {
-        let mut last = SimTime::ZERO;
+        let mut last: Option<SimTime> = None;
         for part in spec.split(',') {
             let Some((ms_s, w_s)) = part.split_once(':') else {
                 return Err(bad("retarget", part.to_string(), "MS:WATTS[,MS:WATTS...]"));
@@ -251,10 +253,17 @@ pub fn build(args: &Args) -> Result<(SystemConfig, RunConfig, PowerLimit), ArgEr
                 ));
             }
             let at = SimTime::from_nanos((at_ms * 1e6) as u64);
-            if at < last {
-                return Err(bad("retarget", spec.clone(), "chronologically ordered entries"));
+            // Duplicate or rewound timestamps would make the analyzer's
+            // epoch fold mis-bucket the run — reject the offending entry
+            // by name rather than silently keeping last-writer-wins.
+            if last.is_some_and(|prev| at <= prev) {
+                return Err(bad(
+                    "retarget",
+                    part.to_string(),
+                    "strictly increasing timestamps",
+                ));
             }
-            last = at;
+            last = Some(at);
             run = run.with_retarget(at, Watt::new(watts));
         }
     }
@@ -405,15 +414,30 @@ mod tests {
         assert!(build(&parse("--combo Low-Low --retarget nonsense")).is_err());
         assert!(build(&parse("--combo Low-Low --retarget 1:-5")).is_err());
         assert!(build(&parse("--combo Low-Low --retarget 2:70,1:90")).is_err());
+        // Duplicate timestamps are rejected too — last-writer-wins would
+        // silently shadow the earlier entry and confuse the epoch fold —
+        // and the error names the offending entry, not the whole spec.
+        let e = build(&parse("--combo Low-Low --retarget 1:90,1:70"))
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("1:70"), "{e}");
+        assert!(e.contains("strictly increasing"), "{e}");
+        let e = build(&parse("--combo Low-Low --retarget 2:70,1:90"))
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("1:90"), "{e}");
+        // A single entry at t=0 stays valid.
+        assert!(build(&parse("--combo Low-Low --ms 2 --retarget 0:90")).is_ok());
     }
 
     #[test]
     fn degraded_flags_apply_and_invalid_values_are_arg_errors_not_panics() {
         let (_, run, _) = build(&parse(
-            "--combo Low-Low --ms 2 --stale-after 3 --faulted-after 9 --violation-window 40 --safe-ratio 0.5",
+            "--combo Low-Low --ms 2 --stale-after 3 --stale-dwell 5 --faulted-after 9 --violation-window 40 --safe-ratio 0.5",
         ))
         .unwrap();
         assert_eq!(run.degraded.stale_after, 3);
+        assert_eq!(run.degraded.stale_dwell, 5);
         assert_eq!(run.degraded.faulted_after, 9);
         assert_eq!(run.degraded.violation_window, 40);
         assert_eq!(run.degraded.safe_ratio, 0.5);

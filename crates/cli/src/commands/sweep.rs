@@ -89,8 +89,8 @@ pub fn execute(args: &Args) -> Result<String, ArgError> {
     }
     if let Some(s) = stats {
         out.push_str(&format!(
-            "cache: {} hits, {} misses ({cache_dir})\n\n",
-            s.hits, s.misses
+            "cache: {} hits, {} misses, {} corrupt ({cache_dir})\n\n",
+            s.hits, s.misses, s.corrupt
         ));
     }
     for &scheme in &schemes {
@@ -146,8 +146,8 @@ mod tests {
         );
         let cold = run_cli(&flags);
         let warm = run_cli(&flags);
-        assert!(cold.contains("cache: 0 hits, 16 misses"), "{cold}");
-        assert!(warm.contains("cache: 16 hits, 0 misses"), "{warm}");
+        assert!(cold.contains("cache: 0 hits, 16 misses, 0 corrupt"), "{cold}");
+        assert!(warm.contains("cache: 16 hits, 0 misses, 0 corrupt"), "{warm}");
         // Identical tables after the cache line: cached replay is exact.
         let tail = |s: &str| s.split_once("\n\n").map(|(_, t)| t.to_string()).unwrap();
         assert_eq!(tail(&cold), tail(&warm));

@@ -43,6 +43,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "faults" => commands::faults::execute(&args).map_err(|e| e.to_string()),
         "sanitize" => commands::sanitize::execute(&args).map_err(|e| e.to_string()),
         "soak" => commands::soak::execute(&args).map_err(|e| e.to_string()),
+        "fuzz" => commands::fuzz::execute(&args).map_err(|e| e.to_string()),
         "list" => Ok(commands::list()),
         "help" | "--help" | "-h" => Ok(commands::help()),
         other => Err(format!(

@@ -267,17 +267,37 @@ pub fn decode_outcome(body: &str) -> Option<RunOutcome> {
 pub struct CacheStats {
     /// Jobs answered from disk.
     pub hits: usize,
-    /// Cacheable jobs that had to run (and were then stored).
+    /// Cacheable jobs whose key was simply absent — the ordinary cold
+    /// path. They ran and were then stored.
     pub misses: usize,
     /// Jobs that cannot be cached (tracer/profiler attached).
     pub uncacheable: usize,
+    /// Cacheable jobs whose entry existed on disk but was unreadable or
+    /// undecodable. The damaged entry is deleted, the job reruns, and the
+    /// fresh outcome is re-stored — but the count is surfaced separately
+    /// because persistent corruption is an operational signal (failing
+    /// disk, schema drift, a concurrent writer misbehaving), not a cold
+    /// cache.
+    pub corrupt: usize,
 }
 
 impl CacheStats {
-    /// `hits + misses + uncacheable`.
+    /// `hits + misses + uncacheable + corrupt`.
     pub fn total(&self) -> usize {
-        self.hits + self.misses + self.uncacheable
+        self.hits + self.misses + self.uncacheable + self.corrupt
     }
+}
+
+/// Outcome of a classified cache probe ([`RunCache::lookup_classified`]).
+#[derive(Debug, Clone)]
+pub enum Lookup {
+    /// The entry existed and decoded bit-exactly.
+    Hit(Box<RunOutcome>),
+    /// No entry for this key — the ordinary miss.
+    Absent,
+    /// An entry file existed but was unreadable or failed to decode; it
+    /// has been deleted so the follow-up insert repairs the store.
+    Corrupt,
 }
 
 /// A [`CacheStore`] specialized to simulation outcomes.
@@ -305,8 +325,36 @@ impl RunCache {
     }
 
     /// Fetch a cached outcome; `None` on miss or undecodable entry.
+    /// Campaign code that should distinguish (and clean up) damaged
+    /// entries uses [`RunCache::lookup_classified`].
     pub fn lookup(&self, key: ContentHash) -> Option<RunOutcome> {
-        decode_outcome(&self.store.load(key)?)
+        match self.lookup_classified(key) {
+            Lookup::Hit(out) => Some(*out),
+            Lookup::Absent | Lookup::Corrupt => None,
+        }
+    }
+
+    /// Fetch a cached outcome, telling a cold key apart from a damaged
+    /// entry. "Damaged" covers both an unreadable file and a readable body
+    /// that fails [`decode_outcome`] (truncated flush, foreign schema,
+    /// bit rot); either way the entry is deleted on the spot so the
+    /// recompute-and-insert that follows repairs the store instead of
+    /// tripping over the same carcass every warm pass.
+    pub fn lookup_classified(&self, key: ContentHash) -> Lookup {
+        match self.store.load_classified(key) {
+            hcapp_cache::Load::Hit(body) => match decode_outcome(&body) {
+                Some(out) => Lookup::Hit(Box::new(out)),
+                None => {
+                    self.store.remove(key);
+                    Lookup::Corrupt
+                }
+            },
+            hcapp_cache::Load::Absent => Lookup::Absent,
+            hcapp_cache::Load::Unreadable => {
+                self.store.remove(key);
+                Lookup::Corrupt
+            }
+        }
     }
 
     /// Store an outcome under `key`.
@@ -346,11 +394,13 @@ pub fn run_all_cached(
     let mut miss_jobs: Vec<(SystemConfig, RunConfig)> = Vec::new();
     for (i, (sys, run)) in jobs.into_iter().enumerate() {
         let key = job_key(&sys, &run);
-        if let Some(hit) = key.and_then(|k| cache.lookup(k)) {
+        let probe = key.map(|k| cache.lookup_classified(k));
+        if let Some(Lookup::Hit(hit)) = probe {
             stats.hits += 1;
-            slots.push(Some(hit));
+            slots.push(Some(*hit));
         } else {
-            match key {
+            match probe {
+                Some(Lookup::Corrupt) => stats.corrupt += 1,
                 Some(_) => stats.misses += 1,
                 None => stats.uncacheable += 1,
             }
@@ -477,11 +527,42 @@ mod tests {
         let cache = temp_cache("warm");
         let (sys, run) = job();
         let (cold, s1) = run_all_cached(vec![(sys.clone(), run.clone())], 2, &cache);
-        assert_eq!((s1.hits, s1.misses), (0, 1));
+        assert_eq!((s1.hits, s1.misses, s1.corrupt), (0, 1, 0));
         let (warm, s2) = run_all_cached(vec![(sys, run)], 2, &cache);
-        assert_eq!((s2.hits, s2.misses), (1, 0));
+        assert_eq!((s2.hits, s2.misses, s2.corrupt), (1, 0, 0));
         assert_eq!(encode_outcome(&warm[0]), encode_outcome(&cold[0]));
         assert_eq!(cache.wipe(), 1);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_entry_is_counted_deleted_and_repaired() {
+        let cache = temp_cache("corrupt");
+        let (sys, run) = job();
+        let key = job_key(&sys, &run).expect("untraced job is cacheable");
+        let (cold, _) = run_all_cached(vec![(sys.clone(), run.clone())], 2, &cache);
+
+        // Truncate the entry on disk: a readable file that no longer
+        // decodes. The classified probe must call it corrupt (not a plain
+        // miss) and evict it.
+        let path = cache.dir().join(format!("{}.entry", key.to_hex()));
+        let body = std::fs::read_to_string(&path).expect("entry written");
+        std::fs::write(&path, &body[..body.len() / 2]).expect("writable cache dir");
+        assert!(matches!(cache.lookup_classified(key), Lookup::Corrupt));
+        assert!(!path.exists(), "corrupt entry must be deleted");
+        assert!(matches!(cache.lookup_classified(key), Lookup::Absent));
+
+        // Same thing end-to-end through a campaign dispatch: the damaged
+        // entry is counted as corrupt, rerun, and the store repaired —
+        // so the next pass is a clean hit again.
+        cache.insert(key, &cold[0]);
+        std::fs::write(&path, "hcapp-cache-v1\ngarbage").expect("writable cache dir");
+        let (again, s) = run_all_cached(vec![(sys.clone(), run.clone())], 2, &cache);
+        assert_eq!((s.hits, s.misses, s.corrupt), (0, 0, 1));
+        assert_eq!(s.total(), 1);
+        assert_eq!(encode_outcome(&again[0]), encode_outcome(&cold[0]));
+        let (_, s) = run_all_cached(vec![(sys, run)], 2, &cache);
+        assert_eq!((s.hits, s.misses, s.corrupt), (1, 0, 0));
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 }

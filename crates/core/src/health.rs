@@ -75,6 +75,12 @@ pub struct DegradedConfig {
     pub faulted_after: u32,
     /// Consecutive good quanta a `Faulted` subject needs to recover.
     pub recover_after: u32,
+    /// Consecutive good quanta a `Stale` subject must dwell before it is
+    /// trusted again. Without this hysteresis a subject flapping right at
+    /// the stale boundary (bad streaks of `stale_after`, one good sample,
+    /// repeat) re-trips every cycle, spamming `health_transition` events
+    /// and churning any consumer keyed on them.
+    pub stale_dwell: u32,
     /// Consecutive over-estimate quanta (leaky bucket level) that engage
     /// the emergency throttle — the "configurable violation window".
     pub violation_window: u32,
@@ -109,6 +115,7 @@ impl Default for DegradedConfig {
             stale_after: 4,
             faulted_after: 12,
             recover_after: 8,
+            stale_dwell: 3,
             violation_window: 8,
             safe_ratio: 0.7,
             hold_decay: 0.85,
@@ -138,6 +145,7 @@ impl DegradedConfig {
             "faulted_after below stale_after",
         )?;
         req(self.recover_after >= 1, "recover_after must be at least 1")?;
+        req(self.stale_dwell >= 1, "stale_dwell must be at least 1")?;
         req(
             self.violation_window >= 1,
             "violation_window must be at least 1",
@@ -219,9 +227,10 @@ impl Watchdog {
         self.state = match from {
             HealthState::Healthy if self.bad_streak >= cfg.stale_after => HealthState::Stale,
             HealthState::Stale if self.bad_streak >= cfg.faulted_after => HealthState::Faulted,
-            // One good sample clears suspicion; a declared fault needs a
-            // sustained run of good samples before it is trusted again.
-            HealthState::Stale if !bad => HealthState::Healthy,
+            // Suspicion clears only after a dwell of consecutive good
+            // samples — one good reading amid a flapping signal is not
+            // trust; a declared fault needs an even longer sustained run.
+            HealthState::Stale if self.good_streak >= cfg.stale_dwell => HealthState::Healthy,
             HealthState::Faulted if self.good_streak >= cfg.recover_after => HealthState::Healthy,
             s => s,
         };
@@ -558,11 +567,56 @@ mod tests {
             w.observe(80.0, 1.10, &c);
         }
         assert_eq!(w.state(), HealthState::Stale);
-        // One fresh reading clears suspicion immediately.
+        // Fresh readings clear suspicion only after the dwell window — a
+        // single good sample is not trust.
+        for i in 0..(c.stale_dwell - 1) {
+            assert_eq!(w.observe(81.0 + f64::from(i), 1.10, &c), None);
+            assert_eq!(w.state(), HealthState::Stale);
+        }
         assert_eq!(
-            w.observe(81.0, 1.10, &c),
+            w.observe(90.0, 1.10, &c),
             Some((HealthState::Stale, HealthState::Healthy))
         );
+    }
+
+    #[test]
+    fn flapping_sensor_at_the_stale_boundary_does_not_retrip() {
+        // Regression: a sensor alternating between "frozen long enough to
+        // go stale" and one fresh sample used to bounce Stale -> Healthy ->
+        // Stale forever, emitting a transition pair per cycle. With the
+        // dwell window it trips once and then *stays* stale until the
+        // signal is good for `stale_dwell` consecutive quanta.
+        let c = cfg();
+        let mut w = SensorWatchdog::new();
+        let mut reading = 80.0;
+        w.observe(reading, 0.95, &c);
+        let mut transitions = Vec::new();
+        for _ in 0..10 {
+            // The reading freezes while the rail walks away — a bad streak
+            // exactly at the stale boundary...
+            for _ in 0..c.stale_after {
+                if let Some(tr) = w.observe(reading, 1.10, &c) {
+                    transitions.push(tr);
+                }
+            }
+            // ...then a single fresh sample back at the anchor rail.
+            reading += 1.0;
+            if let Some(tr) = w.observe(reading, 0.95, &c) {
+                transitions.push(tr);
+            }
+        }
+        assert_eq!(
+            transitions,
+            vec![(HealthState::Healthy, HealthState::Stale)],
+            "flapping must trip exactly once, not once per cycle"
+        );
+        assert_eq!(w.state(), HealthState::Stale);
+        // A genuinely recovered signal still clears after the dwell.
+        for _ in 0..c.stale_dwell {
+            reading += 1.0;
+            w.observe(reading, 0.95, &c);
+        }
+        assert_eq!(w.state(), HealthState::Healthy);
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod system;
 pub mod tuning;
 
 pub use analyze::run_analyzed;
-pub use cache::{run_all_cached, CacheStats, RunCache};
+pub use cache::{run_all_cached, CacheStats, Lookup, RunCache};
 pub use controller::domain::DomainController;
 pub use controller::global::GlobalController;
 pub use controller::local::{

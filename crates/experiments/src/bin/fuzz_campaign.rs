@@ -1,0 +1,59 @@
+//! Long-form fuzz campaign: sweep the determinism contract and the
+//! metamorphic paper invariants across many seeded configurations.
+//!
+//! Environment knobs (same convention as the other experiment bins):
+//! `HCAPP_FUZZ_SEED` (default 0xC0FFEE), `HCAPP_FUZZ_CASES` (default 256),
+//! `HCAPP_OUT_DIR` (default `results`). The byte-stable campaign log is
+//! written to `<out>/fuzz/campaign-<seed>.log`; any shrunk repro is
+//! written next to it as an `hcapp.fuzzcase` that `hcapp fuzz --replay`
+//! reruns exactly. Exits nonzero on any caught divergence.
+
+use std::path::PathBuf;
+
+use hcapp_fuzz::{run_campaign, CampaignConfig, Plant};
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| {
+            let v = v.trim();
+            v.strip_prefix("0x")
+                .map(|h| u64::from_str_radix(h, 16).ok())
+                .unwrap_or_else(|| v.parse().ok())
+        })
+        .unwrap_or(default)
+}
+
+fn main() {
+    let seed = env_u64("HCAPP_FUZZ_SEED", 0xC0FFEE);
+    let cases = env_u64("HCAPP_FUZZ_CASES", 256).max(1);
+    let out_dir = PathBuf::from(
+        std::env::var("HCAPP_OUT_DIR").unwrap_or_else(|_| "results".to_string()),
+    )
+    .join("fuzz");
+    std::fs::create_dir_all(&out_dir).expect("create results dir");
+
+    let report = run_campaign(&CampaignConfig {
+        seed,
+        cases,
+        plant: Plant::None,
+    });
+    let log_path = out_dir.join(format!("campaign-{seed:#x}.log"));
+    std::fs::write(&log_path, &report.log).expect("write campaign log");
+    print!("{}", report.log);
+    println!("log: {}", log_path.display());
+
+    if !report.clean() {
+        for (i, f) in report.findings.iter().enumerate() {
+            let path = out_dir.join(format!("finding-{seed:#x}-{i:03}.fuzzcase"));
+            std::fs::write(&path, f.shrunk.encode()).expect("write fuzzcase");
+            println!("repro {i}: {}", path.display());
+        }
+        eprintln!(
+            "fuzz campaign FAILED: {} of {} cases diverged",
+            report.findings.len(),
+            report.cases
+        );
+        std::process::exit(1);
+    }
+}

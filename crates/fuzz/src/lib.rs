@@ -1,0 +1,51 @@
+//! Deterministic config-space fuzzer for the HCAPP executor fleet.
+//!
+//! The repo's determinism contract says five executors — serial, pooled,
+//! batched, adversarially permuted, and killed-and-resumed — must agree
+//! *byte for byte* on every run, and the cached replay of any outcome must
+//! be bit-identical to the run that produced it. Hand-picked tests pin
+//! that contract at a handful of points; this crate sweeps it across the
+//! config × scheme × fault × retarget space:
+//!
+//! * [`gen`] — a seeded, fully deterministic case generator
+//!   (splitmix64-keyed, no wall clock, no OS RNG) with boundary-value
+//!   bias: retargets at `t = 0` and at the run's end, single-quantum
+//!   batches, one-worker pools, kill points at the first and last
+//!   checkpointable quantum.
+//! * [`oracle`] — the differential oracle (six legs: serial reference,
+//!   pooled, permuted, batched, kill-and-resume, cache-roundtrip; each
+//!   diffing `encode_outcome` bytes, the JSONL trace, and the replayed
+//!   `hcapp.report`) plus the metamorphic oracle checking three
+//!   paper-derived invariants: PPE invariance under power-of-two unit
+//!   scaling (Eq. 1–2 normalize by the provisioned power), last-write-wins
+//!   priority-permutation symmetry of the domain controller (§5.3's
+//!   register interface), and retarget time-shift equivariance (§5.2's
+//!   dynamic limit applies at the next quantum boundary, so any shift
+//!   within a boundary bucket is invisible).
+//! * [`shrink`] — greedy failing-case reduction (retarget-list, duration,
+//!   fault-plan, domain-count, executor-knob passes) to a minimal repro.
+//! * [`case`] — the committed `hcapp.fuzzcase` text format that
+//!   `hcapp fuzz --replay` reruns exactly, including any planted defect.
+//! * [`campaign`] — the batch driver behind `hcapp fuzz --smoke` and the
+//!   soak script, with a byte-stable log (two invocations with the same
+//!   seed produce identical output).
+//!
+//! Everything here is observational: the fuzzer builds ordinary
+//! `(SystemConfig, RunConfig)` pairs and drives the public executors, so a
+//! reported divergence is always reproducible with the CLI alone.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod campaign;
+pub mod case;
+pub mod gen;
+pub mod oracle;
+pub mod rng;
+pub mod shrink;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport};
+pub use case::{FuzzCase, Plant};
+pub use gen::generate;
+pub use oracle::{check_case, Failure};
+pub use shrink::shrink;

@@ -1,0 +1,6 @@
+//! The fuzzer holds itself to the workspace lint bar it checks others by.
+
+#[test]
+fn simlint_workspace_clean() {
+    simlint::assert_workspace_clean(env!("CARGO_MANIFEST_DIR"));
+}

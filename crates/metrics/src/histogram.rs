@@ -215,11 +215,13 @@ impl PowerHistogram {
 /// back as `NaN` — the result is always `qs.len()` long, which keeps
 /// positional consumers (the CLI's `hist` table, the analyzer's
 /// `p50`/`p90` metrics) safe to index and lets "no data" flow through
-/// report serialization as JSON `null` instead of panicking. An
-/// out-of-range quantile is a caller bug: debug builds (and therefore the
-/// test suite) fail loudly on one, while release builds keep the
-/// historical clamp so a sweep is never thrown away over a malformed
-/// report request.
+/// report serialization as JSON `null` instead of panicking. The same
+/// policy covers a malformed quantile: any `q` outside `[0, 1]` (NaN
+/// included) yields `NaN` for that entry — in **every** build profile.
+/// The earlier `debug_assert` + release-only clamp pair made debug and
+/// release disagree, and a NaN quantile slipped past the clamp into a
+/// garbage index; a per-entry error value keeps the whole result usable
+/// while making the bad request visible instead of silently remapping it.
 pub fn percentiles(values: &[f64], qs: &[f64]) -> Vec<f64> {
     if values.is_empty() {
         return vec![f64::NAN; qs.len()];
@@ -228,8 +230,9 @@ pub fn percentiles(values: &[f64], qs: &[f64]) -> Vec<f64> {
     sorted.sort_by(|a, b| a.total_cmp(b));
     qs.iter()
         .map(|&q| {
-            debug_assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
-            let q = q.clamp(0.0, 1.0);
+            if !(0.0..=1.0).contains(&q) {
+                return f64::NAN;
+            }
             let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
             sorted[idx]
         })
@@ -431,25 +434,19 @@ mod tests {
     }
 
     #[test]
-    #[cfg(debug_assertions)]
-    #[should_panic(expected = "outside [0, 1]")]
-    fn out_of_range_quantile_fails_loudly_in_debug() {
-        let _ = percentiles(&[1.0, 2.0], &[1.5]);
-    }
-
-    #[test]
-    #[cfg(debug_assertions)]
-    #[should_panic(expected = "outside [0, 1]")]
-    fn negative_quantile_fails_loudly_in_debug() {
-        let _ = percentiles(&[1.0, 2.0], &[-0.01]);
-    }
-
-    #[test]
-    #[cfg(not(debug_assertions))]
-    fn out_of_range_quantile_clamps_in_release() {
-        // The historical release-mode behavior, pinned: clamp instead of
-        // panicking so a long sweep is never lost to a bad report request.
-        let ps = percentiles(&[1.0, 2.0, 3.0], &[-0.5, 1.5]);
-        assert_eq!(ps, vec![1.0, 3.0]);
+    fn out_of_range_quantile_yields_nan_in_every_profile() {
+        // Regression: the old debug_assert + release clamp pair made debug
+        // and release disagree, and a NaN quantile slipped past the clamp
+        // into a garbage index. Pinned uniform behavior, profile-free: a
+        // bad entry is NaN, its well-formed neighbors still answer, and
+        // nothing panics.
+        let ps = percentiles(&[1.0, 2.0, 3.0], &[-0.5, 0.5, 1.5, f64::NAN]);
+        assert_eq!(ps.len(), 4);
+        assert!(ps[0].is_nan(), "{ps:?}");
+        assert_eq!(ps[1], 2.0);
+        assert!(ps[2].is_nan(), "{ps:?}");
+        assert!(ps[3].is_nan(), "{ps:?}");
+        // The boundaries themselves are legal, not errors.
+        assert_eq!(percentiles(&[1.0, 2.0, 3.0], &[0.0, 1.0]), vec![1.0, 3.0]);
     }
 }

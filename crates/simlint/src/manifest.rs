@@ -95,6 +95,10 @@ pub fn level_of(package: &str) -> Option<u8> {
         // below the controller.
         "hcapp-resume" => 35,
         "hcapp" => 40,
+        // Correctness tooling: the fuzzer drives the controller's executors
+        // against each other, so it consumes `hcapp` (and the observability
+        // stack) but is itself hosted by cli/experiments.
+        "hcapp-fuzz" => 45,
         "hcapp-cli" | "hcapp-experiments" => 50,
         "hcapp-bench" | "hcapp-repro" => 60,
         _ => return None,

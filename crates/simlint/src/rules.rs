@@ -16,6 +16,7 @@ pub const LIB_CRATES: &[&str] = &[
     "power-model",
     "pdn",
     "cpu-sim",
+    "fuzz",
     "gpu-sim",
     "accel-sim",
     "faults",

@@ -76,4 +76,29 @@ cargo run --release -p hcapp-cli -q -- soak \
     --dir results/soak_smoke > /dev/null
 rmdir results/soak_smoke 2>/dev/null || true
 
+echo "==> hcapp fuzz smoke (differential + metamorphic oracles, byte-stable)"
+# A fixed-seed bounded corpus through all six differential legs plus the
+# metamorphic invariants. Run twice: the campaign log itself must be
+# byte-identical across invocations, so the gate covers determinism of the
+# fuzzer as well as correctness of the executors.
+fuzz_a=results/fuzz_smoke_a.log
+fuzz_b=results/fuzz_smoke_b.log
+rm -f "$fuzz_a" "$fuzz_b"
+cargo run --release -p hcapp-cli -q -- fuzz --smoke > "$fuzz_a"
+cargo run --release -p hcapp-cli -q -- fuzz --smoke > "$fuzz_b"
+cmp "$fuzz_a" "$fuzz_b" \
+    || { echo "fuzz smoke log is not byte-stable across invocations" >&2; exit 1; }
+rm -f "$fuzz_a" "$fuzz_b"
+# The self-test: plant a known executor divergence, require the oracle to
+# catch it, shrink it, and reproduce it from the emitted hcapp.fuzzcase.
+fuzz_case=results/fuzz_smoke_planted.fuzzcase
+rm -f "$fuzz_case"
+cargo run --release -p hcapp-cli -q -- fuzz \
+    --plant pooled --out "$fuzz_case" > /dev/null
+if cargo run --release -p hcapp-cli -q -- fuzz --replay "$fuzz_case" > /dev/null 2>&1; then
+    echo "planted fuzzcase replay did not reproduce the failure" >&2
+    exit 1
+fi
+rm -f "$fuzz_case"
+
 echo "==> all checks passed"
