@@ -21,6 +21,12 @@ pub struct ShaAccelerator {
     lane_pw: LookupTable,
     workload: ShaWorkload,
     last_power: Watt,
+    /// One-entry operating-point memo for the kernel path: clamped
+    /// voltage bit pattern → (busy power W, throughput Gbps). A pure-
+    /// function cache over the two LUTs — derived state, deliberately
+    /// excluded from the [`Snapshot`](hcapp_sim_core::state::Snapshot)
+    /// sections.
+    memo: Option<(u64, f64, f64)>,
 }
 
 impl ShaAccelerator {
@@ -41,6 +47,7 @@ impl ShaAccelerator {
             cfg,
             workload,
             last_power: Watt::ZERO,
+            memo: None,
         }
     }
 
@@ -67,6 +74,42 @@ impl ShaAccelerator {
             busy_power * busy_frac + busy_power * self.cfg.idle_fraction * (1.0 - busy_frac),
         );
         self.last_power
+    }
+
+    /// Advance one tick through a borrowed [`StepFrame`] — the
+    /// quantum-stepper kernel's entry point (`frame.voltages[0]` is the
+    /// lane voltage; the accelerator is a single controllable unit).
+    ///
+    /// Bit-identical to [`ShaAccelerator::step`] (pinned by
+    /// `step_into_matches_step` below and the golden-digest corpus): both
+    /// LUT evaluations are pure in the clamped voltage, so the one-entry
+    /// memo only skips recomputation, never changes a value.
+    ///
+    /// [`StepFrame`]: hcapp_sim_core::frame::StepFrame
+    pub fn step_into(&mut self, frame: &mut hcapp_sim_core::frame::StepFrame<'_>) {
+        let v = frame.voltages[0].clamp(self.cfg.v_min, self.cfg.v_max);
+        let bits = v.value().to_bits();
+        let (busy_power, tp_gbps) = match self.memo {
+            Some((b, bp, tp)) if b == bits => (bp, tp),
+            _ => {
+                let bp = self.lane_pw.eval(v.value()) * 1e-3 * self.cfg.lanes as f64;
+                let tp = self.lane_tp.eval(v.value()) * self.cfg.lanes as f64;
+                self.memo = Some((bits, bp, tp));
+                (bp, tp)
+            }
+        };
+        if self.workload.is_idle() {
+            self.last_power = Watt::new(busy_power * self.cfg.idle_fraction);
+            *frame.power_acc += self.last_power.value();
+            return;
+        }
+        let gbits = tp_gbps * frame.dt.as_secs_f64();
+        let drained = self.workload.drain(gbits);
+        let busy_frac = if gbits > 0.0 { drained / gbits } else { 0.0 };
+        self.last_power = Watt::new(
+            busy_power * busy_frac + busy_power * self.cfg.idle_fraction * (1.0 - busy_frac),
+        );
+        *frame.power_acc += self.last_power.value();
     }
 
     /// Power drawn last tick.
@@ -106,6 +149,27 @@ mod tests {
 
     fn accel() -> ShaAccelerator {
         ShaAccelerator::new(ShaConfig::default())
+    }
+
+    #[test]
+    fn step_into_matches_step() {
+        // Kernel entry point vs reference path across a voltage sweep that
+        // both repeats values (memo hits) and changes them (memo misses).
+        use hcapp_sim_core::frame::StepFrame;
+        let mut reference = accel();
+        let mut kernel = accel();
+        let dt = SimDuration::from_micros(1);
+        for t in 0..10_000u64 {
+            let v = [Volt::new(0.4 + 0.5 * ((t / 13 % 10) as f64 / 10.0))];
+            let p_ref = reference.step(v[0], dt).value();
+            let mut acc = 0.0;
+            kernel.step_into(&mut StepFrame::new(&v, dt, &mut acc));
+            assert_eq!(p_ref.to_bits(), acc.to_bits(), "tick {t}: power diverged");
+        }
+        assert_eq!(
+            reference.work_done().to_bits(),
+            kernel.work_done().to_bits()
+        );
     }
 
     #[test]

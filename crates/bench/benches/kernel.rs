@@ -1,0 +1,32 @@
+//! The quantum-stepper kernel vs the legacy stepper path across package
+//! sizes — the Criterion companion to `hcapp bench` (which is hermetic
+//! and CI-gated; this harness gives confidence intervals where a
+//! registry is available). Both paths are byte-identical by contract
+//! (DESIGN.md §6j), so every sample here is also an implicit
+//! equivalence run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hcapp::StepperPath;
+use hcapp_bench::stepper_simulation;
+
+fn bench_stepper_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stepper_kernel_1ms");
+    g.sample_size(10);
+    for n_each in [1usize, 2, 4] {
+        let domains = n_each * 3;
+        g.bench_function(format!("kernel_{domains}domains"), |b| {
+            b.iter(|| {
+                black_box(stepper_simulation(n_each, 1, StepperPath::Kernel).run())
+            })
+        });
+        g.bench_function(format!("legacy_{domains}domains"), |b| {
+            b.iter(|| {
+                black_box(stepper_simulation(n_each, 1, StepperPath::Legacy).run())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_stepper_paths);
+criterion_main!(benches);

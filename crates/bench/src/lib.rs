@@ -10,6 +10,9 @@
 //!   kernel structures (windows, cursors).
 //! * `system` — whole-package simulation throughput per scheme.
 //! * `scaling` — serial vs chiplet-parallel executor across package sizes.
+//! * `kernel` — the quantum-stepper kernel vs the legacy stepper path
+//!   across package sizes (the statistical companion to the hermetic
+//!   `hcapp bench` sweep that CI gates on).
 //! * `figures` — an abbreviated (2 ms) run of every table/figure harness,
 //!   so `cargo bench` exercises each reproduction target end to end.
 
@@ -36,7 +39,8 @@ pub fn bench_simulation(scheme: ControlScheme, millis: u64) -> Simulation {
 
 /// A scaled-system simulation for the scaling benches.
 pub fn scaled_simulation(n_each: usize, millis: u64) -> Simulation {
-    let sys = SystemConfig::scaled_system(combo_suite()[3], n_each, n_each, n_each, 7);
+    let sys = SystemConfig::scaled_system(combo_suite()[3], n_each, n_each, n_each, 7)
+        .expect("bench scales are nonzero");
     let limit = PowerLimit::package_pin();
     let run = RunConfig::new(
         SimDuration::from_millis(millis),
@@ -46,12 +50,34 @@ pub fn scaled_simulation(n_each: usize, millis: u64) -> Simulation {
     Simulation::new(sys, run)
 }
 
+/// Like [`scaled_simulation`] but on an explicit stepper path, for the
+/// kernel-vs-legacy comparison (`StepperPath::Legacy` reproduces the
+/// pre-kernel per-dispatch allocation pattern and unmemoized chiplet
+/// stepping; the serial executor honours it).
+pub fn stepper_simulation(
+    n_each: usize,
+    millis: u64,
+    stepper: hcapp::StepperPath,
+) -> Simulation {
+    let sys = SystemConfig::scaled_system(combo_suite()[3], n_each, n_each, n_each, 7)
+        .expect("bench scales are nonzero");
+    let limit = PowerLimit::package_pin();
+    let run = RunConfig::new(
+        SimDuration::from_millis(millis),
+        ControlScheme::Hcapp,
+        limit.guardbanded_target(),
+    )
+    .with_stepper(stepper);
+    Simulation::new(sys, run)
+}
+
 /// A scaled fixed-baseline simulation with an explicit executor batch
 /// bound, for the per-quantum (`batch_quanta = 1`) vs batched dispatch
 /// comparison. The fixed scheme has no per-quantum feedback, so this is
 /// the path where multi-quantum batching actually engages.
 pub fn scaled_fixed_simulation(n_each: usize, millis: u64, batch_quanta: usize) -> Simulation {
-    let sys = SystemConfig::scaled_system(combo_suite()[3], n_each, n_each, n_each, 7);
+    let sys = SystemConfig::scaled_system(combo_suite()[3], n_each, n_each, n_each, 7)
+        .expect("bench scales are nonzero");
     let limit = PowerLimit::package_pin();
     let run = RunConfig::new(
         SimDuration::from_millis(millis),

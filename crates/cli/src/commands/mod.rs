@@ -1,6 +1,7 @@
 //! CLI subcommands.
 
 pub mod analyze;
+pub mod bench;
 pub mod compare;
 pub mod faults;
 pub mod fuzz;
@@ -83,6 +84,13 @@ COMMANDS:
             --keep                retain hcapp.ckpt / hcapp.trace artifacts
             --worker [--stop-at Q]  single resumable link (scripts/soak.sh
                                   SIGKILLs these to soak real process death)
+    bench   quantum-stepper scaling bench: quanta/sec per package size under
+            the serial, pooled and batched executors, plus the legacy-stepper
+            baseline at 3 domains (schema hcapp.bench-kernel)
+            --points LIST (3,16,64,256)   domain counts to sweep
+            --ms N (10)      simulated milliseconds per run
+            --workers N (4)  --trials N (3)   pool size / best-of-N
+            --out PATH (results/BENCH_kernel.json)
     fuzz    deterministic config-space fuzzer: differential legs (serial vs
             pooled vs permuted vs batched vs kill-and-resume vs cache) plus
             metamorphic paper invariants, with failing-case shrinking

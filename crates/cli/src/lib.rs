@@ -39,6 +39,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "tune" => commands::tune::execute(&args).map_err(|e| e.to_string()),
         "trace" => commands::trace::execute(&args).map_err(|e| e.to_string()),
         "analyze" => commands::analyze::execute(&args).map_err(|e| e.to_string()),
+        "bench" => commands::bench::execute(&args).map_err(|e| e.to_string()),
         "record" => commands::record::execute(&args).map_err(|e| e.to_string()),
         "faults" => commands::faults::execute(&args).map_err(|e| e.to_string()),
         "sanitize" => commands::sanitize::execute(&args).map_err(|e| e.to_string()),

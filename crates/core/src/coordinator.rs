@@ -25,7 +25,8 @@ use hcapp_sim_core::window::WindowedMaxTracker;
 use hcapp_telemetry::{Profiler, SharedTracer, TraceEvent};
 
 use crate::controller::global::GlobalController;
-use crate::health::{DegradedConfig, DomainHealth, EmergencyThrottle, HealthState, SensorWatchdog};
+use crate::health::{DegradedConfig, EmergencyThrottle, HealthState, SensorWatchdog};
+use crate::kernel::{BatchArena, DomainLanes, StepperPath};
 use crate::outcome::{ResilienceCounters, RunOutcome};
 use crate::scheme::ControlScheme;
 use crate::software::{
@@ -135,6 +136,12 @@ pub struct RunConfig {
     /// determinism tests). `1` forces per-quantum dispatch, which the
     /// scaling bench uses as its comparison point.
     pub batch_quanta: usize,
+    /// Which tick loop the serial executor drives (default
+    /// [`StepperPath::Kernel`]). [`StepperPath::Legacy`] selects the
+    /// pre-kernel reference path — byte-identical results, pre-kernel
+    /// cost model — and is honored by the serial executor only; the
+    /// pooled executor always runs the kernel path.
+    pub stepper: StepperPath,
 }
 
 impl RunConfig {
@@ -160,7 +167,16 @@ impl RunConfig {
             faults: None,
             degraded: DegradedConfig::default(),
             batch_quanta: BATCH_QUANTA,
+            stepper: StepperPath::default(),
         }
+    }
+
+    /// Select the serial executor's stepper path (builder style). The
+    /// legacy path reproduces the pre-kernel per-tick cost model with
+    /// byte-identical results — the scaling bench's in-run baseline.
+    pub fn with_stepper(mut self, stepper: StepperPath) -> Self {
+        self.stepper = stepper;
+        self
     }
 
     /// Override the executor batch bound (builder style). `1` forces
@@ -350,6 +366,11 @@ pub(crate) fn decode_domain_state(d: &mut Domain, payload: &str) -> Option<()> {
 /// In-process executor over the owned domain list.
 pub(crate) struct SerialExecutor {
     pub(crate) domains: Vec<Domain>,
+    /// Drive the pre-kernel reference path ([`StepperPath::Legacy`]):
+    /// per-quantum dispatch with the original per-dispatch allocation
+    /// pattern and unmemoized chiplet stepping. Byte-identical results;
+    /// used by the scaling bench as its in-run baseline.
+    pub(crate) legacy: bool,
 }
 
 impl DomainExecutor for SerialExecutor {
@@ -376,6 +397,38 @@ impl DomainExecutor for SerialExecutor {
         heartbeats: &mut [bool],
         mut events: Option<&mut Vec<TraceEvent>>,
     ) {
+        if self.legacy {
+            // The pre-kernel reference shim: per-quantum dispatch with the
+            // allocation pattern the executors had before the arena
+            // refactor — fresh per-domain power buffers and cloned command
+            // slices every dispatch (mirroring the pooled worker's old
+            // inner loop) — and `run_quantum_legacy`'s unmemoized chiplet
+            // stepping. Merging each domain's zero-seeded buffer into the
+            // shared accumulator in domain order reproduces the kernel
+            // path's per-slot addition order, so results stay
+            // byte-identical (`0.0 + p` is bitwise `p`).
+            for q in quanta {
+                let v = v_sched[q.offset..q.offset + q.n].to_vec();
+                let cmds = ctls.to_vec();
+                for (i, d) in self.domains.iter_mut().enumerate() {
+                    let mut powers = vec![0.0f64; q.n];
+                    heartbeats[i] = d.run_quantum_legacy(
+                        q.t0,
+                        &v,
+                        q.update_local,
+                        &cmds[i],
+                        tick,
+                        &mut powers,
+                        events.as_deref_mut(),
+                    );
+                    for (slot, p) in power_acc[q.offset..q.offset + q.n].iter_mut().zip(&powers)
+                    {
+                        *slot += p;
+                    }
+                }
+            }
+            return;
+        }
         // Quantum-major, domain-minor: the same tick order the original
         // per-quantum loop executed, which appends events in domain order
         // within each quantum.
@@ -471,7 +524,8 @@ impl Simulation {
             sensor,
             policy,
         } = self;
-        let executor = SerialExecutor { domains };
+        let legacy = run.stepper == StepperPath::Legacy;
+        let executor = SerialExecutor { domains, legacy };
         run_loop(sys, run, global_ctl, vr, sensor, policy, executor)
     }
 }
@@ -539,20 +593,15 @@ pub(crate) struct LoopDriver<E: DomainExecutor> {
     trace_count: usize,
     energy: f64,
     voltage_sum: f64,
-    work_snapshot: Vec<f64>,
-    progress: Vec<DomainProgress>,
-    priorities: Vec<f64>,
+    /// Per-domain state lanes (the struct-of-arrays half of the kernel
+    /// layout — see [`crate::kernel`]).
+    lanes: DomainLanes,
     last_policy_tick: usize,
-    ctls: Vec<QuantumCtl>,
-    heartbeats: Vec<bool>,
-    dom_health: Vec<DomainHealth>,
     sensor_dog: SensorWatchdog,
     emergency: EmergencyThrottle,
     held_reading: Watt,
     sensor_fault_active: bool,
     slew_fault_active: bool,
-    link_fault_active: Vec<bool>,
-    ctl_fault_active: Vec<bool>,
     resilience: ResilienceCounters,
     ev_buf: Vec<TraceEvent>,
     done: usize,
@@ -560,10 +609,9 @@ pub(crate) struct LoopDriver<E: DomainExecutor> {
     peak_hold: f64,
     retarget_cursor: usize,
     prev_t0: Option<SimTime>,
-    // Batch-scoped scratch buffers (never live across a boundary).
-    v_sched: Vec<f64>,
-    power_acc: Vec<f64>,
-    batch: Vec<QuantumSpec>,
+    /// Batch-scoped scratch buffers, allocated once and reused per batch
+    /// (never live across a boundary; see [`crate::kernel`]).
+    arena: BatchArena,
 }
 
 impl<E: DomainExecutor> LoopDriver<E> {
@@ -616,7 +664,6 @@ impl<E: DomainExecutor> LoopDriver<E> {
                 relative_rate: 1.0,
             })
             .collect();
-        let priorities: Vec<f64> = vec![1.0; kinds.len()];
 
         // Fault injection + graceful degradation. Without a plan the
         // injector is never built and every guard below is a single branch
@@ -629,9 +676,7 @@ impl<E: DomainExecutor> LoopDriver<E> {
             .as_ref()
             .map(|p| FaultInjector::new(p.clone(), period));
         let degraded = run.degraded;
-        let ctls: Vec<QuantumCtl> = vec![QuantumCtl::clean(1.0); n_domains];
-        let heartbeats = vec![true; n_domains];
-        let dom_health: Vec<DomainHealth> = vec![DomainHealth::new(); n_domains];
+        let lanes = DomainLanes::new(work_snapshot, progress);
 
         // Telemetry: resolve the hooks once per run. Without a tracer (or
         // with a disabled one, e.g. NullTracer) `tracing` stays false and no
@@ -675,9 +720,7 @@ impl<E: DomainExecutor> LoopDriver<E> {
         } else {
             run.batch_quanta.max(1)
         };
-        let v_sched = vec![0.0f64; quantum_ticks * max_batch];
-        let power_acc = vec![0.0f64; quantum_ticks * max_batch];
-        let batch: Vec<QuantumSpec> = Vec::with_capacity(max_batch);
+        let arena = BatchArena::new(quantum_ticks, max_batch);
 
         LoopDriver {
             sys,
@@ -714,20 +757,13 @@ impl<E: DomainExecutor> LoopDriver<E> {
             trace_count: 0,
             energy: 0.0,
             voltage_sum: 0.0,
-            work_snapshot,
-            progress,
-            priorities,
+            lanes,
             last_policy_tick: 0,
-            ctls,
-            heartbeats,
-            dom_health,
             sensor_dog: SensorWatchdog::new(),
             emergency: EmergencyThrottle::new(),
             held_reading: Watt::ZERO,
             sensor_fault_active: false,
             slew_fault_active: false,
-            link_fault_active: vec![false; n_domains],
-            ctl_fault_active: vec![false; n_domains],
             resilience: ResilienceCounters::default(),
             ev_buf,
             done: 0,
@@ -735,9 +771,7 @@ impl<E: DomainExecutor> LoopDriver<E> {
             peak_hold: 0.0,
             retarget_cursor: 0,
             prev_t0: None,
-            v_sched,
-            power_acc,
-            batch,
+            arena,
         }
     }
 
@@ -761,9 +795,9 @@ impl<E: DomainExecutor> LoopDriver<E> {
         // injection, global control, VR scheduling, command assembly) runs
         // once per quantum exactly as before; only the executor dispatch
         // below is amortized across the batch.
-        self.batch.clear();
+        self.arena.batch.clear();
         let mut batch_ticks = 0usize;
-        while self.batch.len() < self.max_batch && self.done + batch_ticks < self.total_ticks {
+        while self.arena.batch.len() < self.max_batch && self.done + batch_ticks < self.total_ticks {
             let n = self.quantum_ticks.min(self.total_ticks - self.done - batch_ticks);
             let t0 = SimTime::from_nanos((self.done + batch_ticks) as u64 * self.tick.as_nanos());
             crate::invariants::check_time_monotonic("run_loop quantum", self.prev_t0, t0);
@@ -825,8 +859,8 @@ impl<E: DomainExecutor> LoopDriver<E> {
                     let elapsed_ticks = (self.done - self.last_policy_tick).max(1);
                     let elapsed_ns = elapsed_ticks as f64 * self.tick.as_nanos() as f64;
                     for (i, kind) in self.kinds.iter().enumerate() {
-                        let delta = work_now[i] - self.work_snapshot[i];
-                        self.progress[i] = DomainProgress {
+                        let delta = work_now[i] - self.lanes.work_snapshot[i];
+                        self.lanes.progress[i] = DomainProgress {
                             kind: *kind,
                             relative_rate: if self.nominal_rates[i] > 0.0 {
                                 delta / (elapsed_ns * self.nominal_rates[i])
@@ -835,8 +869,8 @@ impl<E: DomainExecutor> LoopDriver<E> {
                             },
                         };
                     }
-                    self.work_snapshot = work_now;
-                    self.policy.update(&self.progress, &mut self.priorities);
+                    self.lanes.work_snapshot = work_now;
+                    self.policy.update(&self.lanes.progress, &mut self.lanes.priorities);
                     self.last_policy_tick = self.done;
                 }
                 // Global control action (Eq. 1 + Eq. 2). The controller
@@ -959,15 +993,12 @@ impl<E: DomainExecutor> LoopDriver<E> {
             // this quantum's slice of the batch-wide buffer.
             {
                 let _span = self.profiler.as_deref().map(|p| p.span("vr-schedule"));
-                for (i, v) in self.v_sched[batch_ticks..batch_ticks + n]
-                    .iter_mut()
-                    .enumerate()
-                {
-                    self.vr.step(t0 + self.tick * i as u64, self.tick);
-                    *v = self.vr.output().value();
+                let sched = &mut self.arena.v_sched[batch_ticks..batch_ticks + n];
+                self.vr.schedule_into(t0, self.tick, sched);
+                for &v in sched.iter() {
                     crate::invariants::check_voltage_in_range(
                         "run_loop voltage schedule",
-                        Volt::new(*v),
+                        Volt::new(v),
                         self.v_floor,
                         self.v_ceil,
                     );
@@ -977,8 +1008,8 @@ impl<E: DomainExecutor> LoopDriver<E> {
                 self.ev_buf.push(TraceEvent::VrSlew {
                     t: t0,
                     setpoint: self.vr.target(),
-                    start: Volt::new(self.v_sched[batch_ticks]),
-                    end: Volt::new(self.v_sched[batch_ticks + n - 1]),
+                    start: Volt::new(self.arena.v_sched[batch_ticks]),
+                    end: Volt::new(self.arena.v_sched[batch_ticks + n - 1]),
                 });
             }
 
@@ -993,7 +1024,7 @@ impl<E: DomainExecutor> LoopDriver<E> {
                     let link = inj.link_fault(t0, i);
                     let ctlf = inj.ctl_fault(t0, i);
                     if let Some(f) = link {
-                        if !self.link_fault_active[i] {
+                        if !self.lanes.link_fault_active[i] {
                             self.resilience.faults_injected += 1;
                             if self.tracing {
                                 let (point, magnitude) = match f {
@@ -1011,9 +1042,9 @@ impl<E: DomainExecutor> LoopDriver<E> {
                             }
                         }
                     }
-                    self.link_fault_active[i] = link.is_some();
+                    self.lanes.link_fault_active[i] = link.is_some();
                     if let Some(f) = ctlf {
-                        if !self.ctl_fault_active[i] {
+                        if !self.lanes.ctl_fault_active[i] {
                             self.resilience.faults_injected += 1;
                             if self.tracing {
                                 let point = match f {
@@ -1029,21 +1060,21 @@ impl<E: DomainExecutor> LoopDriver<E> {
                             }
                         }
                     }
-                    self.ctl_fault_active[i] = ctlf.is_some();
-                    self.ctls[i] = QuantumCtl {
-                        priority: self.priorities[i],
-                        throttle: self.dom_health[i].throttle() * em_scale,
+                    self.lanes.ctl_fault_active[i] = ctlf.is_some();
+                    self.lanes.ctls[i] = QuantumCtl {
+                        priority: self.lanes.priorities[i],
+                        throttle: self.lanes.dom_health[i].throttle() * em_scale,
                         link_fault: link,
                         ctl_fault: ctlf,
                     };
                 }
             } else {
-                for (c, &p) in self.ctls.iter_mut().zip(&self.priorities) {
+                for (c, &p) in self.lanes.ctls.iter_mut().zip(&self.lanes.priorities) {
                     c.priority = p;
                 }
             }
 
-            self.batch.push(QuantumSpec {
+            self.arena.batch.push(QuantumSpec {
                 t0,
                 offset: batch_ticks,
                 n,
@@ -1054,16 +1085,16 @@ impl<E: DomainExecutor> LoopDriver<E> {
         }
 
         // Advance every domain through the batch.
-        self.power_acc[..batch_ticks].fill(0.0);
+        self.arena.power_acc[..batch_ticks].fill(0.0);
         {
             let _span = self.profiler.as_deref().map(|p| p.span("domains"));
             self.executor.run_batch(
-                &self.batch,
-                &self.v_sched[..batch_ticks],
-                &self.ctls,
+                &self.arena.batch,
+                &self.arena.v_sched[..batch_ticks],
+                &self.lanes.ctls,
                 self.tick,
-                &mut self.power_acc[..batch_ticks],
-                &mut self.heartbeats,
+                &mut self.arena.power_acc[..batch_ticks],
+                &mut self.lanes.heartbeats,
                 self.tracing.then_some(&mut self.ev_buf),
             );
         }
@@ -1073,12 +1104,13 @@ impl<E: DomainExecutor> LoopDriver<E> {
         // only) quantum is the one the heartbeats belong to.
         if self.injector.is_some() {
             let t_beat = self
+                .arena
                 .batch
                 .last()
                 .expect("invariant: the run loop never dispatches an empty batch")
                 .t0;
-            for (i, dh) in self.dom_health.iter_mut().enumerate() {
-                if let Some((from, to)) = dh.observe(self.heartbeats[i], &self.degraded) {
+            for (i, dh) in self.lanes.dom_health.iter_mut().enumerate() {
+                if let Some((from, to)) = dh.observe(self.lanes.heartbeats[i], &self.degraded) {
                     self.resilience.health_transitions += 1;
                     if self.tracing {
                         self.ev_buf.push(TraceEvent::HealthTransition {
@@ -1092,7 +1124,7 @@ impl<E: DomainExecutor> LoopDriver<E> {
                 }
             }
         }
-        for &p in &self.power_acc[..batch_ticks] {
+        for &p in &self.arena.power_acc[..batch_ticks] {
             crate::invariants::check_power_sane("run_loop package power", Watt::new(p));
         }
         // Flush the quantum's events with a single lock acquisition. The
@@ -1109,7 +1141,7 @@ impl<E: DomainExecutor> LoopDriver<E> {
         // Aggregate package-level signals, tick-ordered across the batch.
         let _agg_span = self.profiler.as_deref().map(|p| p.span("aggregate"));
         for i in 0..batch_ticks {
-            let p = self.power_acc[i];
+            let p = self.arena.power_acc[i];
             let seen = self.sensor.sample(Watt::new(p)).value();
             if seen > self.peak_hold {
                 self.peak_hold = seen;
@@ -1118,10 +1150,10 @@ impl<E: DomainExecutor> LoopDriver<E> {
                 tr.push(p);
             }
             self.energy += p * self.tick_s;
-            self.voltage_sum += self.v_sched[i];
+            self.voltage_sum += self.arena.v_sched[i];
             if self.trace.is_some() || self.voltage_trace.is_some() {
                 self.trace_sum += p;
-                self.vtrace_sum += self.v_sched[i];
+                self.vtrace_sum += self.arena.v_sched[i];
                 self.trace_count += 1;
                 if self.trace_count == self.trace_ticks {
                     if let Some(series) = self.trace.as_mut() {
@@ -1252,12 +1284,12 @@ impl<E: DomainExecutor> LoopDriver<E> {
         if let Some(series) = self.voltage_trace.as_ref() {
             series.save_state(w);
         }
-        w.f64_slice("loop.work_snapshot", &self.work_snapshot);
-        let rates: Vec<f64> = self.progress.iter().map(|p| p.relative_rate).collect();
+        w.f64_slice("loop.work_snapshot", &self.lanes.work_snapshot);
+        let rates: Vec<f64> = self.lanes.progress.iter().map(|p| p.relative_rate).collect();
         w.f64_slice("loop.progress", &rates);
-        w.f64_slice("loop.priorities", &self.priorities);
+        w.f64_slice("loop.priorities", &self.lanes.priorities);
         w.usize("loop.last_policy_tick", self.last_policy_tick);
-        for dh in &self.dom_health {
+        for dh in &self.lanes.dom_health {
             dh.save_state(w);
         }
         self.sensor_dog.save_state(w);
@@ -1265,8 +1297,8 @@ impl<E: DomainExecutor> LoopDriver<E> {
         w.f64("loop.held_reading", self.held_reading.value());
         w.bool("loop.sensor_fault_active", self.sensor_fault_active);
         w.bool("loop.slew_fault_active", self.slew_fault_active);
-        w.u64_slice("loop.link_fault_active", &bools_to_u64(&self.link_fault_active));
-        w.u64_slice("loop.ctl_fault_active", &bools_to_u64(&self.ctl_fault_active));
+        w.u64_slice("loop.link_fault_active", &bools_to_u64(&self.lanes.link_fault_active));
+        w.u64_slice("loop.ctl_fault_active", &bools_to_u64(&self.lanes.ctl_fault_active));
         w.u64("loop.res.faults_injected", self.resilience.faults_injected);
         w.u64("loop.res.health_transitions", self.resilience.health_transitions);
         w.u64(
@@ -1320,21 +1352,21 @@ impl<E: DomainExecutor> LoopDriver<E> {
         if work_snapshot.len() != self.n_domains {
             return None;
         }
-        self.work_snapshot = work_snapshot;
+        self.lanes.work_snapshot = work_snapshot;
         let rates = r.f64_vec("loop.progress")?;
         if rates.len() != self.n_domains {
             return None;
         }
-        for (p, rate) in self.progress.iter_mut().zip(rates) {
+        for (p, rate) in self.lanes.progress.iter_mut().zip(rates) {
             p.relative_rate = rate;
         }
         let priorities = r.f64_vec("loop.priorities")?;
         if priorities.len() != self.n_domains {
             return None;
         }
-        self.priorities = priorities;
+        self.lanes.priorities = priorities;
         self.last_policy_tick = r.usize("loop.last_policy_tick")?;
-        for dh in &mut self.dom_health {
+        for dh in &mut self.lanes.dom_health {
             dh.load_state(r)?;
         }
         self.sensor_dog.load_state(r)?;
@@ -1342,8 +1374,8 @@ impl<E: DomainExecutor> LoopDriver<E> {
         self.held_reading = Watt::new(r.f64("loop.held_reading")?);
         self.sensor_fault_active = r.bool("loop.sensor_fault_active")?;
         self.slew_fault_active = r.bool("loop.slew_fault_active")?;
-        self.link_fault_active = u64_to_bools(&r.u64_vec("loop.link_fault_active")?, self.n_domains)?;
-        self.ctl_fault_active = u64_to_bools(&r.u64_vec("loop.ctl_fault_active")?, self.n_domains)?;
+        self.lanes.link_fault_active = u64_to_bools(&r.u64_vec("loop.link_fault_active")?, self.n_domains)?;
+        self.lanes.ctl_fault_active = u64_to_bools(&r.u64_vec("loop.ctl_fault_active")?, self.n_domains)?;
         self.resilience.faults_injected = r.u64("loop.res.faults_injected")?;
         self.resilience.health_transitions = r.u64("loop.res.health_transitions")?;
         self.resilience.emergency_engagements = r.u64("loop.res.emergency_engagements")?;

@@ -44,6 +44,7 @@ pub mod controller;
 pub mod coordinator;
 pub mod health;
 pub mod invariants;
+pub mod kernel;
 pub mod limits;
 pub mod outcome;
 pub mod parallel;
@@ -53,6 +54,8 @@ pub mod scheme;
 pub mod simsan;
 pub mod software;
 pub mod system;
+#[cfg(any(test, feature = "testutil"))]
+pub mod testutil;
 pub mod tuning;
 
 pub use analyze::run_analyzed;
@@ -66,6 +69,7 @@ pub use controller::local::{
 pub use controller::thermal_guard::{ThermalConfig, ThermalGuard};
 pub use coordinator::{QuantumCtl, RunConfig, Simulation};
 pub use health::{DegradedConfig, HealthState};
+pub use kernel::StepperPath;
 pub use limits::PowerLimit;
 pub use outcome::{ResilienceCounters, RunOutcome};
 pub use pid::{PidController, PidGains};
@@ -74,4 +78,4 @@ pub use resume::{
 };
 pub use scheme::ControlScheme;
 pub use software::{ComponentKind, SoftwarePolicy, StaticPriorityPolicy};
-pub use system::{DomainSpec, SystemConfig};
+pub use system::{ConfigError, DomainSpec, SystemConfig};

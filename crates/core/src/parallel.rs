@@ -239,7 +239,11 @@ struct WorkerReply {
 }
 
 enum WorkerMsg {
-    Batch(Arc<BatchCmd>),
+    /// Advance through a batch. The second field carries recycled
+    /// [`DomainBatch`] shells from previous replies — the worker drains
+    /// their buffers (cleared and re-zeroed, so values are identical to
+    /// fresh allocations) instead of allocating per domain per dispatch.
+    Batch(Arc<BatchCmd>, Vec<DomainBatch>),
     /// Request current work figures without advancing.
     ReportWork,
     /// Serialize each owned domain's checkpoint payload without advancing.
@@ -302,6 +306,20 @@ pub(crate) struct PooledExecutor<'scope> {
     n_domains: usize,
     /// Installed only by the sanitizer entry points; `None` in production.
     permuter: Option<ReplyPermuter>,
+    /// Recycled batch command. After a dispatch the workers drop their
+    /// handles, so by the next `run_batch` this is the only strong
+    /// reference and `Arc::get_mut` lets the command's vectors be refilled
+    /// in place instead of reallocated.
+    cmd_slot: Option<Arc<BatchCmd>>,
+    /// Recycled [`DomainBatch`] shells (power/event buffers), collected
+    /// after each merge and shipped back out with the next batch.
+    spares: Vec<DomainBatch>,
+    /// Domains owned by each worker, in `cmd_txs` order — how many spare
+    /// shells each worker gets per dispatch.
+    part_sizes: Vec<usize>,
+    /// Scatter buffer for merging replies in domain order, reused across
+    /// dispatches (all `None` between them).
+    results: Vec<Option<DomainBatch>>,
     _marker: std::marker::PhantomData<&'scope ()>,
 }
 
@@ -374,35 +392,68 @@ impl DomainExecutor for PooledExecutor<'_> {
             events.is_none() || quanta.len() == 1,
             "traced runs dispatch single-quantum batches"
         );
-        let cmd = Arc::new(BatchCmd {
-            quanta: quanta.to_vec(),
-            v_sched: v_sched.to_vec(),
-            ctls: ctls.to_vec(),
-            tick,
-            collect_events: events.is_some(),
-        });
-        for tx in &self.cmd_txs {
-            tx.send(WorkerMsg::Batch(Arc::clone(&cmd)))
+        // Refill the previous dispatch's command in place when the workers
+        // have all dropped their handles (the steady state); fall back to a
+        // fresh allocation on the first dispatch or when a permuter has
+        // delayed a drop.
+        let cmd = match self.cmd_slot.take().map(|mut arc| {
+            match Arc::get_mut(&mut arc) {
+                Some(slot) => {
+                    slot.quanta.clear();
+                    slot.quanta.extend_from_slice(quanta);
+                    slot.v_sched.clear();
+                    slot.v_sched.extend_from_slice(v_sched);
+                    slot.ctls.clear();
+                    slot.ctls.extend_from_slice(ctls);
+                    slot.tick = tick;
+                    slot.collect_events = events.is_some();
+                    Ok(arc)
+                }
+                None => Err(()),
+            }
+        }) {
+            Some(Ok(arc)) => arc,
+            _ => Arc::new(BatchCmd {
+                quanta: quanta.to_vec(),
+                v_sched: v_sched.to_vec(),
+                ctls: ctls.to_vec(),
+                tick,
+                collect_events: events.is_some(),
+            }),
+        };
+        // Ship each worker its share of recycled result shells along with
+        // the command (none on the first dispatch — workers then allocate).
+        for (w, tx) in self.cmd_txs.iter().enumerate() {
+            // simlint: allow(L6): part_sizes is built with one entry per
+            // worker channel, so w < part_sizes.len() by construction
+            let take = self.part_sizes[w].min(self.spares.len());
+            let shells = self.spares.split_off(self.spares.len() - take);
+            tx.send(WorkerMsg::Batch(Arc::clone(&cmd), shells))
                 .expect("invariant: workers outlive the executor inside the thread scope");
         }
+        self.cmd_slot = Some(cmd);
         // Collect one reply per worker, then merge in domain order so the
         // floating-point sums — and the event stream — match the serial
         // executor exactly, whatever order the workers finished in.
-        let mut results: Vec<Option<DomainBatch>> = (0..self.n_domains).map(|_| None).collect();
+        let mut results = std::mem::take(&mut self.results);
         self.collect_replies(|dom| {
             heartbeats[dom.domain_idx] = dom.responded;
             let idx = dom.domain_idx;
             results[idx] = Some(dom);
         });
         let mut events = events;
-        for dom in results.into_iter().flatten() {
-            for (acc, p) in power_acc.iter_mut().zip(&dom.powers) {
-                *acc += p;
-            }
-            if let Some(buf) = events.as_deref_mut() {
-                buf.extend(dom.events);
+        for slot in results.iter_mut() {
+            if let Some(mut dom) = slot.take() {
+                for (acc, p) in power_acc.iter_mut().zip(&dom.powers) {
+                    *acc += p;
+                }
+                if let Some(buf) = events.as_deref_mut() {
+                    buf.append(&mut dom.events);
+                }
+                self.spares.push(dom);
             }
         }
+        self.results = results;
     }
 
     fn domain_states(&mut self) -> Vec<String> {
@@ -494,6 +545,7 @@ pub(crate) fn with_pooled_executor<R>(
         for (i, d) in domains.into_iter().enumerate() {
             partitions[i % workers].push((i, d));
         }
+        let part_sizes: Vec<usize> = partitions.iter().map(Vec::len).collect();
 
         thread::scope(|scope| {
             let (reply_tx, reply_rx) = channel::<WorkerReply>();
@@ -506,35 +558,42 @@ pub(crate) fn with_pooled_executor<R>(
                     let mut part = part;
                     while let Ok(msg) = cmd_rx.recv() {
                         let reply = match msg {
-                            WorkerMsg::Batch(cmd) => {
+                            WorkerMsg::Batch(cmd, mut shells) => {
                                 let n_ticks = cmd.v_sched.len();
-                                let domains = part
-                                    .iter_mut()
-                                    .map(|(idx, d)| {
-                                        let mut powers = vec![0.0f64; n_ticks];
-                                        let mut events = Vec::new();
-                                        let mut responded = true;
-                                        for q in &cmd.quanta {
-                                            responded = d.run_quantum(
-                                                q.t0,
-                                                &cmd.v_sched[q.offset..q.offset + q.n],
-                                                q.update_local,
-                                                &cmd.ctls[*idx],
-                                                cmd.tick,
-                                                &mut powers[q.offset..q.offset + q.n],
-                                                cmd.collect_events.then_some(&mut events),
-                                            );
-                                        }
-                                        DomainBatch {
-                                            domain_idx: *idx,
-                                            powers,
-                                            work_done: d.sim.work_done(),
-                                            responded,
-                                            events,
-                                            state: String::new(),
-                                        }
-                                    })
-                                    .collect();
+                                let mut domains = Vec::with_capacity(part.len());
+                                for (idx, d) in part.iter_mut() {
+                                    // Drain a recycled shell's buffers when
+                                    // one was shipped with the command; the
+                                    // cleared-and-rezeroed buffers hold the
+                                    // same values a fresh allocation would.
+                                    let (mut powers, mut events) = match shells.pop() {
+                                        Some(shell) => (shell.powers, shell.events),
+                                        None => (Vec::new(), Vec::new()),
+                                    };
+                                    powers.clear();
+                                    powers.resize(n_ticks, 0.0);
+                                    events.clear();
+                                    let mut responded = true;
+                                    for q in &cmd.quanta {
+                                        responded = d.run_quantum(
+                                            q.t0,
+                                            &cmd.v_sched[q.offset..q.offset + q.n],
+                                            q.update_local,
+                                            &cmd.ctls[*idx],
+                                            cmd.tick,
+                                            &mut powers[q.offset..q.offset + q.n],
+                                            cmd.collect_events.then_some(&mut events),
+                                        );
+                                    }
+                                    domains.push(DomainBatch {
+                                        domain_idx: *idx,
+                                        powers,
+                                        work_done: d.sim.work_done(),
+                                        responded,
+                                        events,
+                                        state: String::new(),
+                                    });
+                                }
                                 WorkerReply { domains }
                             }
                             WorkerMsg::ReportWork => WorkerReply {
@@ -599,6 +658,10 @@ pub(crate) fn with_pooled_executor<R>(
                 last_work: initial_work,
                 n_domains,
                 permuter,
+                cmd_slot: None,
+                spares: Vec::with_capacity(n_domains),
+                part_sizes,
+                results: (0..n_domains).map(|_| None).collect(),
                 _marker: std::marker::PhantomData,
             };
             // Workers exit when their command channels drop with the

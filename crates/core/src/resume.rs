@@ -263,7 +263,8 @@ fn run_once(
         ring: ring.as_deref(),
     };
     if opts.workers == 0 {
-        let executor = SerialExecutor { domains };
+        let legacy = run.stepper == crate::kernel::StepperPath::Legacy;
+        let executor = SerialExecutor { domains, legacy };
         let driver = LoopDriver::new(sys, run, global_ctl, vr, sensor, policy, executor);
         drive(driver, candidate, &ctx)
     } else {
@@ -504,6 +505,7 @@ pub fn run_uninterrupted(sys: SystemConfig, run: RunConfig) -> RunOutcome {
         sensor,
         policy,
     } = sim;
-    let executor = SerialExecutor { domains };
+    let legacy = run.stepper == crate::kernel::StepperPath::Legacy;
+    let executor = SerialExecutor { domains, legacy };
     run_loop(sys, run, global_ctl, vr, sensor, policy, executor)
 }

@@ -36,6 +36,28 @@ use crate::coordinator::QuantumCtl;
 use crate::pid::PidGains;
 use crate::software::ComponentKind;
 
+/// System-construction errors. Constructors that take user-supplied
+/// shape parameters (scaled chiplet counts) return these instead of
+/// building a package that [`SystemConfig::validate`] would panic on
+/// when the simulation starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The requested package has no domains at all.
+    EmptyPackage,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::EmptyPackage => {
+                write!(f, "scaled system needs at least one chiplet (cpu + gpu + sha counts are all zero)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Which local controller an accelerator domain runs (§3.3.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccelLocalKind {
@@ -195,7 +217,21 @@ impl SystemConfig {
     /// A many-chiplet system for the scaling study: `n_cpu` CPU and `n_gpu`
     /// GPU chiplets plus `n_sha` accelerators, cycling through the combo's
     /// workloads.
-    pub fn scaled_system(combo: Combo, n_cpu: usize, n_gpu: usize, n_sha: usize, seed: u64) -> Self {
+    ///
+    /// Rejects an all-zero chiplet count here, at construction, instead of
+    /// letting the empty package trip [`SystemConfig::validate`]'s panic
+    /// inside `Simulation::new` — scaled counts are usually user input
+    /// (CLI flags, bench knobs), so they fail fast with a value error.
+    pub fn scaled_system(
+        combo: Combo,
+        n_cpu: usize,
+        n_gpu: usize,
+        n_sha: usize,
+        seed: u64,
+    ) -> Result<Self, ConfigError> {
+        if n_cpu + n_gpu + n_sha == 0 {
+            return Err(ConfigError::EmptyPackage);
+        }
         let mut base = Self::paper_system(combo, seed);
         let mut domains = Vec::with_capacity(n_cpu + n_gpu + n_sha);
         for _ in 0..n_cpu {
@@ -217,7 +253,7 @@ impl SystemConfig {
             });
         }
         base.domains = domains;
-        base
+        Ok(base)
     }
 
     /// Replace the accelerator's local controller with the adversarial
@@ -301,6 +337,29 @@ impl ChipletSim {
                 traffic.advance(dt.as_nanos() as f64);
                 m.set_traffic(traffic.sample().activity);
                 m.step(dt)
+            }
+        }
+    }
+
+    /// Advance one tick through a borrowed [`StepFrame`] — the
+    /// quantum-stepper kernel's dispatch point. Adds this chiplet's power
+    /// to `frame.power_acc`; bit-identical to [`ChipletSim::step`] (each
+    /// chiplet's `step_into` is pinned against its `step` by a
+    /// `step_into_matches_step` unit test, and the whole path by the
+    /// golden-digest corpus).
+    ///
+    /// [`StepFrame`]: hcapp_sim_core::frame::StepFrame
+    pub fn step_into(&mut self, frame: &mut hcapp_sim_core::frame::StepFrame<'_>) {
+        match self {
+            ChipletSim::Cpu(c) => c.step_into(frame),
+            ChipletSim::Gpu(g) => g.step_into(frame),
+            ChipletSim::Sha(s) => s.step_into(frame),
+            ChipletSim::Memory(m, traffic) => {
+                // Same ordering as `step`: traffic advances in wall-clock
+                // time, then the stack integrates the sampled activity.
+                traffic.advance(frame.dt.as_nanos() as f64);
+                m.set_traffic(traffic.sample().activity);
+                *frame.power_acc += m.step(frame.dt).value();
             }
         }
     }
@@ -499,6 +558,100 @@ impl Domain {
         events: Option<&mut Vec<TraceEvent>>,
     ) -> bool {
         debug_assert_eq!(v_global.len(), power_acc.len());
+        let thermal_derate = self.quantum_boundary(t0, v_global.len(), update_local, ctl, tick, events);
+        for i in 0..v_global.len() {
+            let vg = self.link.receive(v_global, i, ctl.link_fault);
+            let mut delivered = self.network.deliver(0, Volt::new(vg), self.last_power);
+            if let Some(injector) = self.ripple.as_mut() {
+                delivered = injector.perturb(delivered, t0 + tick * i as u64);
+            }
+            self.last_delivered = delivered;
+            // The throttle multiply is a bitwise identity at 1.0, so clean
+            // runs are unperturbed by the degradation layer.
+            let v_dom = Volt::new(
+                self.ctl.domain_voltage(delivered).value() * thermal_derate * ctl.throttle,
+            );
+            let ratios = self.local.ratios();
+            if ratios.len() == 1 {
+                let v = Volt::new(v_dom.value() * ratios[0]);
+                self.unit_voltages.fill(v);
+            } else {
+                for (uv, &r) in self.unit_voltages.iter_mut().zip(ratios) {
+                    *uv = Volt::new(v_dom.value() * r);
+                }
+            }
+            // The kernel path: the chiplet adds its tick power into a fresh
+            // accumulator (`0.0 + p` is bitwise `p` for the non-negative
+            // powers the models produce), so the slot update below is
+            // byte-identical to the legacy `power_acc[i] += p.value()`.
+            let mut p = 0.0f64;
+            let mut frame =
+                hcapp_sim_core::frame::StepFrame::new(&self.unit_voltages, tick, &mut p);
+            self.sim.step_into(&mut frame);
+            self.last_power = Watt::new(p);
+            power_acc[i] += p;
+        }
+        ctl.ctl_fault.is_none()
+    }
+
+    /// [`Domain::run_quantum`] on the pre-kernel reference path: identical
+    /// boundary control flow, but every tick dispatches through
+    /// [`ChipletSim::step`] (the unmemoized per-chiplet `step` methods).
+    /// The scaling bench's legacy shim and the stepper-equivalence property
+    /// drive this to prove the kernel byte-identical; it is not used by
+    /// production runs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_quantum_legacy(
+        &mut self,
+        t0: hcapp_sim_core::time::SimTime,
+        v_global: &[f64],
+        update_local: bool,
+        ctl: &QuantumCtl,
+        tick: SimDuration,
+        power_acc: &mut [f64],
+        events: Option<&mut Vec<TraceEvent>>,
+    ) -> bool {
+        debug_assert_eq!(v_global.len(), power_acc.len());
+        let thermal_derate = self.quantum_boundary(t0, v_global.len(), update_local, ctl, tick, events);
+        for i in 0..v_global.len() {
+            let vg = self.link.receive(v_global, i, ctl.link_fault);
+            let mut delivered = self.network.deliver(0, Volt::new(vg), self.last_power);
+            if let Some(injector) = self.ripple.as_mut() {
+                delivered = injector.perturb(delivered, t0 + tick * i as u64);
+            }
+            self.last_delivered = delivered;
+            let v_dom = Volt::new(
+                self.ctl.domain_voltage(delivered).value() * thermal_derate * ctl.throttle,
+            );
+            let ratios = self.local.ratios();
+            if ratios.len() == 1 {
+                let v = Volt::new(v_dom.value() * ratios[0]);
+                self.unit_voltages.fill(v);
+            } else {
+                for (uv, &r) in self.unit_voltages.iter_mut().zip(ratios) {
+                    *uv = Volt::new(v_dom.value() * r);
+                }
+            }
+            let p = self.sim.step(&self.unit_voltages, tick);
+            self.last_power = p;
+            power_acc[i] += p.value();
+        }
+        ctl.ctl_fault.is_none()
+    }
+
+    /// The quantum-boundary control work shared by both stepper paths:
+    /// priority write, optional level-3 update (with its telemetry
+    /// observations), and the thermal-guard integration. Returns the
+    /// thermal derate factor for the quantum's tick loop.
+    fn quantum_boundary(
+        &mut self,
+        t0: hcapp_sim_core::time::SimTime,
+        quantum_ticks: usize,
+        update_local: bool,
+        ctl: &QuantumCtl,
+        tick: SimDuration,
+        events: Option<&mut Vec<TraceEvent>>,
+    ) -> f64 {
         if ctl.ctl_fault != Some(CtlFault::DomainStuck) {
             self.ctl.set_priority(ctl.priority);
         }
@@ -544,39 +697,13 @@ impl Domain {
         }
         // §3.3 thermal extension: the guard integrates last quantum's power
         // and derates this quantum's domain voltage while over-temperature.
-        let thermal_derate = match self.thermal.as_mut() {
+        match self.thermal.as_mut() {
             Some(guard) => {
-                let quantum = tick * v_global.len() as u64;
+                let quantum = tick * quantum_ticks as u64;
                 guard.update(self.last_power, quantum)
             }
             None => 1.0,
-        };
-        for i in 0..v_global.len() {
-            let vg = self.link.receive(v_global, i, ctl.link_fault);
-            let mut delivered = self.network.deliver(0, Volt::new(vg), self.last_power);
-            if let Some(injector) = self.ripple.as_mut() {
-                delivered = injector.perturb(delivered, t0 + tick * i as u64);
-            }
-            self.last_delivered = delivered;
-            // The throttle multiply is a bitwise identity at 1.0, so clean
-            // runs are unperturbed by the degradation layer.
-            let v_dom = Volt::new(
-                self.ctl.domain_voltage(delivered).value() * thermal_derate * ctl.throttle,
-            );
-            let ratios = self.local.ratios();
-            if ratios.len() == 1 {
-                let v = Volt::new(v_dom.value() * ratios[0]);
-                self.unit_voltages.fill(v);
-            } else {
-                for (uv, &r) in self.unit_voltages.iter_mut().zip(ratios) {
-                    *uv = Volt::new(v_dom.value() * r);
-                }
-            }
-            let p = self.sim.step(&self.unit_voltages, tick);
-            self.last_power = p;
-            power_acc[i] += p.value();
         }
-        ctl.ctl_fault.is_none()
     }
 }
 
@@ -747,9 +874,22 @@ mod tests {
 
     #[test]
     fn scaled_system_counts() {
-        let c = SystemConfig::scaled_system(combo_suite()[0], 4, 3, 2, 1);
+        let c = SystemConfig::scaled_system(combo_suite()[0], 4, 3, 2, 1).unwrap();
         assert_eq!(c.domains.len(), 9);
         c.validate();
+    }
+
+    #[test]
+    fn scaled_system_rejects_zero_domains() {
+        let e = SystemConfig::scaled_system(combo_suite()[0], 0, 0, 0, 1).unwrap_err();
+        assert_eq!(e, crate::system::ConfigError::EmptyPackage);
+        assert!(e.to_string().contains("at least one chiplet"));
+        // Any single nonzero count is a valid (if degenerate) package.
+        for (nc, ng, ns) in [(1, 0, 0), (0, 1, 0), (0, 0, 1)] {
+            let c = SystemConfig::scaled_system(combo_suite()[0], nc, ng, ns, 1).unwrap();
+            assert_eq!(c.domains.len(), 1);
+            c.validate();
+        }
     }
 
     #[test]

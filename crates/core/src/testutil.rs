@@ -1,0 +1,101 @@
+//! Shared test fixtures and digest helpers.
+//!
+//! The integration suites (the root package's `tests/end_to_end.rs`,
+//! `tests/props.rs` and `tests/golden_outcomes.rs`, plus this crate's own
+//! kill-matrix tests) all build the same paper-system runs; this module is
+//! the single place that builds them so fixture drift can't split the
+//! suites apart. It is compiled only for tests — either this crate's unit
+//! tests (`cfg(test)`) or downstream test crates that enable the
+//! `testutil` cargo feature from their `[dev-dependencies]` — so nothing
+//! here ships in a normal build.
+
+use hcapp_sim_core::time::SimDuration;
+use hcapp_workloads::combos::{combo_by_name, combo_suite, Combo};
+
+use crate::coordinator::{RunConfig, Simulation};
+use crate::limits::PowerLimit;
+use crate::outcome::RunOutcome;
+use crate::scheme::ControlScheme;
+use crate::system::SystemConfig;
+
+/// Look a Table 3 combo up by name, panicking with the name on a miss
+/// (tests want the typo, not an `Option`).
+// simlint: allow(L2): test-only fixture helper (cfg(test)/testutil feature);
+// panicking with the offending combo name is the desired test ergonomics.
+pub fn combo(name: &str) -> Combo {
+    combo_by_name(name).unwrap_or_else(|| panic!("unknown combo {name:?}"))
+}
+
+/// The whole Table 3 suite, in its canonical order.
+pub fn all_combos() -> [Combo; 8] {
+    combo_suite()
+}
+
+/// The standard run fixture: the paper's 3-domain package for `combo`,
+/// driven at the package-pin guardbanded target for `ms` simulated
+/// milliseconds. Every integration suite builds its runs through here.
+pub fn paper_config(
+    combo: Combo,
+    scheme: ControlScheme,
+    seed: u64,
+    ms: u64,
+) -> (SystemConfig, RunConfig) {
+    let sys = SystemConfig::paper_system(combo, seed);
+    let run = RunConfig::new(
+        SimDuration::from_millis(ms),
+        scheme,
+        PowerLimit::package_pin().guardbanded_target(),
+    );
+    (sys, run)
+}
+
+/// Build and serially execute the standard fixture (the old `quick_run`
+/// helper each suite used to re-implement).
+pub fn paper_run(combo_name: &str, scheme: ControlScheme, seed: u64, ms: u64) -> RunOutcome {
+    let (sys, run) = paper_config(combo(combo_name), scheme, seed, ms);
+    Simulation::new(sys, run).run()
+}
+
+/// 64-bit FNV-1a over `bytes` — the digest primitive the golden-outcome
+/// fixture pins. Stable by construction (pure integer arithmetic); any
+/// change to it invalidates `tests/golden_digests.txt`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// [`fnv1a64`] rendered as fixed-width hex, the form the golden fixture
+/// file stores.
+pub fn digest_hex(text: &str) -> String {
+    format!("{:016x}", fnv1a64(text.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn paper_run_is_deterministic() {
+        let a = paper_run("Low-Low", ControlScheme::Hcapp, 3, 1);
+        let b = paper_run("Low-Low", ControlScheme::Hcapp, 3, 1);
+        assert_eq!(crate::cache::encode_outcome(&a), crate::cache::encode_outcome(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown combo")]
+    fn combo_miss_names_the_culprit() {
+        combo("No-Such");
+    }
+}

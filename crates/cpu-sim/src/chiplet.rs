@@ -150,6 +150,70 @@ impl CpuChiplet {
         self.last_power
     }
 
+    /// Advance one tick through a borrowed [`StepFrame`] — the
+    /// quantum-stepper kernel's entry point.
+    ///
+    /// Bit-identical to [`CpuChiplet::step`] (pinned by
+    /// `step_into_matches_step` below and the golden-digest corpus), but
+    /// engineered for the hot loop: the voltage-only model evaluations
+    /// (frequency, leakage) are computed once per *distinct consecutive*
+    /// core voltage and shared across cores holding that voltage — under
+    /// uniform local-controller ratios that is one evaluation per tick
+    /// instead of three per core ([`Core::step`] evaluates the frequency
+    /// curve twice and the leakage curve twice per call).
+    ///
+    /// [`StepFrame`]: hcapp_sim_core::frame::StepFrame
+    ///
+    /// # Panics
+    /// Panics if `frame.voltages.len() != units()`.
+    pub fn step_into(&mut self, frame: &mut hcapp_sim_core::frame::StepFrame<'_>) {
+        assert_eq!(
+            frame.voltages.len(),
+            self.cores.len(),
+            "need one voltage per core"
+        );
+        let dt = frame.dt;
+        let sample = self.program.sample();
+        let mut total_core_power = Watt::ZERO;
+        let mut total_dynamic = Watt::ZERO;
+        let mut total_rate = 0.0;
+        let mut v_sum = 0.0;
+        let dt_ns = dt.as_nanos() as f64;
+        // One-entry operating-point memo, keyed on the voltage's bit
+        // pattern: frequency_at and leakage.power are pure, so reuse is
+        // value-identical to recomputation.
+        let mut memo_v = f64::NAN.to_bits();
+        let mut memo_f = hcapp_sim_core::units::Hertz::ZERO;
+        let mut memo_leak = Watt::ZERO;
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            let v = frame.voltages[i].clamp(self.cfg.v_min, self.cfg.v_max);
+            v_sum += v.value();
+            if v.value().to_bits() != memo_v {
+                let (f, leak) = core.model().operating_point(v);
+                memo_v = v.value().to_bits();
+                memo_f = f;
+                memo_leak = leak;
+            }
+            let out = core.step_at(v, memo_f, memo_leak, sample, dt);
+            total_core_power += out.power;
+            total_dynamic += out.power - memo_leak;
+            total_rate += out.work_ns / dt_ns;
+            self.last_ipc[i] = out.ipc_fraction;
+        }
+        let avg_rate = total_rate / self.cores.len() as f64;
+        self.program.advance(avg_rate * dt_ns);
+
+        let mean_v = Volt::new(v_sum / self.cores.len() as f64);
+        let uncore_activity = sample.mem_intensity * sample.activity;
+        let uncore_power = self.uncore.power(mean_v, uncore_activity);
+
+        let leakage = total_core_power - total_dynamic;
+        self.breakdown.record(total_dynamic, leakage, uncore_power, dt);
+
+        self.last_power = total_core_power + uncore_power;
+        *frame.power_acc += self.last_power.value();
+    }
+
     /// Per-core measured IPC fractions from the last step (local-controller
     /// inputs).
     pub fn ipc_fractions(&self) -> &[f64] {
@@ -225,6 +289,41 @@ mod tests {
     #[test]
     fn eight_units_by_default() {
         assert_eq!(chiplet(Benchmark::Swaptions).units(), 8);
+    }
+
+    #[test]
+    fn step_into_matches_step() {
+        // The kernel entry point must be bit-identical to the reference
+        // path — same power, same IPC, same workload cursor, same
+        // breakdown — including under per-core voltage spreads that defeat
+        // the operating-point memo.
+        use hcapp_sim_core::frame::StepFrame;
+        let mut reference = chiplet(Benchmark::Ferret);
+        let mut kernel = chiplet(Benchmark::Ferret);
+        let dt = SimDuration::from_nanos(100);
+        let n = reference.units();
+        for t in 0..20_000u64 {
+            let volts: Vec<Volt> = (0..n)
+                .map(|i| {
+                    // Mostly uniform, periodically spread per core.
+                    let spread = if t % 7 == 0 { 0.01 * i as f64 } else { 0.0 };
+                    Volt::new(0.85 + 0.2 * ((t % 100) as f64 / 100.0) + spread)
+                })
+                .collect();
+            let p_ref = reference.step(&volts, dt).value();
+            let mut acc = 0.0;
+            kernel.step_into(&mut StepFrame::new(&volts, dt, &mut acc));
+            assert_eq!(p_ref.to_bits(), acc.to_bits(), "tick {t}: power diverged");
+            assert_eq!(reference.ipc_fractions(), kernel.ipc_fractions());
+        }
+        assert_eq!(
+            reference.work_done().to_bits(),
+            kernel.work_done().to_bits()
+        );
+        assert_eq!(
+            reference.breakdown().total_joules().to_bits(),
+            kernel.breakdown().total_joules().to_bits()
+        );
     }
 
     #[test]

@@ -109,6 +109,42 @@ impl Core {
         }
     }
 
+    /// Advance one tick with a precomputed operating point for `v`.
+    ///
+    /// The quantum-stepper kernel computes `(f, leak) =
+    /// model.operating_point(v)` once per distinct voltage and shares it
+    /// across every core at that voltage; this must stay bit-identical to
+    /// [`Core::step`] (pinned by the `step_into_matches_step` tests), so
+    /// any change to `step` has to be mirrored here.
+    pub fn step_at(
+        &mut self,
+        v: Volt,
+        f: hcapp_sim_core::units::Hertz,
+        leak: Watt,
+        sample: PhaseSample,
+        dt: SimDuration,
+    ) -> CoreStep {
+        if self.jitter_countdown == 0 {
+            self.resample_jitter();
+        }
+        self.jitter_countdown -= 1;
+
+        let f_ratio = f.value() / self.f_nominal;
+        let activity = (sample.activity * self.jitter).clamp(0.0, 1.0);
+        let jittered = PhaseSample {
+            activity,
+            mem_intensity: sample.mem_intensity,
+        };
+        let power = self.model.power_at(v, f, leak, activity);
+        let work_ns = progress_rate(jittered, f_ratio) * dt.as_nanos() as f64
+            * if activity > 0.0 { 1.0 } else { 0.0 };
+        CoreStep {
+            power,
+            work_ns,
+            ipc_fraction: ipc_fraction(jittered, f_ratio),
+        }
+    }
+
     /// The core's power model (for reporting).
     pub fn model(&self) -> &ComponentPowerModel {
         &self.model

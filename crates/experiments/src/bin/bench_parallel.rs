@@ -67,7 +67,8 @@ fn scaled_with_tick(
     batch: usize,
     tick: SimDuration,
 ) -> Simulation {
-    let mut sys = SystemConfig::scaled_system(combo_suite()[3], n_each, n_each, n_each, 7);
+    let mut sys = SystemConfig::scaled_system(combo_suite()[3], n_each, n_each, n_each, 7)
+        .expect("n_each is clamped to >= 1");
     sys.tick = tick;
     let run = RunConfig::new(
         SimDuration::from_millis(ms),

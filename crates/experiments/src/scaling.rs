@@ -42,7 +42,8 @@ pub fn compute(cfg: &ExperimentConfig) -> Vec<(usize, f64, f64, f64, f64)> {
         let limit = PowerLimit::new(budget, SimDuration::from_micros(20));
         let target = budget * limit.guardband_factor();
 
-        let sys = SystemConfig::scaled_system(combo, nc, ng, ns, cfg.seed);
+        let sys = SystemConfig::scaled_system(combo, nc, ng, ns, cfg.seed)
+            .expect("SIZES rows are nonzero");
         let hcapp = Simulation::new(
             sys.clone(),
             RunConfig::new(cfg.duration, ControlScheme::Hcapp, target),

@@ -137,6 +137,63 @@ impl GpuChiplet {
         self.last_power
     }
 
+    /// Advance one tick through a borrowed [`StepFrame`] — the
+    /// quantum-stepper kernel's entry point.
+    ///
+    /// Bit-identical to [`GpuChiplet::step`] (pinned by
+    /// `step_into_matches_step` below and the golden-digest corpus), with
+    /// the voltage-only model evaluations (frequency, leakage) memoized
+    /// per distinct consecutive SM voltage, exactly like the CPU chiplet.
+    ///
+    /// [`StepFrame`]: hcapp_sim_core::frame::StepFrame
+    ///
+    /// # Panics
+    /// Panics if `frame.voltages.len() != units()`.
+    pub fn step_into(&mut self, frame: &mut hcapp_sim_core::frame::StepFrame<'_>) {
+        assert_eq!(
+            frame.voltages.len(),
+            self.sms.len(),
+            "need one voltage per SM"
+        );
+        let dt = frame.dt;
+        let sample = self.program.sample();
+        let mut total_sm_power = Watt::ZERO;
+        let mut total_dynamic = Watt::ZERO;
+        let mut total_rate = 0.0;
+        let mut v_sum = 0.0;
+        let dt_ns = dt.as_nanos() as f64;
+        let mut memo_v = f64::NAN.to_bits();
+        let mut memo_f = hcapp_sim_core::units::Hertz::ZERO;
+        let mut memo_leak = Watt::ZERO;
+        for (i, sm) in self.sms.iter_mut().enumerate() {
+            let v = frame.voltages[i].clamp(self.cfg.v_min, self.cfg.v_max);
+            v_sum += v.value();
+            if v.value().to_bits() != memo_v {
+                let (f, leak) = sm.model().operating_point(v);
+                memo_v = v.value().to_bits();
+                memo_f = f;
+                memo_leak = leak;
+            }
+            let out = sm.step_at(v, memo_f, memo_leak, sample, dt);
+            total_sm_power += out.power;
+            total_dynamic += out.power - memo_leak;
+            total_rate += out.work_ns / dt_ns;
+            self.last_ipc[i] = out.ipc_fraction;
+        }
+        let avg_rate = total_rate / self.sms.len() as f64;
+        self.program.advance(avg_rate * dt_ns);
+
+        let mean_v = Volt::new(v_sum / self.sms.len() as f64);
+        let uncore_activity = sample.mem_intensity * sample.activity;
+        let uncore_power = self.uncore.power(mean_v, uncore_activity);
+
+        let leakage = total_sm_power - total_dynamic;
+        self.breakdown.record(total_dynamic, leakage, uncore_power, dt);
+
+        self.last_power = total_sm_power + uncore_power;
+        *frame.power_acc += self.last_power.value();
+    }
+
     /// Per-SM measured IPC fractions from the last step.
     pub fn ipc_fractions(&self) -> &[f64] {
         &self.last_ipc
@@ -211,6 +268,38 @@ mod tests {
     #[test]
     fn fifteen_units_by_default() {
         assert_eq!(chiplet(Benchmark::Backprop).units(), 15);
+    }
+
+    #[test]
+    fn step_into_matches_step() {
+        // Kernel entry point vs reference path: bit-identical power, IPC,
+        // cursor and breakdown, under uniform and spread SM voltages.
+        use hcapp_sim_core::frame::StepFrame;
+        let mut reference = chiplet(Benchmark::Bfs);
+        let mut kernel = chiplet(Benchmark::Bfs);
+        let dt = SimDuration::from_nanos(100);
+        let n = reference.units();
+        for t in 0..20_000u64 {
+            let volts: Vec<Volt> = (0..n)
+                .map(|i| {
+                    let spread = if t % 11 == 0 { 0.005 * i as f64 } else { 0.0 };
+                    Volt::new(0.55 + 0.3 * ((t % 90) as f64 / 90.0) + spread)
+                })
+                .collect();
+            let p_ref = reference.step(&volts, dt).value();
+            let mut acc = 0.0;
+            kernel.step_into(&mut StepFrame::new(&volts, dt, &mut acc));
+            assert_eq!(p_ref.to_bits(), acc.to_bits(), "tick {t}: power diverged");
+            assert_eq!(reference.ipc_fractions(), kernel.ipc_fractions());
+        }
+        assert_eq!(
+            reference.work_done().to_bits(),
+            kernel.work_done().to_bits()
+        );
+        assert_eq!(
+            reference.breakdown().total_joules().to_bits(),
+            kernel.breakdown().total_joules().to_bits()
+        );
     }
 
     #[test]

@@ -102,6 +102,48 @@ impl StreamingMultiprocessor {
         }
     }
 
+    /// Advance one tick with a precomputed operating point for `v`.
+    ///
+    /// The quantum-stepper kernel computes `(f, leak) =
+    /// model.operating_point(v)` once per distinct voltage and shares it
+    /// across SMs at that voltage; must stay bit-identical to
+    /// [`StreamingMultiprocessor::step`] (pinned by the
+    /// `step_into_matches_step` test), so changes to `step` have to be
+    /// mirrored here.
+    pub fn step_at(
+        &mut self,
+        v: Volt,
+        f: hcapp_sim_core::units::Hertz,
+        leak: Watt,
+        sample: PhaseSample,
+        dt: SimDuration,
+    ) -> SmStep {
+        if self.jitter_countdown == 0 {
+            self.resample_jitter();
+        }
+        self.jitter_countdown -= 1;
+
+        let f_ratio = f.value() / self.f_nominal;
+        let activity = (sample.activity * self.jitter).clamp(0.0, 1.0);
+        let utilization = self.warp.utilization_from_activity(activity);
+        let effective = PhaseSample {
+            activity: utilization,
+            mem_intensity: sample.mem_intensity,
+        };
+        let power = self.model.power_at(v, f, leak, utilization);
+        let work_ns = if utilization > 0.0 {
+            progress_rate(effective, f_ratio) * dt.as_nanos() as f64 * utilization
+        } else {
+            0.0
+        };
+        let ipc_fraction = utilization / (1.0 + sample.mem_intensity * f_ratio);
+        SmStep {
+            power,
+            work_ns,
+            ipc_fraction,
+        }
+    }
+
     /// The SM's power model (for reporting).
     pub fn model(&self) -> &ComponentPowerModel {
         &self.model

@@ -122,6 +122,19 @@ impl VoltageRegulator {
         self.output
     }
 
+    /// Fill `out` with the output schedule for `out.len()` consecutive
+    /// ticks starting at `t0` — the quantum-stepper kernel's borrow-based
+    /// entry point. Equivalent to calling [`VoltageRegulator::step`] at
+    /// `t0 + tick * i` and reading [`VoltageRegulator::output`] for each
+    /// slot, and bit-identical to that loop by construction (it *is* that
+    /// loop, hoisted behind the borrow).
+    pub fn schedule_into(&mut self, t0: SimTime, tick: SimDuration, out: &mut [f64]) {
+        for (i, v) in out.iter_mut().enumerate() {
+            self.step(t0 + tick * i as u64, tick);
+            *v = self.output.value();
+        }
+    }
+
     /// Set the transient slew derating factor (1.0 = healthy). Values at or
     /// below zero are pinned to a small positive floor so the regulator
     /// always makes *some* progress toward its target.
@@ -271,6 +284,48 @@ mod tests {
         // No overshoot.
         vr.step(SimTime::from_nanos(300), ns(100));
         assert_close!(vr.output().value(), 1.2, 1e-9);
+    }
+
+    #[test]
+    fn schedule_into_matches_step_loop() {
+        let mk = || {
+            VoltageRegulator::new(
+                Volt::new(0.6),
+                Volt::new(1.3),
+                Volt::new(0.9),
+                ns(100),
+                1e6,
+                1.0,
+            )
+        };
+        let mut stepped = mk();
+        let mut scheduled = mk();
+        let tick = ns(50);
+        let mut t = SimTime::ZERO;
+        for q in 0..40u64 {
+            // Retarget every few quanta to keep pending setpoints in play.
+            if q % 3 == 0 {
+                let v = Volt::new(0.7 + 0.05 * (q % 9) as f64);
+                stepped.set_target(t, v);
+                scheduled.set_target(t, v);
+            }
+            let n = 4 + (q % 3) as usize;
+            let mut expect = vec![0.0f64; n];
+            for (i, v) in expect.iter_mut().enumerate() {
+                stepped.step(t + tick * i as u64, tick);
+                *v = stepped.output().value();
+            }
+            let mut got = vec![0.0f64; n];
+            scheduled.schedule_into(t, tick, &mut got);
+            for (i, (a, b)) in expect.iter().zip(&got).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "quantum {q} slot {i}");
+            }
+            t = t + tick * n as u64;
+        }
+        assert_eq!(
+            stepped.output().value().to_bits(),
+            scheduled.output().value().to_bits()
+        );
     }
 
     #[test]

@@ -75,6 +75,23 @@ impl ComponentPowerModel {
         self.leakage.power(v)
     }
 
+    /// The two voltage-only evaluations — clock frequency and leakage
+    /// power — bundled so hot loops can compute them once per distinct
+    /// voltage and reuse them across units sharing that voltage (the
+    /// quantum-stepper kernel's memoization; see DESIGN §6j).
+    #[inline]
+    pub fn operating_point(&self, v: Volt) -> (Hertz, Watt) {
+        (self.freq.frequency_at(v), self.leakage.power(v))
+    }
+
+    /// Total power from a precomputed operating point. Bit-identical to
+    /// [`Self::power`] whenever `(f, leak) == self.operating_point(v)`:
+    /// both evaluate `dynamic(v, f, a) + leak` with the same operands.
+    #[inline]
+    pub fn power_at(&self, v: Volt, f: Hertz, leak: Watt, activity: f64) -> Watt {
+        self.dynamic.power(v, f, activity) + leak
+    }
+
     /// Local sensitivity exponent d(ln P)/d(ln V) at `(v, activity)`,
     /// estimated numerically.
     ///

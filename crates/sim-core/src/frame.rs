@@ -1,0 +1,52 @@
+//! Borrow-based stepping frame for the quantum-stepper kernel.
+//!
+//! The chiplet simulators' original `step(&[Volt], dt) -> Watt` entry
+//! points return owned values and leave the caller to scatter them into
+//! its accumulators. The kernel instead hands each simulator a
+//! [`StepFrame`] borrowing the per-unit voltage lane and the power
+//! accumulator slot for the current tick; the simulator writes straight
+//! through the borrow. Every `step_into` implementation is required to be
+//! bit-identical to its `step` counterpart — the per-crate
+//! `step_into_matches_step` tests and the golden-digest corpus
+//! (`tests/golden_digests.txt`) pin that contract.
+
+use crate::time::SimDuration;
+use crate::units::Volt;
+
+/// One tick's borrowed inputs and outputs for a chiplet simulator.
+#[derive(Debug)]
+pub struct StepFrame<'a> {
+    /// Supply voltage per locally-controllable unit (core / SM / lane).
+    pub voltages: &'a [Volt],
+    /// Model tick length.
+    pub dt: SimDuration,
+    /// The tick's package-power accumulator slot; the simulator *adds*
+    /// its chiplet power (in watts) to whatever is already there.
+    pub power_acc: &'a mut f64,
+}
+
+impl<'a> StepFrame<'a> {
+    /// Bundle a tick's borrows.
+    #[inline]
+    pub fn new(voltages: &'a [Volt], dt: SimDuration, power_acc: &'a mut f64) -> Self {
+        StepFrame {
+            voltages,
+            dt,
+            power_acc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_accumulates_through_the_borrow() {
+        let volts = [Volt::new(0.9); 2];
+        let mut acc = 1.5;
+        let frame = StepFrame::new(&volts, SimDuration::from_nanos(100), &mut acc);
+        *frame.power_acc += 2.5;
+        assert_eq!(acc, 4.0);
+    }
+}

@@ -27,6 +27,7 @@
 #![warn(clippy::all)]
 
 pub mod approx;
+pub mod frame;
 pub mod report;
 pub mod rng;
 pub mod series;
@@ -37,6 +38,7 @@ pub mod units;
 pub mod window;
 
 pub use approx::approx_eq;
+pub use frame::StepFrame;
 pub use rng::DeterministicRng;
 pub use series::TimeSeries;
 pub use state::{Snapshot, StateReader, StateWriter};

@@ -42,7 +42,7 @@ fn main() {
 
         // HCAPP: period pinned at 1 µs regardless of package size.
         let hcapp = Simulation::new(
-            SystemConfig::scaled_system(combo, n_each, n_each, n_each, 3),
+            SystemConfig::scaled_system(combo, n_each, n_each, n_each, 3).expect("nonzero"),
             RunConfig::new(duration, ControlScheme::Hcapp, target),
         )
         .run_parallel(workers);
@@ -50,7 +50,7 @@ fn main() {
         // Centralized: +2 µs of telemetry aggregation per domain.
         let central_period = SimDuration::from_micros(1 + 2 * n_domains as u64);
         let central = Simulation::new(
-            SystemConfig::scaled_system(combo, n_each, n_each, n_each, 3),
+            SystemConfig::scaled_system(combo, n_each, n_each, n_each, 3).expect("nonzero"),
             RunConfig::new(duration, ControlScheme::CustomPeriod(central_period), target),
         )
         .run_parallel(workers);

@@ -9,6 +9,7 @@ pub use hcapp;
 pub use hcapp_accel_sim as accel_sim;
 pub use hcapp_cpu_sim as cpu_sim;
 pub use hcapp_experiments as experiments;
+pub use hcapp_faults as faults;
 pub use hcapp_gpu_sim as gpu_sim;
 pub use hcapp_metrics as metrics;
 pub use hcapp_pdn as pdn;

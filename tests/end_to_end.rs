@@ -1,25 +1,13 @@
 //! Cross-crate integration tests: the full stack, end to end.
 
-use hcapp_repro::hcapp::coordinator::{RunConfig, Simulation, SoftwareConfig};
+use hcapp_repro::hcapp::coordinator::{Simulation, SoftwareConfig};
 use hcapp_repro::hcapp::limits::PowerLimit;
 use hcapp_repro::hcapp::scheme::ControlScheme;
 use hcapp_repro::hcapp::software::ComponentKind;
 use hcapp_repro::hcapp::system::SystemConfig;
-use hcapp_repro::sim_core::time::SimDuration;
+use hcapp_repro::hcapp::testutil::{self, paper_config, paper_run as quick_run};
 use hcapp_repro::sim_core::units::Volt;
-use hcapp_repro::workloads::combos::{combo_by_name, combo_suite};
-
-fn quick_run(combo_name: &str, scheme: ControlScheme, seed: u64, ms: u64) -> hcapp_repro::hcapp::outcome::RunOutcome {
-    let combo = combo_by_name(combo_name).expect("combo");
-    let sys = SystemConfig::paper_system(combo, seed);
-    let limit = PowerLimit::package_pin();
-    let run = RunConfig::new(
-        SimDuration::from_millis(ms),
-        scheme,
-        limit.guardbanded_target(),
-    );
-    Simulation::new(sys, run).run()
-}
+use hcapp_repro::workloads::combos::combo_suite;
 
 #[test]
 fn energy_consistency_across_the_stack() {
@@ -41,7 +29,7 @@ fn energy_consistency_across_the_stack() {
 fn power_bounded_by_physical_peak() {
     // No scheme can draw more than the package's theoretical peak at the
     // voltage ceiling.
-    let combo = combo_by_name("Hi-Hi").unwrap();
+    let combo = testutil::combo("Hi-Hi");
     let sys = SystemConfig::paper_system(combo, 5);
     let ceiling = sys.peak_power_at(Volt::new(sys.pid.out_max)).value();
     for scheme in ControlScheme::all() {
@@ -61,14 +49,7 @@ fn power_bounded_by_physical_peak() {
 #[test]
 fn serial_and_parallel_executors_agree_bitwise() {
     for combo in ["Burst-Burst", "Low-Hi"] {
-        let c = combo_by_name(combo).unwrap();
-        let sys = SystemConfig::paper_system(c, 9);
-        let limit = PowerLimit::package_pin();
-        let run = RunConfig::new(
-            SimDuration::from_millis(3),
-            ControlScheme::Hcapp,
-            limit.guardbanded_target(),
-        );
+        let (sys, run) = paper_config(testutil::combo(combo), ControlScheme::Hcapp, 9, 3);
         let serial = Simulation::new(sys.clone(), run.clone()).run();
         let parallel = Simulation::new(sys, run).run_parallel(3);
         assert_eq!(serial.avg_power, parallel.avg_power, "{combo}: avg power");
@@ -111,18 +92,9 @@ fn dynamic_control_beats_static_on_light_workloads() {
 
 #[test]
 fn priorities_shift_work_without_breaking_the_cap() {
-    let combo = combo_by_name("Mid-Mid").unwrap();
+    let combo = testutil::combo("Mid-Mid");
     let limit = PowerLimit::package_pin();
-    let base_cfg = || {
-        (
-            SystemConfig::paper_system(combo, 17),
-            RunConfig::new(
-                SimDuration::from_millis(6),
-                ControlScheme::Hcapp,
-                limit.guardbanded_target(),
-            ),
-        )
-    };
+    let base_cfg = || paper_config(combo, ControlScheme::Hcapp, 17, 6);
     let (sys, run) = base_cfg();
     let neutral = Simulation::new(sys, run).run();
     for kind in ComponentKind::ALL {
